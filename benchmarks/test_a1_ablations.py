@@ -1,0 +1,47 @@
+"""A1/A2/A3 benchmarks: design-choice ablations."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_a1_code_sharing(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: ablations.run_code_sharing(settings))
+    archive(result)
+    by_config = {row["config"]: row["throughput_rps"]
+                 for row in result.rows}
+    # Sharing text pages between same-service replicas must not hurt and
+    # should help on the code-pressured baseline.
+    assert (by_config["code sharing on (real)"]
+            >= by_config["code sharing off (ablated)"])
+
+
+def test_a2_frequency_boost(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: ablations.run_frequency_ablation(settings))
+    archive(result)
+    gains = result.column("boost_gain_pct")
+    # Boost pays most at partial occupancy and fades as the socket fills.
+    assert gains[0] > 10.0
+    assert gains[-1] < gains[0]
+
+
+def test_a4_bandwidth(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: ablations.run_bandwidth_ablation(settings))
+    archive(result)
+    relatives = result.column("relative")
+    # Tightening channels monotonically costs throughput.
+    assert all(b <= a * 1.02 for a, b in zip(relatives, relatives[1:]))
+    assert relatives[-1] < 0.97
+
+
+def test_a3_smt_yield(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: ablations.run_smt_yield_ablation(settings))
+    archive(result)
+    relatives = result.column("relative")
+    # Saturated throughput grows with the modelled SMT yield, sub-linearly.
+    assert all(b >= a * 0.99 for a, b in zip(relatives, relatives[1:]))
+    assert relatives[-1] < 1.45 / 1.0  # well below the raw yield ratio

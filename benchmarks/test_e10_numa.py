@@ -1,0 +1,23 @@
+"""E10 benchmark: NUMA locality effects (two-socket machine)."""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.experiments import e10_numa
+
+
+def test_e10_numa(benchmark, settings, archive):
+    two_socket = dataclasses.replace(settings, preset="rome-2s")
+    result = run_once(benchmark, lambda: e10_numa.run(two_socket))
+    archive(result)
+    by_config = {row["config"]: row for row in result.rows}
+    local = by_config["socket0 + local memory"]
+    remote = by_config["socket0 + remote memory"]
+    spread = by_config["node-spread + local"]
+    # Shape: remote memory on identical compute costs real throughput
+    # and latency; spreading across both sockets with local memory is
+    # at least as good as packing one socket.
+    assert remote["throughput_rps"] < 0.97 * local["throughput_rps"]
+    assert remote["latency_mean_ms"] > local["latency_mean_ms"]
+    assert spread["throughput_rps"] > 0.95 * local["throughput_rps"]

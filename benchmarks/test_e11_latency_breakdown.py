@@ -1,0 +1,25 @@
+"""E11 benchmark: traced per-service latency decomposition."""
+
+from conftest import run_once
+
+from repro.experiments import e11_latency_breakdown
+
+
+def test_e11_latency_breakdown(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: e11_latency_breakdown.run(settings))
+    archive(result)
+
+    def shares(endpoint):
+        return {r["service"]: r["share_pct"] for r in result.rows
+                if r["endpoint"] == endpoint}
+
+    checkout = shares("checkout")
+    product = shares("product")
+    # Shape: the serialized DB write path dominates checkout latency far
+    # beyond its CPU share, while product-page latency is render-led.
+    assert checkout["db"] > 25.0
+    assert checkout["db"] > product["db"]
+    assert product["webui"] > 20.0
+    for endpoint in ("product", "checkout"):
+        assert abs(sum(shares(endpoint).values()) - 100.0) < 1e-6

@@ -1,0 +1,22 @@
+"""E12 benchmark: batch-neighbor co-location and containment."""
+
+from conftest import run_once
+
+from repro.experiments import e12_colocation
+
+
+def test_e12_colocation(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e12_colocation.run(settings))
+    archive(result)
+    by_config = {row["config"]: row for row in result.rows}
+    alone = by_config["store alone"]
+    shared = by_config["shared, both unpinned"]
+    partitioned = by_config["partitioned (CCX-aware)"]
+    # Shape: the unconstrained neighbor costs the store double digits;
+    # CCX partitioning holds the loss well under the shared case while
+    # the neighbor keeps (at least) its shared-mode progress.
+    assert shared["store_vs_alone"] < 0.90
+    assert partitioned["store_vs_alone"] > shared["store_vs_alone"] + 0.05
+    assert (partitioned["neighbor_bursts_per_s"]
+            > 0.8 * shared["neighbor_bursts_per_s"])
+    assert shared["store_p99_ms"] > alone["store_p99_ms"]

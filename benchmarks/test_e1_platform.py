@@ -1,0 +1,15 @@
+"""E1 benchmark: platform configuration table."""
+
+from conftest import run_once
+
+from repro.experiments import e1_platform
+
+
+def test_e1_platform(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e1_platform.run(settings))
+    archive(result)
+    by_attribute = {row["attribute"]: row["value"] for row in result.rows}
+    # The paper's platform: 128 logical CPUs per socket.
+    assert by_attribute["logical_cpus_per_socket"] == 128
+    assert by_attribute["ccxs_l3_domains"] == 16
+    assert by_attribute["smt_ways"] == 2

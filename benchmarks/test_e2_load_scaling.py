@@ -1,0 +1,18 @@
+"""E2 benchmark: throughput & latency vs concurrent users."""
+
+from conftest import run_once
+
+from repro.experiments import e2_load_scaling
+
+
+def test_e2_load_scaling(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e2_load_scaling.run(settings))
+    archive(result)
+    throughputs = result.column("throughput_rps")
+    latencies = result.column("latency_p99_ms")
+    # Shape: throughput grows with offered load, then saturates...
+    assert throughputs[1] > throughputs[0] * 1.5
+    peak = max(throughputs)
+    assert throughputs[-1] > 0.85 * peak
+    # ...while saturated latency is far above light-load latency.
+    assert latencies[-1] > 3 * latencies[0]

@@ -1,0 +1,18 @@
+"""E3 benchmark: throughput vs logical CPUs enabled."""
+
+from conftest import run_once
+
+from repro.experiments import e3_core_scaling
+
+
+def test_e3_core_scaling(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e3_core_scaling.run(settings))
+    archive(result)
+    speedups = result.column("speedup")
+    efficiencies = result.column("efficiency")
+    # Shape: more CPUs → more throughput, but with falling efficiency
+    # (the paper's motivation: scale-up is far from free).
+    assert all(b >= a * 0.98 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 2.0
+    assert efficiencies[-1] < 0.85
+    assert efficiencies[-1] < efficiencies[0]

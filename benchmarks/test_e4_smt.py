@@ -1,0 +1,18 @@
+"""E4 benchmark: SMT on/off sensitivity."""
+
+from conftest import run_once
+
+from repro.experiments import e4_smt
+
+
+def test_e4_smt(benchmark, settings, archive):
+    result = run_once(
+        benchmark,
+        lambda: e4_smt.run(settings, smt_yields=(1.15, 1.3, 1.45)))
+    archive(result)
+    uplifts = result.column("uplift_vs_smt_off")
+    # Shape: SMT-on beats SMT-off on the same cores, and the benefit
+    # grows with the modelled SMT yield.
+    assert uplifts[0] == 1.0
+    assert all(u > 1.02 for u in uplifts[1:])
+    assert uplifts[-1] > uplifts[1]

@@ -1,0 +1,19 @@
+"""E5 benchmark: per-service CPU utilization breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import e5_utilization
+
+
+def test_e5_utilization(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e5_utilization.run(settings))
+    archive(result)
+    shares = {row["service"]: row["cpu_share_pct"] for row in result.rows}
+    # Shape (paper's breakdown): WebUI dominates; Auth and Recommender
+    # are light; the database is a mid-weight consumer.
+    assert shares["webui"] == max(shares.values())
+    assert shares["webui"] > 25.0
+    assert shares["auth"] < 15.0
+    assert shares["recommender"] < 15.0
+    assert 5.0 < shares["db"] < 35.0
+    assert abs(sum(shares.values()) - 100.0) < 1e-6

@@ -1,0 +1,21 @@
+"""E6 benchmark: per-service scale-up curves."""
+
+from conftest import run_once
+
+from repro.experiments import e6_service_scaling
+
+
+def test_e6_service_scaling(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e6_service_scaling.run(settings))
+    archive(result)
+
+    def gain(service):
+        points = [r for r in result.rows if r["service"] == service]
+        return points[-1]["throughput_rps"] / points[0]["throughput_rps"]
+
+    # Shape: services scale very differently — the paper's core argument
+    # for sizing them individually.
+    assert gain("webui") > 1.6          # keeps converting CPUs
+    assert gain("auth") < gain("webui")  # light service saturates load
+    assert gain("persistence") < gain("webui")  # capped by the DB behind it
+    assert any("USL" in note for note in result.notes)

@@ -1,0 +1,17 @@
+"""E7 benchmark: placement-policy comparison."""
+
+from conftest import run_once
+
+from repro.experiments import e7_placement
+
+
+def test_e7_placement(benchmark, settings, archive):
+    result = run_once(benchmark, lambda: e7_placement.run(settings))
+    archive(result)
+    by_policy = {row["policy"]: row for row in result.rows}
+    # Shape: node-granular pinning buys little on a one-node socket;
+    # CCX-granular pinning is where the win is.
+    assert abs(by_policy["node_spread"]["uplift_pct"]) < 8.0
+    assert by_policy["ccx_aware"]["uplift_pct"] > 10.0
+    assert (by_policy["ccx_aware"]["latency_mean_ms"]
+            < by_policy["unpinned"]["latency_mean_ms"])

@@ -1,0 +1,23 @@
+"""E8 benchmark: the headline +22% throughput / −18% latency claim."""
+
+from conftest import run_once
+
+from repro.experiments import e8_headline
+
+
+def test_e8_headline(benchmark, settings, archive):
+    outcome = run_once(benchmark,
+                       lambda: e8_headline.measure(settings))
+    archive(e8_headline.run(settings))
+    # Paper: +22% throughput, −18% latency over the tuned baseline.
+    # The reproduction must land in the same band: a double-digit
+    # throughput uplift with a matching latency reduction.
+    assert 0.12 <= outcome.throughput_uplift <= 0.45, (
+        f"uplift {outcome.throughput_uplift:.3f} outside the paper band")
+    assert 0.10 <= outcome.mean_latency_reduction <= 0.45, (
+        f"latency reduction {outcome.mean_latency_reduction:.3f} "
+        f"outside the paper band")
+    # The optimized configuration must not sacrifice tail latency badly.
+    assert outcome.p99_latency_reduction > -0.10
+    # Scaling-aware sizing keeps the database singular.
+    assert outcome.allocation.replica_counts()["db"] == 1

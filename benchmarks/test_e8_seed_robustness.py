@@ -1,0 +1,49 @@
+"""E8 robustness: the headline band must hold across seeds.
+
+Methodology benchmark: repeats the headline measurement with independent
+seeds and summarizes uplift with mean ± CI and the harmonic-mean speedup
+(the correct summary for throughput ratios).
+"""
+
+import dataclasses
+
+from conftest import OUTPUT_DIR, run_once
+
+from repro.experiments import e8_headline
+from repro.metrics import confidence_interval
+from repro.metrics.stats import harmonic_mean
+
+SEEDS = (1, 2, 3)
+
+
+def test_e8_headline_across_seeds(benchmark, settings):
+    def measure_all():
+        outcomes = []
+        for seed in SEEDS:
+            seeded = dataclasses.replace(settings, seed=seed)
+            outcomes.append(e8_headline.measure(seeded))
+        return outcomes
+
+    outcomes = run_once(benchmark, measure_all)
+    uplifts = [o.throughput_uplift for o in outcomes]
+    latency_cuts = [o.mean_latency_reduction for o in outcomes]
+    summary = confidence_interval([1.0 + u for u in uplifts])
+    hmean_speedup = harmonic_mean([1.0 + u for u in uplifts])
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    lines = ["[E8-seeds] Headline across seeds"]
+    for seed, outcome in zip(SEEDS, outcomes):
+        lines.append(
+            f"  seed {seed}: uplift {outcome.throughput_uplift * 100:+.1f}%"
+            f", mean latency {-outcome.mean_latency_reduction * 100:+.1f}%")
+    lines.append(f"  speedup: {summary} | harmonic mean "
+                 f"{hmean_speedup:.3f}")
+    (OUTPUT_DIR / "e8_seeds.txt").write_text("\n".join(lines) + "\n")
+
+    # Every seed individually lands in the paper band.
+    for uplift, latency_cut in zip(uplifts, latency_cuts):
+        assert 0.12 <= uplift <= 0.45
+        assert 0.10 <= latency_cut <= 0.45
+    # And the cross-seed summary is tight (the result is not seed luck).
+    assert summary.ci_half_width < 0.08
+    assert 1.12 <= hmean_speedup <= 1.45

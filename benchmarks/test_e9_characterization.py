@@ -1,0 +1,25 @@
+"""E9 benchmark: microarchitectural contrast vs SPEC-class kernels."""
+
+from conftest import run_once
+
+from repro.experiments import e9_characterization
+
+
+def test_e9_characterization(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: e9_characterization.run(settings))
+    archive(result)
+    services = [r for r in result.rows if r["class"] == "microservice"]
+    kernels = [r for r in result.rows if r["class"] == "spec-class"]
+
+    def mean(rows, key):
+        return sum(r[key] for r in rows) / len(rows)
+
+    # Shape (the paper's contrast): microservices exhibit lower IPC,
+    # far heavier L1i pressure, and a bigger front-end-bound share than
+    # the workloads CPUs are designed against.
+    assert mean(services, "ipc") < 0.7 * mean(kernels, "ipc")
+    assert mean(services, "l1i_mpki") > 5 * mean(kernels, "l1i_mpki")
+    assert (mean(services, "frontend_bound")
+            > mean(kernels, "frontend_bound"))
+    assert mean(services, "branch_mpki") > mean(kernels, "branch_mpki")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Build your own microservice application on the substrate.
+
+TeaStore is just one application model; the substrate is general.  This
+example assembles a three-tier "ride hailing" app — gateway → (pricing ∥
+matching) → geo-index — with its own footprints and demand profile, pins
+it two ways, and compares.
+
+Run:  python examples/custom_microservice.py
+"""
+
+from repro import (
+    ClosedLoopWorkload,
+    Deployment,
+    ServiceSpec,
+    WorkloadProfile,
+    medium_machine,
+    run_experiment,
+)
+from repro._units import mib, ms
+
+
+def build_app(deployment, pin=False):
+    machine = deployment.machine
+    geo = ServiceSpec("geo", WorkloadProfile(
+        "geo", code_bytes=mib(2.0), data_bytes=mib(30.0),
+        mem_intensity=0.8, frontend_intensity=0.3), workers=32)
+
+    @geo.endpoint("nearest")
+    def nearest(ctx):
+        yield ctx.compute(ms(2.0))
+        return ["driver-1", "driver-2"]
+
+    pricing = ServiceSpec("pricing", WorkloadProfile(
+        "pricing", code_bytes=mib(1.5), data_bytes=mib(4.0),
+        mem_intensity=0.3, frontend_intensity=0.5), workers=32)
+
+    @pricing.endpoint("quote")
+    def quote(ctx):
+        yield ctx.compute(ms(1.2))
+        return {"fare": 12.5}
+
+    matching = ServiceSpec("matching", WorkloadProfile(
+        "matching", code_bytes=mib(2.5), data_bytes=mib(8.0),
+        mem_intensity=0.5, frontend_intensity=0.6), workers=32)
+
+    @matching.endpoint("match")
+    def match(ctx):
+        drivers = yield ctx.call("geo", "nearest")
+        yield ctx.compute(ms(1.8))
+        return drivers[0]
+
+    gateway = ServiceSpec("gateway", WorkloadProfile(
+        "gateway", code_bytes=mib(3.0), data_bytes=mib(5.0),
+        mem_intensity=0.4, frontend_intensity=0.7), workers=64)
+
+    @gateway.endpoint("request_ride")
+    def request_ride(ctx):
+        yield ctx.compute(ms(1.0))
+        price = ctx.call("pricing", "quote")
+        driver = ctx.call("matching", "match")
+        yield ctx.gather(price, driver)
+        yield ctx.compute(ms(1.5))
+        return "ride-confirmed"
+
+    specs = {"gateway": gateway, "pricing": pricing,
+             "matching": matching, "geo": geo}
+    if pin:
+        # CCX budgets matched to each service's CPU appetite, spending
+        # the whole machine (8 CCXs): one replica per CCX.
+        budgets = {"gateway": [0, 1, 2], "matching": [3, 4],
+                   "geo": [5, 6], "pricing": [7]}
+        for name, ccxs in budgets.items():
+            for ccx in ccxs:
+                deployment.add_instance(specs[name],
+                                        affinity=machine.cpus_in_ccx(ccx))
+    else:
+        for name in specs:
+            replicas = 2 if name == "gateway" else 1
+            for __ in range(replicas):
+                deployment.add_instance(specs[name])
+
+
+def session(user_id):
+    while True:
+        yield ("gateway", "request_ride", None)
+
+
+def main() -> None:
+    for pin in (False, True):
+        deployment = Deployment(medium_machine(), seed=5)
+        build_app(deployment, pin=pin)
+        workload = ClosedLoopWorkload(deployment, session,
+                                      n_users=400, think_time=0.1)
+        result = run_experiment(deployment, workload,
+                                warmup=1.0, duration=2.5)
+        label = "CCX-pinned" if pin else "unpinned  "
+        print(f"{label}: {result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Elastic scaling under diurnal load (extension beyond the paper).
+
+Combines the paper's two levers — per-service sizing and CCX-granular
+placement — into a control loop: a WebUI-like frontend service scales
+between 1 and 6 L3 domains as an open-loop arrival rate swings through a
+day-like sine wave.  Prints a timeline of rate, replica count, and
+utilization.
+
+Run:  python examples/elastic_scaling.py
+"""
+
+import math
+
+from repro import Deployment, ServiceSpec, WorkloadProfile, medium_machine
+from repro._units import mib, ms
+from repro.placement import Autoscaler
+from repro.workload import OpenLoopWorkload
+
+PERIOD = 6.0  # simulated "day"
+
+
+def main() -> None:
+    deployment = Deployment(medium_machine(), seed=9)
+    frontend = ServiceSpec("frontend", WorkloadProfile(
+        "frontend", code_bytes=mib(3.0), data_bytes=mib(5.0),
+        mem_intensity=0.4, frontend_intensity=0.6), workers=48)
+
+    @frontend.endpoint("page")
+    def page(ctx):
+        yield ctx.compute(ms(2.5))
+        return "html"
+
+    scaler = Autoscaler(deployment, frontend, ccx_pool=[0, 1, 2, 3, 4, 5],
+                        min_replicas=1, interval=0.25,
+                        high_watermark=0.6, low_watermark=0.25)
+
+    def diurnal(t):
+        phase = 2 * math.pi * t / PERIOD
+        return 2000.0 + 1700.0 * math.sin(phase)
+
+    def session(user_id):
+        while True:
+            yield ("frontend", "page", None)
+
+    workload = OpenLoopWorkload(deployment, session, rate=diurnal)
+    workload.start()
+
+    print(f"{'t':>5s} {'rate/s':>8s} {'replicas':>9s} {'util':>6s} "
+          f"{'served':>8s}")
+    served_before = 0
+    for step in range(1, int(2 * PERIOD / 0.5) + 1):
+        deployment.run(until=step * 0.5)
+        served = workload.meter.lifetime_count
+        print(f"{deployment.sim.now:5.1f} "
+              f"{workload.current_rate():8.0f} "
+              f"{scaler.replica_count:9d} "
+              f"{scaler.last_utilization:6.2f} "
+              f"{served - served_before:8d}")
+        served_before = served
+
+    print(f"\nscale-ups: {len(scaler.scale_ups())}, "
+          f"scale-downs: {len(scaler.scale_downs())}, "
+          f"errors: {workload.errors}")
+
+
+if __name__ == "__main__":
+    main()

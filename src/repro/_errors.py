@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError``, ``ValueError`` from misuse
+of the standard library) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for illegal operations on the simulation kernel.
+
+    Examples: running a finished simulator, yielding a foreign object from a
+    process, or re-triggering an already-triggered event.
+    """
+
+
+class TopologyError(ReproError):
+    """Raised for malformed machine descriptions or invalid CPU references."""
+
+
+class SchedulingError(ReproError):
+    """Raised for scheduler misuse, e.g. a burst with an empty affinity mask."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or service configuration is inconsistent."""
+
+
+class PlacementError(ReproError):
+    """Raised when a placement policy cannot satisfy its constraints."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload definitions (e.g. bad Markov profiles)."""
+
+
+class ServiceOverloadError(ReproError):
+    """A request was shed because a replica's bounded queue was full.
+
+    Travels through the failed completion event to the caller, which may
+    count it as an error response (load generators do).
+    """
+
+
+class ServiceUnavailableError(ReproError):
+    """A request hit a replica that has been shut down or crashed."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a statistical fit or analysis cannot be computed."""

@@ -1,0 +1,47 @@
+"""Unit helpers.
+
+The simulator measures time in *seconds* (floats) and memory in *bytes*
+(ints).  These helpers exist so that configuration code reads naturally
+(``MILLISECONDS * 2.5``, ``4 * MIB``) and so unit mistakes are easy to spot
+in review.
+"""
+
+from __future__ import annotations
+
+#: One second, the base time unit of the simulator.
+SECOND: float = 1.0
+
+#: One millisecond in simulator time units.
+MILLISECOND: float = 1e-3
+
+#: One microsecond in simulator time units.
+MICROSECOND: float = 1e-6
+
+#: One kibibyte in bytes.
+KIB: int = 1024
+
+#: One mebibyte in bytes.
+MIB: int = 1024 * 1024
+
+#: One gibibyte in bytes.
+GIB: int = 1024 * 1024 * 1024
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to simulator time units (seconds)."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to simulator time units (seconds)."""
+    return value * MICROSECOND
+
+
+def mib(value: float) -> int:
+    """Convert mebibytes to bytes, rounding to the nearest byte."""
+    return int(value * MIB)
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bytes, rounding to the nearest byte."""
+    return int(value * KIB)

@@ -1,0 +1,5 @@
+"""Scalability analysis: USL and Amdahl fits, speedup utilities."""
+
+from repro.analysis.usl import AmdahlFit, UslFit, fit_amdahl, fit_usl
+
+__all__ = ["AmdahlFit", "UslFit", "fit_amdahl", "fit_usl"]

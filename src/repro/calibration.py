@@ -1,0 +1,133 @@
+"""Calibrating the memory model against a target headline uplift.
+
+The paper reports +22% over its tuned baseline; the simulator's uplift
+depends on the L3/front-end penalty weights in
+:class:`~repro.memory.MemoryConfig`.  ``calibrate_headline`` finds the
+scale factor on those weights that reproduces a chosen target, by
+bisection over a monotone response (heavier cache penalties → unpinned
+baseline suffers more → bigger uplift from pinning).
+
+The search is measurement-agnostic: it bisects any ``measure(scale) →
+uplift`` function, so tests can drive it with synthetic responses and
+users can plug in their own experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.memory.config import MemoryConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a calibration search."""
+
+    scale: float
+    achieved: float
+    target: float
+    evaluations: int
+    config: MemoryConfig
+
+    @property
+    def error(self) -> float:
+        """Absolute deviation from the target."""
+        return abs(self.achieved - self.target)
+
+
+def scaled_memory_config(scale: float,
+                         base: MemoryConfig | None = None) -> MemoryConfig:
+    """A MemoryConfig with cache-penalty weights multiplied by ``scale``."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive: {scale}")
+    base = base or MemoryConfig()
+    return dataclasses.replace(
+        base,
+        l3_miss_weight=base.l3_miss_weight * scale,
+        frontend_miss_weight=base.frontend_miss_weight * scale,
+    )
+
+
+def bisect_to_target(measure: t.Callable[[float], float],
+                     target: float,
+                     lo: float = 0.25,
+                     hi: float = 3.0,
+                     iterations: int = 8,
+                     tolerance: float = 0.02) -> tuple[float, float, int]:
+    """Bisection on a monotone-increasing response.
+
+    Returns ``(scale, achieved, evaluations)``; stops early once within
+    ``tolerance`` of the target.  Raises when the target is outside the
+    bracket's response range.
+    """
+    if not lo < hi:
+        raise ConfigurationError(f"need lo < hi (got {lo}, {hi})")
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1: {iterations}")
+    evaluations = 0
+
+    def run(scale: float) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return measure(scale)
+
+    response_lo, response_hi = run(lo), run(hi)
+    if not response_lo <= target <= response_hi:
+        raise ConfigurationError(
+            f"target {target:.3f} outside the bracket's response "
+            f"[{response_lo:.3f}, {response_hi:.3f}]; widen (lo, hi)")
+    best = (lo, response_lo) if (abs(response_lo - target)
+                                 < abs(response_hi - target)) else (hi, response_hi)
+    for __ in range(iterations):
+        mid = (lo + hi) / 2.0
+        response = run(mid)
+        if abs(response - target) < abs(best[1] - target):
+            best = (mid, response)
+        if abs(response - target) <= tolerance:
+            break
+        if response < target:
+            lo = mid
+        else:
+            hi = mid
+    return best[0], best[1], evaluations
+
+
+def headline_measure(settings: t.Any | None = None
+                     ) -> t.Callable[[float], float]:
+    """The default ``measure(scale)``: run E8 with scaled weights.
+
+    Uses half-length windows to keep calibration affordable; see
+    :func:`repro.experiments.e8_headline.measure`.
+    """
+    from repro.experiments.common import ExperimentSettings
+    from repro.experiments.e8_headline import measure as measure_headline
+    settings = settings or ExperimentSettings()
+    short = dataclasses.replace(settings,
+                                warmup=max(0.5, settings.warmup / 2),
+                                duration=max(1.0, settings.duration / 2))
+
+    def measure(scale: float) -> float:
+        scaled = dataclasses.replace(
+            short, memory_config=scaled_memory_config(
+                scale, settings.memory_config))
+        return measure_headline(scaled).throughput_uplift
+    return measure
+
+
+def calibrate_headline(target_uplift: float = 0.22,
+                       measure: t.Callable[[float], float] | None = None,
+                       settings: t.Any | None = None,
+                       lo: float = 0.25, hi: float = 3.0,
+                       iterations: int = 8,
+                       tolerance: float = 0.02) -> CalibrationResult:
+    """Find the weight scale whose headline uplift matches the target."""
+    if measure is None:
+        measure = headline_measure(settings)
+    scale, achieved, evaluations = bisect_to_target(
+        measure, target_uplift, lo=lo, hi=hi,
+        iterations=iterations, tolerance=tolerance)
+    base = getattr(settings, "memory_config", None) or MemoryConfig()
+    return CalibrationResult(scale, achieved, target_uplift, evaluations,
+                             scaled_memory_config(scale, base))

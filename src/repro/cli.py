@@ -1,0 +1,151 @@
+"""Command-line entry point: ``python -m repro`` / ``repro``.
+
+Examples::
+
+    repro list                     # available experiments
+    repro platform                 # E1 table for the paper's machine
+    repro run e8                   # the headline result, paper scale
+    repro run e2 --fast            # quick small-machine version
+    repro run all --fast --seed 7  # everything, quickly
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import (
+    ablations,
+    e1_platform,
+    e2_load_scaling,
+    e3_core_scaling,
+    e4_smt,
+    e5_utilization,
+    e6_service_scaling,
+    e7_placement,
+    e8_headline,
+    e9_characterization,
+    e10_numa,
+    e11_latency_breakdown,
+    e12_colocation,
+)
+from repro.topology.presets import PRESETS
+
+#: Experiment id → (description, runner).
+EXPERIMENTS: dict[str, tuple[str, t.Callable]] = {
+    "e1": (e1_platform.TITLE, e1_platform.run),
+    "e2": (e2_load_scaling.TITLE, e2_load_scaling.run),
+    "e3": (e3_core_scaling.TITLE, e3_core_scaling.run),
+    "e4": (e4_smt.TITLE, e4_smt.run),
+    "e5": (e5_utilization.TITLE, e5_utilization.run),
+    "e6": (e6_service_scaling.TITLE, e6_service_scaling.run),
+    "e7": (e7_placement.TITLE, e7_placement.run),
+    "e8": (e8_headline.TITLE, e8_headline.run),
+    "e9": (e9_characterization.TITLE, e9_characterization.run),
+    "e10": (e10_numa.TITLE, e10_numa.run),
+    "e11": (e11_latency_breakdown.TITLE, e11_latency_breakdown.run),
+    "e12": (e12_colocation.TITLE, e12_colocation.run),
+    "a1": ("Ablation: CCX code sharing", ablations.run_code_sharing),
+    "a2": ("Ablation: frequency boost", ablations.run_frequency_ablation),
+    "a3": ("Ablation: SMT yield", ablations.run_smt_yield_ablation),
+    "a4": ("Ablation: memory-bandwidth contention",
+           ablations.run_bandwidth_ablation),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TeaStore scale-up study reproduction (IISWC 2020)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiments")
+
+    platform = subparsers.add_parser("platform",
+                                     help="print the machine topology (E1)")
+    platform.add_argument("--preset", default="rome-1s",
+                          choices=sorted(PRESETS))
+    platform.add_argument("--json", action="store_true",
+                          help="emit the machine spec as JSON")
+
+    run = subparsers.add_parser("run", help="run experiments")
+    run.add_argument("experiment",
+                     choices=sorted(EXPERIMENTS) + ["all"],
+                     help="experiment id, or 'all'")
+    run.add_argument("--fast", action="store_true",
+                     help="small machine, short windows")
+    run.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                     help="override the machine preset")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--users", type=int, default=None)
+    run.add_argument("--markdown", metavar="FILE", default=None,
+                     help="also write a markdown report to FILE")
+    run.add_argument("--figures", metavar="DIR", default=None,
+                     help="also write SVG figures to DIR")
+    return parser
+
+
+def _settings_for(args: argparse.Namespace,
+                  experiment_id: str) -> ExperimentSettings:
+    overrides: dict[str, t.Any] = {"seed": args.seed}
+    if args.preset is not None:
+        overrides["preset"] = args.preset
+    elif experiment_id == "e10" and not args.fast:
+        overrides["preset"] = "rome-2s"  # E10 needs two NUMA nodes
+    if args.users is not None:
+        overrides["users"] = args.users
+    if args.fast:
+        if experiment_id == "e10" and "preset" not in overrides:
+            overrides["preset"] = "small"  # smallest 2-node machine
+        return ExperimentSettings.fast(**overrides)
+    return ExperimentSettings.full(**overrides)
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id, (title, __) in sorted(EXPERIMENTS.items()):
+            print(f"{experiment_id:4s} {title}")
+        return 0
+
+    if args.command == "platform":
+        from repro.topology.presets import machine_from_preset
+        machine = machine_from_preset(args.preset)
+        if args.json:
+            import json
+            from repro.topology.serialize import machine_to_dict
+            print(json.dumps(machine_to_dict(machine), indent=2))
+        else:
+            print(machine.describe())
+        return 0
+
+    experiment_ids = (sorted(EXPERIMENTS) if args.experiment == "all"
+                      else [args.experiment])
+    results = []
+    for experiment_id in experiment_ids:
+        __, runner = EXPERIMENTS[experiment_id]
+        settings = _settings_for(args, experiment_id)
+        result = runner(settings)
+        results.append(result)
+        print(result.render())
+        print()
+    if args.markdown is not None:
+        from repro.report import build_report
+        settings = _settings_for(args, experiment_ids[0])
+        report = build_report(results, machine=settings.machine())
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"markdown report written to {args.markdown}")
+    if args.figures is not None:
+        from repro.experiments.figures import write_figures
+        written = write_figures(results, args.figures)
+        print(f"{len(written)} figures written to {args.figures}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

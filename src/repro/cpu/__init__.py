@@ -1,0 +1,35 @@
+"""CPU execution model.
+
+A discrete-event model of how an OS schedules short CPU bursts onto the
+logical CPUs of a :class:`~repro.topology.Machine`:
+
+* :class:`~repro.cpu.burst.CpuBurst` — one non-preemptive slice of CPU
+  demand belonging to a :class:`~repro.cpu.burst.TaskGroup` (e.g. a service
+  instance).
+* :class:`~repro.cpu.scheduler.CpuScheduler` — per-CPU run queues with
+  idle-first, SMT-aware, cache-aware wakeup placement and work stealing.
+* :class:`~repro.cpu.smt.SmtModel` — slowdown when both hardware threads of
+  a core are busy.
+* :class:`~repro.cpu.frequency.FrequencyModel` — boost clocks under partial
+  core occupancy.
+* :class:`~repro.cpu.perf.PerfModel` — hook through which the memory-system
+  model (cache/NUMA) inflates a burst's CPI; the default
+  :class:`~repro.cpu.perf.NullPerfModel` is a no-op.
+"""
+
+from repro.cpu.burst import CpuBurst, TaskGroup
+from repro.cpu.frequency import FlatFrequencyModel, FrequencyModel
+from repro.cpu.perf import NullPerfModel, PerfModel
+from repro.cpu.scheduler import CpuScheduler
+from repro.cpu.smt import SmtModel
+
+__all__ = [
+    "CpuBurst",
+    "CpuScheduler",
+    "FlatFrequencyModel",
+    "FrequencyModel",
+    "NullPerfModel",
+    "PerfModel",
+    "SmtModel",
+    "TaskGroup",
+]

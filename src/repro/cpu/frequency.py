@@ -1,0 +1,65 @@
+"""Core-count-dependent frequency (boost) model.
+
+High-core-count server parts run well above base clock when few cores are
+active and settle to base clock when all cores are loaded.  The model maps
+the fraction of active physical cores to a speed multiplier relative to
+base clock:
+
+* at or below ``full_boost_fraction`` active cores → ``max_boost/base``;
+* at 100% active cores → 1.0;
+* linear in between.
+
+CPU demands throughout the simulator are calibrated at base clock, so the
+factor only ever speeds execution up.  The factor is sampled when a burst
+starts (a documented approximation: mid-burst occupancy changes do not
+re-clock it; SMT changes do, via :mod:`repro.cpu.smt`).
+"""
+
+from __future__ import annotations
+
+from repro._errors import SchedulingError
+
+
+class FrequencyModel:
+    """Linear boost-residency model."""
+
+    def __init__(self, base_ghz: float, boost_ghz: float,
+                 full_boost_fraction: float = 0.25):
+        if base_ghz <= 0 or boost_ghz < base_ghz:
+            raise SchedulingError(
+                f"need 0 < base ({base_ghz}) <= boost ({boost_ghz})")
+        if not 0.0 < full_boost_fraction < 1.0:
+            raise SchedulingError(
+                f"full_boost_fraction must be in (0, 1): "
+                f"{full_boost_fraction}")
+        self.base_ghz = base_ghz
+        self.boost_ghz = boost_ghz
+        self.full_boost_fraction = full_boost_fraction
+
+    def factor(self, active_cores: int, total_cores: int) -> float:
+        """Speed multiplier (≥ 1.0) given current physical-core occupancy."""
+        if total_cores <= 0:
+            raise SchedulingError(f"total_cores must be positive: {total_cores}")
+        max_factor = self.boost_ghz / self.base_ghz
+        occupancy = min(1.0, active_cores / total_cores)
+        if occupancy <= self.full_boost_fraction:
+            return max_factor
+        # Linear decay from max_factor down to 1.0 at full occupancy.
+        span = 1.0 - self.full_boost_fraction
+        position = (occupancy - self.full_boost_fraction) / span
+        return max_factor - (max_factor - 1.0) * position
+
+    def __repr__(self) -> str:
+        return (f"FrequencyModel(base={self.base_ghz}, "
+                f"boost={self.boost_ghz}, "
+                f"full_boost_fraction={self.full_boost_fraction})")
+
+
+class FlatFrequencyModel(FrequencyModel):
+    """A no-boost model (factor 1.0 always), for ablations and tests."""
+
+    def __init__(self, base_ghz: float = 1.0):
+        super().__init__(base_ghz, base_ghz, 0.5)
+
+    def factor(self, active_cores: int, total_cores: int) -> float:
+        return 1.0

@@ -1,0 +1,53 @@
+"""Performance-model hook between the CPU scheduler and the memory system.
+
+The scheduler asks the performance model two things:
+
+* :meth:`PerfModel.cpi_inflation` — by what factor is this burst's CPI
+  inflated when running on this logical CPU *right now* (cache pressure,
+  NUMA distance)?  The burst's execution rate is divided by this factor.
+* :meth:`PerfModel.on_burst_complete` — accounting callback so counter
+  models can attribute instructions/cycles/misses.
+
+The memory package provides the real implementation
+(:class:`repro.memory.MemorySystemModel`); :class:`NullPerfModel` keeps the
+scheduler usable standalone.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.burst import CpuBurst
+    from repro.topology.model import LogicalCpu
+
+
+class PerfModel(t.Protocol):
+    """What the scheduler needs from a memory-system model."""
+
+    def cpi_inflation(self, burst: "CpuBurst", cpu: "LogicalCpu") -> float:
+        """CPI multiplier (≥ 1.0) for this burst on this CPU."""
+        ...  # pragma: no cover
+
+    def on_burst_start(self, burst: "CpuBurst", cpu: "LogicalCpu") -> None:
+        """Hook invoked when a burst is dispatched onto a CPU."""
+        ...  # pragma: no cover
+
+    def on_burst_complete(self, burst: "CpuBurst", cpu: "LogicalCpu",
+                          wall_time: float) -> None:
+        """Accounting hook invoked when a burst finishes."""
+        ...  # pragma: no cover
+
+
+class NullPerfModel:
+    """No memory effects: CPI inflation is always 1.0."""
+
+    def cpi_inflation(self, burst: "CpuBurst", cpu: "LogicalCpu") -> float:
+        return 1.0
+
+    def on_burst_start(self, burst: "CpuBurst", cpu: "LogicalCpu") -> None:
+        return None
+
+    def on_burst_complete(self, burst: "CpuBurst", cpu: "LogicalCpu",
+                          wall_time: float) -> None:
+        return None

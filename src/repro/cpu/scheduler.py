@@ -1,0 +1,266 @@
+"""The OS-like CPU scheduler.
+
+Models the mechanisms the paper's experiments manipulate:
+
+* **Affinity masks.** A burst only ever runs on CPUs in its group's mask
+  (the simulated `taskset`/cpuset).
+* **Wakeup placement.** A newly runnable burst prefers, in order: an idle
+  CPU whose whole physical core is idle inside the group's last CCX; an
+  idle whole core anywhere in the mask; any idle CPU in the last CCX; any
+  idle CPU.  Failing all of those it queues on the allowed CPU with the
+  shortest run queue.  This mirrors Linux CFS's idle-core search plus
+  LLC-affine wakeups at the fidelity the study needs.
+* **Work stealing.** A CPU that runs out of local work pulls the oldest
+  eligible burst from the most loaded queue it is allowed to serve.
+* **SMT interaction.** When a burst starts or finishes, the sibling
+  thread's in-flight burst is re-rated (its completion re-scheduled).
+* **Frequency boost.** Execution rate includes a boost factor sampled at
+  burst start from current physical-core occupancy.
+* **Memory effects.** Execution rate is divided by the
+  :class:`~repro.cpu.perf.PerfModel` CPI inflation for (burst, cpu).
+
+Bursts are non-preemptive; service handlers issue short bursts (≤ a few
+milliseconds), so this matches OS behaviour at the timescales that matter
+while keeping event counts tractable (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as t
+
+from repro._errors import SchedulingError
+from repro.cpu.burst import CpuBurst
+from repro.cpu.frequency import FrequencyModel
+from repro.cpu.perf import NullPerfModel, PerfModel
+from repro.cpu.smt import SmtModel
+from repro.sim.engine import Handle, Simulator
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import Machine
+
+#: Completion guard against zero-rate pathologies.
+_MIN_RATE = 1e-9
+
+
+class _Running:
+    """Bookkeeping for the burst currently executing on one CPU."""
+
+    __slots__ = ("burst", "rate", "segment_start", "remaining", "handle")
+
+    def __init__(self, burst: CpuBurst, rate: float, now: float,
+                 handle: Handle):
+        self.burst = burst
+        self.rate = rate
+        self.segment_start = now
+        self.remaining = burst.demand  # demand not yet executed
+        self.handle = handle
+
+
+class CpuScheduler:
+    """Dispatches :class:`CpuBurst` objects onto a machine's logical CPUs."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 online: CpuSet | None = None,
+                 smt_model: SmtModel | None = None,
+                 frequency_model: FrequencyModel | None = None,
+                 perf_model: PerfModel | None = None):
+        self.sim = sim
+        self.machine = machine
+        self.online = online if online is not None else machine.all_cpus()
+        if not self.online:
+            raise SchedulingError("online CPU set is empty")
+        if not self.online.issubset(machine.all_cpus()):
+            raise SchedulingError(
+                f"online set {self.online!r} exceeds machine CPUs")
+        self.smt_model = smt_model or SmtModel()
+        self.frequency_model = frequency_model or FrequencyModel(
+            machine.spec.base_freq_ghz, machine.spec.max_boost_ghz)
+        self.perf_model = perf_model or NullPerfModel()
+
+        n = machine.n_logical_cpus
+        self._running: list[_Running | None] = [None] * n
+        self._queues: list[collections.deque[CpuBurst]] = [
+            collections.deque() for __ in range(n)]
+        self._idle: set[int] = set(self.online)
+        self._nonempty_queues: set[int] = set()
+        self._busy_threads_per_core = [0] * len(machine.cores)
+        self.active_cores = 0
+        #: Boost denominator: ALL physical cores — offlined cores sit idle
+        #: and their power/thermal headroom feeds the active ones, exactly
+        #: why few-core configurations clock higher on real parts.
+        self.total_cores = len(machine.cores)
+        self._busy_time = [0.0] * n
+        self.bursts_dispatched = 0
+        self.bursts_stolen = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, burst: CpuBurst) -> None:
+        """Make a burst runnable; its ``done`` event fires on completion."""
+        allowed = burst.group.affinity & self.online
+        if not allowed:
+            raise SchedulingError(
+                f"burst of {burst.group.name!r} has no online CPU in its "
+                f"affinity {burst.group.affinity!r}")
+        burst.submitted_at = self.sim.now
+        cpu_index = self._pick_idle_cpu(burst, allowed)
+        if cpu_index is not None:
+            self._start(cpu_index, burst)
+            return
+        target = min(allowed, key=lambda i: (len(self._queues[i]), i))
+        self._queues[target].append(burst)
+        self._nonempty_queues.add(target)
+
+    def busy_time(self, cpu_index: int) -> float:
+        """Accumulated busy wall-clock time of one logical CPU."""
+        total = self._busy_time[cpu_index]
+        running = self._running[cpu_index]
+        if running is not None:
+            total += self.sim.now - running.segment_start
+        return total
+
+    def total_busy_time(self) -> float:
+        """Busy time summed over all logical CPUs."""
+        return sum(self.busy_time(i) for i in self.online)
+
+    def queue_depth(self) -> int:
+        """Bursts currently waiting in run queues."""
+        return sum(len(q) for q in self._queues)
+
+    def is_idle(self, cpu_index: int) -> bool:
+        """True when the logical CPU is online and not executing."""
+        return cpu_index in self._idle
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def _pick_idle_cpu(self, burst: CpuBurst, allowed: CpuSet) -> int | None:
+        candidates = [i for i in allowed if i in self._idle]
+        if not candidates:
+            return None
+        last_ccx = burst.group.last_ccx
+        machine = self.machine
+
+        def score(cpu_index: int) -> tuple[int, int, int]:
+            cpu = machine.cpu(cpu_index)
+            sibling = machine.sibling(cpu_index)
+            whole_core_idle = (sibling is None
+                               or self._running[sibling.index] is None)
+            in_last_ccx = last_ccx is not None and cpu.ccx.index == last_ccx
+            # Lower is better: prefer whole idle cores, then cache locality,
+            # then low ids (deterministic).
+            return (0 if whole_core_idle else 1,
+                    0 if in_last_ccx else 1,
+                    cpu_index)
+
+        return min(candidates, key=score)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _rate(self, burst: CpuBurst, cpu_index: int) -> float:
+        cpu = self.machine.cpu(cpu_index)
+        sibling = self.machine.sibling(cpu_index)
+        sibling_busy = (sibling is not None
+                        and self._running[sibling.index] is not None)
+        rate = (self.frequency_model.factor(self.active_cores,
+                                            self.total_cores)
+                * self.smt_model.factor(sibling_busy)
+                / max(1.0, self.perf_model.cpi_inflation(burst, cpu)))
+        return max(rate, _MIN_RATE)
+
+    def _start(self, cpu_index: int, burst: CpuBurst) -> None:
+        now = self.sim.now
+        burst.started_at = now
+        burst.cpu_index = cpu_index
+        self._idle.discard(cpu_index)
+        core = self.machine.cpu(cpu_index).core.index
+        self._busy_threads_per_core[core] += 1
+        if self._busy_threads_per_core[core] == 1:
+            self.active_cores += 1
+        self.perf_model.on_burst_start(burst, self.machine.cpu(cpu_index))
+        rate = self._rate(burst, cpu_index)
+        delay = burst.demand / rate
+        handle = self.sim.call_in(delay, lambda: self._complete(cpu_index))
+        self._running[cpu_index] = _Running(burst, rate, now, handle)
+        self.bursts_dispatched += 1
+        self._re_rate_sibling(cpu_index)
+
+    def _complete(self, cpu_index: int) -> None:
+        running = self._running[cpu_index]
+        assert running is not None, "completion fired on idle CPU"
+        now = self.sim.now
+        burst = running.burst
+        self._busy_time[cpu_index] += now - running.segment_start
+        self._running[cpu_index] = None
+        core_obj = self.machine.cpu(cpu_index).core
+        self._busy_threads_per_core[core_obj.index] -= 1
+        if self._busy_threads_per_core[core_obj.index] == 0:
+            self.active_cores -= 1
+
+        burst.finished_at = now
+        burst.wall_time = now - t.cast(float, burst.started_at)
+        group = burst.group
+        group.cpu_time += burst.wall_time
+        group.last_ccx = core_obj.ccx.index
+        group.bursts_completed += 1
+        self.perf_model.on_burst_complete(
+            burst, self.machine.cpu(cpu_index), burst.wall_time)
+
+        self._re_rate_sibling(cpu_index)
+        self._dispatch_next(cpu_index)
+        burst.done.succeed(burst)
+
+    def _dispatch_next(self, cpu_index: int) -> None:
+        queue = self._queues[cpu_index]
+        if queue:
+            next_burst = queue.popleft()
+            if not queue:
+                self._nonempty_queues.discard(cpu_index)
+            self._start(cpu_index, next_burst)
+            return
+        stolen = self._steal_for(cpu_index)
+        if stolen is not None:
+            self.bursts_stolen += 1
+            self._start(cpu_index, stolen)
+            return
+        self._idle.add(cpu_index)
+
+    def _steal_for(self, cpu_index: int) -> CpuBurst | None:
+        """Pull the oldest eligible burst from the most loaded queue."""
+        if not self._nonempty_queues:
+            return None
+        for victim in sorted(self._nonempty_queues,
+                             key=lambda v: (-len(self._queues[v]), v)):
+            queue = self._queues[victim]
+            for position, burst in enumerate(queue):
+                if cpu_index in burst.group.affinity:
+                    del queue[position]
+                    if not queue:
+                        self._nonempty_queues.discard(victim)
+                    return burst
+        return None
+
+    def _re_rate_sibling(self, cpu_index: int) -> None:
+        sibling = self.machine.sibling(cpu_index)
+        if sibling is None:
+            return
+        running = self._running[sibling.index]
+        if running is None:
+            return
+        now = self.sim.now
+        executed = (now - running.segment_start) * running.rate
+        running.remaining = max(0.0, running.remaining - executed)
+        self._busy_time[sibling.index] += now - running.segment_start
+        running.segment_start = now
+        running.handle.cancel()
+        running.rate = self._rate(running.burst, sibling.index)
+        delay = running.remaining / running.rate
+        running.handle = self.sim.call_in(
+            delay, lambda: self._complete(sibling.index))
+
+    def __repr__(self) -> str:
+        busy = sum(1 for r in self._running if r is not None)
+        return (f"<CpuScheduler {busy} running, {self.queue_depth()} queued, "
+                f"{len(self._idle)} idle>")

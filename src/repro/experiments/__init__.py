@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper experiment.
+
+Each module exposes ``run(settings) -> ExperimentResult`` producing the
+rows/series the paper's corresponding table or figure reports.  The
+benchmark suite (``benchmarks/``) and the CLI (``python -m repro``) are
+thin wrappers over these functions; EXPERIMENTS.md records representative
+output next to the paper's claims.
+
+| Id  | Module | Reconstructed figure/table |
+|-----|--------|-----------------------------|
+| E1  | :mod:`~repro.experiments.e1_platform` | platform configuration table |
+| E2  | :mod:`~repro.experiments.e2_load_scaling` | throughput/latency vs concurrent users |
+| E3  | :mod:`~repro.experiments.e3_core_scaling` | throughput vs logical CPUs enabled |
+| E4  | :mod:`~repro.experiments.e4_smt` | SMT on/off sensitivity |
+| E5  | :mod:`~repro.experiments.e5_utilization` | per-service CPU breakdown |
+| E6  | :mod:`~repro.experiments.e6_service_scaling` | per-service scaling curves + USL fits |
+| E7  | :mod:`~repro.experiments.e7_placement` | placement-policy comparison |
+| E8  | :mod:`~repro.experiments.e8_headline` | optimized vs tuned baseline (+22%/−18% claim) |
+| E9  | :mod:`~repro.experiments.e9_characterization` | microarchitectural contrast vs SPEC-class |
+| E10 | :mod:`~repro.experiments.e10_numa` | NUMA locality effects |
+| E11 | :mod:`~repro.experiments.e11_latency_breakdown` | traced latency decomposition (extension) |
+| E12 | :mod:`~repro.experiments.e12_colocation` | batch-neighbor co-location (extension) |
+| A1..A4 | :mod:`~repro.experiments.ablations` | design-choice ablations |
+"""
+
+from repro.experiments.common import ExperimentResult, ExperimentSettings
+
+__all__ = ["ExperimentResult", "ExperimentSettings"]

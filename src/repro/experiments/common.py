@@ -1,0 +1,196 @@
+"""Shared experiment plumbing: settings, system assembly, tables."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.memory.config import MemoryConfig
+from repro.placement.allocation import Allocation
+from repro.services.deployment import Deployment
+from repro.teastore.config import TeaStoreConfig
+from repro.teastore.store import TeaStore, build_teastore
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import Machine
+from repro.topology.presets import machine_from_preset
+from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.runner import RunResult, run_experiment
+
+#: One output row of an experiment table.
+Row = dict[str, object]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiments.
+
+    ``full()`` reproduces the paper's platform scale; ``fast()`` shrinks
+    everything so integration tests finish in seconds.
+    """
+
+    preset: str = "rome-1s"
+    seed: int = 1
+    users: int = 2000
+    think_time: float = 0.125
+    warmup: float = 1.5
+    duration: float = 3.0
+    memory_config: MemoryConfig = dataclasses.field(
+        default_factory=MemoryConfig)
+
+    @classmethod
+    def full(cls, **overrides) -> "ExperimentSettings":
+        """Paper-scale settings (the defaults)."""
+        return cls(**overrides)
+
+    @classmethod
+    def fast(cls, **overrides) -> "ExperimentSettings":
+        """Small-machine settings for quick runs and tests."""
+        values: dict[str, t.Any] = dict(
+            preset="medium", users=400, warmup=0.8, duration=1.5)
+        values.update(overrides)
+        return cls(**values)
+
+    def machine(self) -> Machine:
+        """The machine this experiment runs on."""
+        return machine_from_preset(self.preset)
+
+    def store_config(self, **overrides) -> TeaStoreConfig:
+        """A TeaStore configuration sized for this machine."""
+        if self.preset in ("medium", "small", "tiny"):
+            values: dict[str, t.Any] = dict(
+                replicas={"webui": 2, "auth": 1, "persistence": 2,
+                          "image": 1, "recommender": 1, "db": 1},
+                workers={"webui": 96, "auth": 16, "persistence": 32,
+                         "image": 32, "recommender": 16, "db": 32},
+            )
+        else:
+            values = {}
+        values.update(overrides)
+        return TeaStoreConfig(**values)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rows plus free-form notes, renderable as an aligned text table."""
+
+    experiment: str
+    title: str
+    rows: list[Row]
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def table(self) -> str:
+        """The rows as an aligned text table."""
+        return format_table(self.rows)
+
+    def render(self) -> str:
+        """Header, table, and notes — what the CLI prints."""
+        parts = [f"[{self.experiment}] {self.title}", self.table()]
+        parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[t.Any]:
+        """One column across all rows."""
+        return [row[name] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table with notes, for reports."""
+        if not self.rows:
+            return f"### {self.experiment} — {self.title}\n\n(no rows)\n"
+        columns = list(self.rows[0].keys())
+
+        def cell(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        lines = [f"### {self.experiment} — {self.title}", ""]
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join("---" for __ in columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(cell(row.get(column, ""))
+                                           for column in columns) + " |")
+        if self.notes:
+            lines.append("")
+            lines.extend(f"* {note}" for note in self.notes)
+        return "\n".join(lines) + "\n"
+
+
+def format_table(rows: t.Sequence[Row]) -> str:
+    """Render dict rows as an aligned text table (3-decimal floats)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(r[i]) for r in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(width)
+                       for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.rjust(width)
+                  for value, width in zip(row, widths))
+        for row in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def run_store(settings: ExperimentSettings,
+              machine: Machine | None = None,
+              online: CpuSet | None = None,
+              allocation: Allocation | None = None,
+              store_config: TeaStoreConfig | None = None,
+              counter_sink: t.Any | None = None,
+              users: int | None = None,
+              seed: int | None = None,
+              smt_model: t.Any | None = None,
+              frequency_model: t.Any | None = None,
+              ) -> tuple[RunResult, Deployment, TeaStore]:
+    """Deploy TeaStore per ``allocation`` and measure one browse-load run."""
+    machine = machine or settings.machine()
+    deployment = Deployment(
+        machine,
+        online=online,
+        seed=seed if seed is not None else settings.seed,
+        memory_config=settings.memory_config,
+        counter_sink=counter_sink,
+        smt_model=smt_model,
+        frequency_model=frequency_model)
+    config = store_config or settings.store_config()
+    placement = allocation.as_placement() if allocation is not None else None
+    store = build_teastore(deployment, config, placement=placement)
+    workload = ClosedLoopWorkload(
+        deployment, store.browse_session_factory(),
+        n_users=users if users is not None else settings.users,
+        think_time=settings.think_time)
+    result = run_experiment(deployment, workload,
+                            warmup=settings.warmup,
+                            duration=settings.duration)
+    return result, deployment, store
+
+
+def default_counts(settings: ExperimentSettings,
+                   store_config: TeaStoreConfig | None = None
+                   ) -> dict[str, int]:
+    """The tuned-baseline replica counts for this settings profile."""
+    config = store_config or settings.store_config()
+    from repro.teastore.catalog import SERVICE_NAMES
+    return {name: config.replica_count(name) for name in SERVICE_NAMES}
+
+
+def percent(value: float) -> float:
+    """Fractions → percents, for table readability."""
+    return value * 100.0
+
+
+def require_positive(name: str, value: float) -> None:
+    """Guard for experiment parameters."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive: {value}")

@@ -1,0 +1,68 @@
+"""E10 — NUMA locality effects.
+
+On a two-socket machine, compares: everything packed on socket 0 with
+local memory; the same compute with memory homed on the *remote* socket
+(the worst case unpinned deployments drift into); and node-spread with
+local memory on both sockets.  Remote memory costs double-digit
+throughput for the memory-hungry services — the reason placement must be
+NUMA-aware before it is CCX-aware.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    default_counts,
+    run_store,
+)
+from repro.placement.allocation import Allocation, ReplicaPlacement
+from repro.placement.policies import node_spread, socket_pack
+
+TITLE = "NUMA locality: local vs remote memory placement"
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """Three rows: socket0+local, socket0+remote memory, node-spread."""
+    settings = settings or ExperimentSettings(preset="rome-2s")
+    machine = settings.machine()
+    if len(machine.nodes) < 2:
+        raise ValueError("E10 requires a machine with >= 2 NUMA nodes "
+                         f"(got preset {settings.preset!r})")
+    counts = default_counts(settings)
+    remote_node = machine.nodes[-1].index
+
+    local = socket_pack(machine, counts, socket=0)
+    remote = Allocation(machine, {
+        service: [ReplicaPlacement(replica.affinity, home_node=remote_node)
+                  for replica in local.replicas(service)]
+        for service in local.services
+    })
+    spread = node_spread(machine, counts)
+
+    rows: list[Row] = []
+    results = {}
+    # Load only what one socket can serve, identically in all configs, so
+    # the comparison isolates memory locality.
+    users = settings.users // 2
+    for name, allocation in (("socket0 + local memory", local),
+                             ("socket0 + remote memory", remote),
+                             ("node-spread + local", spread)):
+        result, __, __ = run_store(settings, machine=machine,
+                                   allocation=allocation, users=users)
+        results[name] = result
+        rows.append({
+            "config": name,
+            "throughput_rps": result.throughput,
+            "latency_mean_ms": result.latency_mean * 1e3,
+            "latency_p99_ms": result.latency_p99 * 1e3,
+        })
+    penalty = (1.0 - results["socket0 + remote memory"].throughput
+               / results["socket0 + local memory"].throughput)
+    return ExperimentResult(
+        "E10", TITLE, rows,
+        notes=[f"remote memory costs {100 * penalty:.1f}% throughput on "
+               f"identical compute"])

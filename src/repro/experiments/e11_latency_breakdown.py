@@ -1,0 +1,75 @@
+"""E11 — End-to-end latency decomposition (tracing extension).
+
+Traces every request under saturating load and decomposes user-visible
+page latency into per-service *exclusive* contributions (time each hop
+added after subtracting waits on its own downstream calls).  This extends
+the paper's CPU-time breakdown (E5) to latency: the two differ exactly
+where queueing, not CPU consumption, dominates — under the write-heavy
+buy profile the database's serialized section contributes more latency
+than its CPU share suggests.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+)
+from repro.services.deployment import Deployment
+from repro.teastore.store import build_teastore
+from repro.tracing.collector import TraceCollector
+from repro.workload.closed import ClosedLoopWorkload
+
+TITLE = "Per-service latency decomposition (traced, buy profile)"
+
+#: Endpoints decomposed by default.
+DEFAULT_ENDPOINTS = ("product", "category", "checkout")
+
+
+def run(settings: ExperimentSettings | None = None,
+        endpoints: t.Sequence[str] = DEFAULT_ENDPOINTS) -> ExperimentResult:
+    """One row per (endpoint, service) with exclusive-latency shares."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    deployment = Deployment(machine, seed=settings.seed,
+                            memory_config=settings.memory_config)
+    store = build_teastore(deployment, settings.store_config())
+    # The buy profile exercises the checkout path the browse profile
+    # lacks.  Moderate load (quarter of the saturating population): the
+    # decomposition should expose the *structure* of page latency, not
+    # the depth of saturation queues.
+    workload = ClosedLoopWorkload(
+        deployment, store.buy_session_factory(),
+        n_users=max(64, settings.users // 4),
+        think_time=settings.think_time)
+    workload.start()
+    deployment.run(until=deployment.sim.now + settings.warmup)
+    tracer = TraceCollector()
+    deployment.tracer = tracer  # trace the measurement window only
+    deployment.run(until=deployment.sim.now + settings.duration)
+
+    rows: list[Row] = []
+    for endpoint in endpoints:
+        breakdown = tracer.breakdown(endpoint)
+        total = sum(breakdown.values())
+        for service, value in sorted(breakdown.items(),
+                                     key=lambda kv: -kv[1]):
+            rows.append({
+                "endpoint": endpoint,
+                "service": service,
+                "exclusive_ms": value * 1e3,
+                "share_pct": 100.0 * value / total if total > 0 else 0.0,
+            })
+    mean_latency = tracer.mean_root_latency()
+    return ExperimentResult(
+        "E11", TITLE, rows,
+        notes=[
+            f"{len(tracer)} spans over {len(tracer.roots)} user requests "
+            f"(buy profile), mean page latency "
+            f"{mean_latency * 1e3:.1f} ms",
+            "exclusive time = hop latency minus waits on its own "
+            "downstream calls",
+        ])

@@ -1,0 +1,115 @@
+"""E12 — Co-location with a batch "noisy neighbor" (extension).
+
+The paper's last observation — microservices look nothing like the
+workloads CPUs are designed against — has an operational corollary: the
+two classes get co-located in practice.  This experiment runs TeaStore
+next to a continuously running memory-streaming batch kernel, three ways:
+
+* **store alone** — no neighbor (reference);
+* **shared, both unpinned** — the neighbor competes everywhere: it steals
+  cycles and drags its streaming working set across every L3 slice;
+* **partitioned** — the store owns 12 of 16 CCXs (CCX-aware placement),
+  the neighbor is confined to the remaining 4.
+
+Topology partitioning contains the interference at a small, *predictable*
+capacity cost — the same discipline that produced the headline gain.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    default_counts,
+)
+from repro.placement.policies import ccx_aware, unpinned
+from repro.services.deployment import Deployment
+from repro.spec.kernels import batch_kernel_profiles
+from repro.teastore.store import build_teastore
+from repro.topology.cpuset import CpuSet
+from repro.workload.batch import BatchKernelWorkload
+from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.runner import run_experiment
+
+TITLE = "Co-location with a streaming batch neighbor"
+
+#: Demand weights for partitioning the store's CCX share (from E5).
+STORE_WEIGHTS = {"webui": 0.37, "auth": 0.08, "persistence": 0.14,
+                 "image": 0.15, "recommender": 0.07, "db": 0.19}
+
+
+def run(settings: ExperimentSettings | None = None,
+        neighbor_concurrency: int | None = None) -> ExperimentResult:
+    """Three rows: alone, shared-unpinned, partitioned."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    n_ccxs = len(machine.ccxs)
+    if n_ccxs < 8:
+        raise ConfigurationError(
+            f"E12 needs >= 8 CCXs to partition (got {n_ccxs})")
+    if neighbor_concurrency is None:
+        # Enough batch threads to keep its partition (or more) busy.
+        neighbor_concurrency = machine.n_logical_cpus // 4
+    neighbor_share = n_ccxs // 4
+    store_ccxs = CpuSet()
+    for ccx in range(n_ccxs - neighbor_share):
+        store_ccxs = store_ccxs | machine.cpus_in_ccx(ccx)
+    neighbor_ccxs = machine.all_cpus() - store_ccxs
+
+    counts = default_counts(settings)
+    configurations: list[tuple[str, t.Any, CpuSet | None]] = [
+        ("store alone", unpinned(machine, counts), None),
+        ("shared, both unpinned", unpinned(machine, counts),
+         machine.all_cpus()),
+        ("partitioned (CCX-aware)",
+         ccx_aware(machine, counts, STORE_WEIGHTS, online=store_ccxs),
+         neighbor_ccxs),
+    ]
+
+    rows: list[Row] = []
+    reference: float | None = None
+    for name, allocation, neighbor_affinity in configurations:
+        deployment = Deployment(machine, seed=settings.seed,
+                                memory_config=settings.memory_config)
+        store = build_teastore(deployment, settings.store_config(),
+                               placement=allocation.as_placement())
+        neighbor = None
+        if neighbor_affinity is not None:
+            neighbor = BatchKernelWorkload(
+                deployment, batch_kernel_profiles()["stream-like"],
+                affinity=neighbor_affinity,
+                concurrency=neighbor_concurrency)
+            neighbor.start()
+        workload = ClosedLoopWorkload(
+            deployment, store.browse_session_factory(),
+            n_users=settings.users, think_time=settings.think_time)
+        workload.start()
+        deployment.run(until=deployment.sim.now + settings.warmup)
+        if neighbor is not None:
+            neighbor.start_window()
+        result = run_experiment(deployment, workload,
+                                warmup=0.0, duration=settings.duration)
+        if reference is None:
+            reference = result.throughput
+        rows.append({
+            "config": name,
+            "store_rps": result.throughput,
+            "store_p99_ms": result.latency_p99 * 1e3,
+            "store_vs_alone": result.throughput / reference,
+            "neighbor_bursts_per_s": (neighbor.bursts_per_second()
+                                      if neighbor is not None else 0.0),
+        })
+    shared = t.cast(float, rows[1]["store_vs_alone"])
+    partitioned = t.cast(float, rows[2]["store_vs_alone"])
+    return ExperimentResult(
+        "E12", TITLE, rows,
+        notes=[
+            f"unconstrained neighbor costs the store "
+            f"{100 * (1 - shared):.1f}%; partitioning holds the loss to "
+            f"{100 * (1 - partitioned):.1f}% while the neighbor keeps "
+            f"running",
+        ])

@@ -1,0 +1,37 @@
+"""E1 — Platform configuration table (the paper's testbed description).
+
+The paper's platform: a state-of-the-art x86 server with 128 logical CPUs
+per socket.  This experiment prints the modelled machine's full topology
+so every other experiment's geometry is auditable.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, ExperimentSettings, Row
+
+TITLE = "Platform configuration"
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """One row per topology level of the configured machine."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    spec = machine.spec
+    rows: list[Row] = [
+        {"attribute": "machine", "value": spec.name},
+        {"attribute": "sockets", "value": spec.sockets},
+        {"attribute": "numa_nodes", "value": len(machine.nodes)},
+        {"attribute": "ccds", "value": len(machine.ccds)},
+        {"attribute": "ccxs_l3_domains", "value": len(machine.ccxs)},
+        {"attribute": "physical_cores", "value": len(machine.cores)},
+        {"attribute": "logical_cpus", "value": machine.n_logical_cpus},
+        {"attribute": "logical_cpus_per_socket",
+         "value": spec.logical_cpus_per_socket},
+        {"attribute": "smt_ways", "value": spec.threads_per_core},
+        {"attribute": "base_ghz", "value": spec.base_freq_ghz},
+        {"attribute": "boost_ghz", "value": spec.max_boost_ghz},
+    ]
+    rows.extend({"attribute": f"cache_{c.name.lower()}", "value": str(c)}
+                for c in machine.cache_specs())
+    return ExperimentResult("E1", TITLE, rows,
+                            notes=[machine.describe().splitlines()[0]])

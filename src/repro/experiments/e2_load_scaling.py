@@ -1,0 +1,53 @@
+"""E2 — Throughput and latency versus offered load.
+
+Sweeps the closed-loop user population on the tuned-baseline deployment:
+throughput climbs until the server saturates, after which added users only
+add latency — the load-curve every server characterization opens with.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    run_store,
+)
+
+TITLE = "Throughput & latency vs concurrent users (tuned baseline)"
+
+#: Default sweep for the paper-scale machine.
+DEFAULT_USER_COUNTS = (125, 250, 500, 1000, 2000, 3000)
+
+
+def run(settings: ExperimentSettings | None = None,
+        user_counts: t.Sequence[int] | None = None) -> ExperimentResult:
+    """One row per user-population point."""
+    settings = settings or ExperimentSettings()
+    if user_counts is None:
+        user_counts = (DEFAULT_USER_COUNTS
+                       if settings.preset.startswith("rome")
+                       else (25, 50, 100, 200, 400))
+    machine = settings.machine()
+    rows: list[Row] = []
+    peak = 0.0
+    for users in user_counts:
+        result, __, __ = run_store(settings, machine=machine, users=users)
+        peak = max(peak, result.throughput)
+        rows.append({
+            "users": users,
+            "throughput_rps": result.throughput,
+            "latency_mean_ms": result.latency_mean * 1e3,
+            "latency_p95_ms": result.latency_p95 * 1e3,
+            "latency_p99_ms": result.latency_p99 * 1e3,
+            "machine_util": result.machine_utilization,
+        })
+    saturation = next((row["users"] for row in rows
+                       if t.cast(float, row["throughput_rps"]) > 0.95 * peak),
+                      rows[-1]["users"])
+    return ExperimentResult(
+        "E2", TITLE, rows,
+        notes=[f"throughput saturates near {saturation} users "
+               f"at ~{peak:.0f} req/s"])

@@ -1,0 +1,72 @@
+"""E3 — Scale-up: throughput versus logical CPUs enabled.
+
+Grows the online CPU set the way `chcpu`/`maxcpus=` would on the real
+machine: distinct physical cores first (Linux enumerates first threads
+0..63), then their SMT siblings.  The application's scale-up efficiency
+falls with size — the headroom the paper's techniques then recover.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.analysis.usl import fit_usl
+from repro._errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    run_store,
+)
+from repro.topology.cpuset import CpuSet
+
+TITLE = "Throughput vs logical CPUs enabled (tuned baseline)"
+
+#: Default sweep on the 128-lcpu machine.
+DEFAULT_CPU_COUNTS = (16, 32, 64, 96, 128)
+
+
+def run(settings: ExperimentSettings | None = None,
+        cpu_counts: t.Sequence[int] | None = None) -> ExperimentResult:
+    """One row per online-CPU count, plus a USL fit over the sweep."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    if cpu_counts is None:
+        if machine.n_logical_cpus >= 128:
+            cpu_counts = DEFAULT_CPU_COUNTS
+        else:
+            quarter = machine.n_logical_cpus // 4
+            cpu_counts = tuple(quarter * i for i in range(1, 5))
+    for count in cpu_counts:
+        if not 1 <= count <= machine.n_logical_cpus:
+            raise ConfigurationError(
+                f"cpu count {count} outside 1..{machine.n_logical_cpus}")
+
+    rows: list[Row] = []
+    for count in cpu_counts:
+        online = CpuSet.range(0, count)
+        # Scale offered load with machine size so every point saturates.
+        users = max(64, int(settings.users * count
+                            / machine.n_logical_cpus))
+        result, __, __ = run_store(settings, machine=machine,
+                                   online=online, users=users)
+        rows.append({
+            "logical_cpus": count,
+            "users": users,
+            "throughput_rps": result.throughput,
+            "latency_p99_ms": result.latency_p99 * 1e3,
+            "machine_util": result.machine_utilization,
+        })
+    base = rows[0]
+    for row in rows:
+        row["speedup"] = (t.cast(float, row["throughput_rps"])
+                          / t.cast(float, base["throughput_rps"]))
+        row["efficiency"] = (t.cast(float, row["speedup"])
+                             / (t.cast(int, row["logical_cpus"])
+                                / t.cast(int, base["logical_cpus"])))
+    notes = []
+    if len(rows) >= 3:
+        fit = fit_usl([t.cast(int, r["logical_cpus"]) for r in rows],
+                      [t.cast(float, r["throughput_rps"]) for r in rows])
+        notes.append(f"USL fit: {fit}")
+    return ExperimentResult("E3", TITLE, rows, notes=notes)

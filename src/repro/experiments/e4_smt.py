@@ -1,0 +1,58 @@
+"""E4 — SMT sensitivity.
+
+Compares the same 64 physical cores with SMT disabled (64 logical CPUs)
+against SMT enabled (128), and sweeps the modelled SMT yield.  Server-side
+Java workloads gain substantially from SMT — one reason the paper's
+128-thread socket is a good host for microservices.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.cpu.smt import SmtModel
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    run_store,
+)
+
+TITLE = "SMT on/off and SMT-yield sensitivity"
+
+
+def run(settings: ExperimentSettings | None = None,
+        smt_yields: t.Sequence[float] = (1.3,)) -> ExperimentResult:
+    """Rows: SMT-off, then SMT-on per modelled yield."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    first_threads = machine.first_threads()
+
+    rows: list[Row] = []
+    off_result, __, __ = run_store(settings, machine=machine,
+                                   online=first_threads)
+    rows.append({
+        "config": f"SMT off ({len(first_threads)} lcpus)",
+        "throughput_rps": off_result.throughput,
+        "latency_p99_ms": off_result.latency_p99 * 1e3,
+        "machine_util": off_result.machine_utilization,
+        "uplift_vs_smt_off": 1.0,
+    })
+    for smt_yield in smt_yields:
+        on_result, __, __ = run_store(
+            settings, machine=machine,
+            smt_model=SmtModel(smt_yield))
+        rows.append({
+            "config": f"SMT on, yield {smt_yield:.2f} "
+                      f"({machine.n_logical_cpus} lcpus)",
+            "throughput_rps": on_result.throughput,
+            "latency_p99_ms": on_result.latency_p99 * 1e3,
+            "machine_util": on_result.machine_utilization,
+            "uplift_vs_smt_off": (on_result.throughput
+                                  / off_result.throughput),
+        })
+    best = max(t.cast(float, row["uplift_vs_smt_off"]) for row in rows)
+    return ExperimentResult(
+        "E4", TITLE, rows,
+        notes=[f"SMT provides up to {100 * (best - 1):.1f}% more "
+               f"throughput from the same cores"])

@@ -1,0 +1,44 @@
+"""E5 — Per-service CPU utilization breakdown.
+
+Profiles the tuned baseline under saturating browse load and reports how
+CPU time divides across services — the paper's motivation for per-service
+treatment: WebUI dominates, the database and ImageProvider matter, Auth
+and Recommender are light.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    percent,
+    run_store,
+)
+
+TITLE = "Per-service CPU utilization breakdown (tuned baseline)"
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """One row per service, ordered by CPU share."""
+    settings = settings or ExperimentSettings()
+    result, __, __ = run_store(settings)
+    rows: list[Row] = []
+    for service, share in sorted(result.service_share.items(),
+                                 key=lambda kv: kv[1], reverse=True):
+        rows.append({
+            "service": service,
+            "cpu_share_pct": percent(share),
+            "cpu_seconds_per_s": result.service_utilization[service],
+        })
+    heaviest = rows[0]["service"]
+    lightest = rows[-1]["service"]
+    return ExperimentResult(
+        "E5", TITLE, rows,
+        notes=[
+            f"system throughput {result.throughput:.0f} req/s at "
+            f"{percent(result.machine_utilization):.0f}% machine "
+            f"utilization",
+            f"{heaviest} is the heaviest consumer; {lightest} the "
+            f"lightest — services must be sized individually",
+        ])

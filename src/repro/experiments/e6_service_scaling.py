@@ -1,0 +1,139 @@
+"""E6 — Per-service scale-up curves.
+
+For each service, sweeps the CPU allocation given to *that service alone*
+— k CCXs, one replica per CCX — while every other service keeps a generous
+fixed share of the remaining CCXs, under load that saturates the target's
+smallest allocation.  System throughput then traces the target service's
+own scale-up curve:
+
+* WebUI keeps converting CCXs into throughput;
+* Persistence stops paying off once the database's serialized fraction is
+  the real constraint behind it;
+* Auth and Recommender saturate the offered load with very little CPU.
+
+The differences are the paper's case for sizing services individually.
+Each curve gets a Universal Scalability Law fit.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.analysis.usl import fit_usl
+from repro._errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    default_counts,
+    run_store,
+)
+from repro.placement.allocation import Allocation, ReplicaPlacement
+from repro.placement.policies import ccx_aware
+from repro.placement.scaling import ScalingCurve
+from repro.teastore.catalog import SERVICE_NAMES
+from repro.topology.model import Machine
+
+TITLE = "Per-service scale-up curves (CCX sweeps + USL fits)"
+
+#: Per-service CPU demand weights measured by E5 on the tuned baseline;
+#: used to budget the non-target services generously.
+DEMAND_WEIGHTS: dict[str, float] = {
+    "webui": 0.37, "auth": 0.08, "persistence": 0.14,
+    "image": 0.15, "recommender": 0.07, "db": 0.19,
+}
+
+#: Services swept by default, with their CCX ladders.
+DEFAULT_SWEEPS: dict[str, tuple[int, ...]] = {
+    "webui": (1, 2, 4, 8),
+    "persistence": (1, 2, 4),
+    "image": (1, 2, 4),
+    "auth": (1, 2, 4),
+}
+
+
+def run(settings: ExperimentSettings | None = None,
+        sweeps: t.Mapping[str, t.Sequence[int]] | None = None
+        ) -> ExperimentResult:
+    """One row per (service, CCX-count) point, USL fits in the notes."""
+    settings = settings or ExperimentSettings()
+    sweeps = sweeps or DEFAULT_SWEEPS
+    machine = settings.machine()
+    counts = default_counts(settings)
+    # The non-target services keep one fixed CCX budget for the whole
+    # experiment: as much as possible while still fitting the largest
+    # sweep point, and never fewer than one CCX per service.
+    total_ccxs = len(machine.ccxs)
+    max_point = max(max(ladder) for ladder in sweeps.values())
+    others_budget = max(len(SERVICE_NAMES) - 1, total_ccxs - max_point)
+    if others_budget + max_point > total_ccxs:
+        raise ConfigurationError(
+            f"sweep up to {max_point} CCXs does not fit next to "
+            f"{others_budget} CCXs for the other services "
+            f"({total_ccxs} total)")
+    rows: list[Row] = []
+    notes: list[str] = []
+    for service, ladder in sweeps.items():
+        if service not in SERVICE_NAMES:
+            raise ConfigurationError(f"unknown service {service!r}")
+        throughputs: list[float] = []
+        for n_ccxs in ladder:
+            allocation = _target_allocation(machine, service, n_ccxs,
+                                            counts, others_budget)
+            result, __, __ = run_store(settings, machine=machine,
+                                       allocation=allocation)
+            throughputs.append(result.throughput)
+            rows.append({
+                "service": service,
+                "ccxs": n_ccxs,
+                "throughput_rps": result.throughput,
+                "latency_p99_ms": result.latency_p99 * 1e3,
+            })
+        curve = ScalingCurve(service, tuple(ladder), tuple(throughputs))
+        notes.append(f"{service}: gains stop at "
+                     f"{curve.saturation_point()} CCXs "
+                     f"(x{curve.speedups()[-1]:.2f} total)")
+        if len(ladder) >= 3:
+            fit = fit_usl(list(ladder), throughputs)
+            notes.append(f"{service}: {fit}")
+    return ExperimentResult("E6", TITLE, rows, notes=notes)
+
+
+def _target_allocation(machine: Machine, target: str, n_ccxs: int,
+                       counts: t.Mapping[str, int],
+                       others_budget: int) -> Allocation:
+    """Target on the first ``n_ccxs`` CCXs (one replica per CCX); every
+    other service keeps a *fixed* budget — the machine's top
+    ``others_budget`` CCXs — regardless of ``n_ccxs``, so the sweep
+    varies exactly one thing.  CCXs the target does not use stay idle."""
+    total_ccxs = len(machine.ccxs)
+    target_budget = total_ccxs - others_budget
+    if not 1 <= n_ccxs <= target_budget:
+        raise ConfigurationError(
+            f"{target!r} sweep point {n_ccxs} outside 1..{target_budget} "
+            f"(the other services own the top {others_budget} CCXs)")
+    target_replicas = [
+        ReplicaPlacement(machine.cpus_in_ccx(ccx),
+                         home_node=machine.ccxs[ccx].node.index)
+        for ccx in range(n_ccxs)
+    ]
+    others = sorted(set(counts) - {target})
+    rest_online = _cpus_of_ccxs(machine,
+                                range(total_ccxs - others_budget,
+                                      total_ccxs))
+    rest_counts = {service: counts[service] for service in others}
+    rest_weights = {service: DEMAND_WEIGHTS[service] for service in others}
+    rest = ccx_aware(machine, rest_counts, rest_weights,
+                     online=rest_online)
+    placements = {service: list(rest.replicas(service))
+                  for service in others}
+    placements[target] = target_replicas
+    return Allocation(machine, placements)
+
+
+def _cpus_of_ccxs(machine: Machine, ccx_indices: t.Iterable[int]):
+    from repro.topology.cpuset import CpuSet
+    mask = CpuSet()
+    for ccx_index in ccx_indices:
+        mask = mask | machine.cpus_in_ccx(ccx_index)
+    return mask

@@ -1,0 +1,64 @@
+"""E7 — Placement-policy comparison.
+
+Runs identical replica counts under every placement policy.  Pinning at
+NUMA-node granularity helps little on a single-node socket; confining each
+replica to its own L3 domain (CCX-aware) is where the paper's gains come
+from.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    default_counts,
+    run_store,
+)
+from repro.placement.policies import ccx_aware, node_spread, unpinned
+from repro.placement.scaling import weights_from_utilization
+
+TITLE = "Placement policies at fixed replica counts"
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """One row per policy; uplift is relative to the unpinned baseline."""
+    settings = settings or ExperimentSettings()
+    machine = settings.machine()
+    counts = default_counts(settings)
+
+    # Profile the unpinned baseline first: it is both the comparison
+    # point and the source of the CPU weights ccx_aware budgets with.
+    baseline_result, __, __ = run_store(
+        settings, machine=machine,
+        allocation=unpinned(machine, counts))
+    weights = weights_from_utilization(baseline_result.service_utilization)
+
+    policies: list[tuple[str, t.Any]] = [
+        ("node_spread", node_spread(machine, counts)),
+        ("ccx_aware", ccx_aware(machine, counts, weights)),
+    ]
+    rows: list[Row] = [_row("unpinned", baseline_result, baseline_result)]
+    for name, allocation in policies:
+        result, __, __ = run_store(settings, machine=machine,
+                                   allocation=allocation)
+        rows.append(_row(name, result, baseline_result))
+    best = max(rows, key=lambda r: t.cast(float, r["throughput_rps"]))
+    return ExperimentResult(
+        "E7", TITLE, rows,
+        notes=[f"best policy: {best['policy']} "
+               f"(+{t.cast(float, best['uplift_pct']):.1f}% vs unpinned)"])
+
+
+def _row(policy: str, result, baseline) -> Row:
+    return {
+        "policy": policy,
+        "throughput_rps": result.throughput,
+        "latency_mean_ms": result.latency_mean * 1e3,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+        "uplift_pct": 100.0 * (result.throughput
+                               / baseline.throughput - 1.0),
+    }

@@ -1,0 +1,123 @@
+"""Experiment → SVG figure mapping.
+
+The paper's evaluation is figures, not only tables; this module turns an
+:class:`~repro.experiments.common.ExperimentResult` into the matching
+chart via :mod:`repro.viz`.  ``repro run all --figures DIR`` writes one
+SVG per experiment that has a natural chart (E1's platform table and
+E11's two-key breakdown render better as tables and are skipped).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing as t
+
+from repro.experiments.common import ExperimentResult
+from repro.viz import bar_chart, grouped_bar_chart, line_chart
+
+
+def figure_for(result: ExperimentResult) -> str | None:
+    """The SVG for ``result``, or ``None`` if it has no natural chart."""
+    builder = _BUILDERS.get(result.experiment)
+    if builder is None:
+        return None
+    return builder(result)
+
+
+def write_figures(results: t.Sequence[ExperimentResult],
+                  directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write one SVG per chartable result; returns the paths written."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for result in results:
+        svg = figure_for(result)
+        if svg is None:
+            continue
+        path = directory / f"{result.experiment.lower()}.svg"
+        path.write_text(svg)
+        written.append(path)
+    return written
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def _e2(result: ExperimentResult) -> str:
+    return line_chart(
+        {"throughput": [(r["users"], r["throughput_rps"])
+                        for r in result.rows],
+         "p99 latency (ms)": [(r["users"], r["latency_p99_ms"])
+                              for r in result.rows]},
+        title=result.title, x_label="concurrent users",
+        y_label="req/s | ms")
+
+
+def _e3(result: ExperimentResult) -> str:
+    return line_chart(
+        {"throughput": [(r["logical_cpus"], r["throughput_rps"])
+                        for r in result.rows]},
+        title=result.title, x_label="logical CPUs online",
+        y_label="req/s")
+
+
+def _e4(result: ExperimentResult) -> str:
+    return bar_chart(
+        [str(r["config"]) for r in result.rows],
+        [t.cast(float, r["throughput_rps"]) for r in result.rows],
+        title=result.title, y_label="req/s")
+
+
+def _e5(result: ExperimentResult) -> str:
+    return bar_chart(
+        [str(r["service"]) for r in result.rows],
+        [t.cast(float, r["cpu_share_pct"]) for r in result.rows],
+        title=result.title, y_label="% of CPU time")
+
+
+def _e6(result: ExperimentResult) -> str:
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in result.rows:
+        series.setdefault(str(row["service"]), []).append(
+            (t.cast(int, row["ccxs"]),
+             t.cast(float, row["throughput_rps"])))
+    return line_chart(series, title=result.title,
+                      x_label="CCXs given to the service",
+                      y_label="system req/s")
+
+
+def _config_bars(result: ExperimentResult, value_key: str,
+                 label_key: str, y_label: str) -> str:
+    return bar_chart(
+        [str(r[label_key]) for r in result.rows],
+        [t.cast(float, r[value_key]) for r in result.rows],
+        title=result.title, y_label=y_label)
+
+
+def _e9(result: ExperimentResult) -> str:
+    return grouped_bar_chart(
+        [str(r["workload"]) for r in result.rows],
+        {"IPC": [t.cast(float, r["ipc"]) for r in result.rows],
+         "L1i MPKI / 20": [t.cast(float, r["l1i_mpki"]) / 20.0
+                           for r in result.rows]},
+        title=result.title, y_label="IPC | scaled MPKI")
+
+
+_BUILDERS: dict[str, t.Callable[[ExperimentResult], str]] = {
+    "E2": _e2,
+    "E3": _e3,
+    "E4": _e4,
+    "E5": _e5,
+    "E6": _e6,
+    "E7": lambda r: _config_bars(r, "throughput_rps", "policy", "req/s"),
+    "E8": lambda r: _config_bars(r, "throughput_rps", "config", "req/s"),
+    "E9": _e9,
+    "E10": lambda r: _config_bars(r, "throughput_rps", "config", "req/s"),
+    "E12": lambda r: _config_bars(r, "store_rps", "config", "store req/s"),
+    "A2": lambda r: _config_bars(r, "boost_gain_pct", "logical_cpus",
+                                 "boost gain %"),
+    "A3": lambda r: _config_bars(r, "throughput_rps", "smt_yield", "req/s"),
+    "A4": lambda r: _config_bars(r, "throughput_rps",
+                                 "bandwidth_capacity", "req/s"),
+}

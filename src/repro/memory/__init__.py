@@ -1,0 +1,28 @@
+"""Memory-system performance model.
+
+Implements the :class:`~repro.cpu.perf.PerfModel` contract: given where a
+burst runs, compute how much its CPI is inflated by
+
+* **L3 data pressure** — the combined resident data of all instances mapped
+  to a CCX versus its L3 slice capacity;
+* **Front-end (code) pressure** — the number of *distinct* service code
+  footprints mapped to a CCX; replicas of the same service share text
+  pages, which is exactly why packing same-service replicas per CCX (the
+  paper's technique) pays off;
+* **NUMA distance** — executing far from the instance's memory home node.
+
+The model is intentionally analytic (smooth miss curves), not a cache
+simulator: the paper's claims are about *which placements win and by
+roughly how much*, which these first-order mechanisms reproduce.
+"""
+
+from repro.memory.config import MemoryConfig
+from repro.memory.profile import WorkloadProfile
+from repro.memory.system import InflationBreakdown, MemorySystemModel
+
+__all__ = [
+    "InflationBreakdown",
+    "MemoryConfig",
+    "MemorySystemModel",
+    "WorkloadProfile",
+]

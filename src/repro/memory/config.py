@@ -1,0 +1,56 @@
+"""Tunable constants of the memory-system model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryConfig:
+    """Weights of the analytic cache/NUMA model.
+
+    Defaults are calibrated so that the TeaStore application model lands in
+    the performance bands the paper reports (see EXPERIMENTS.md); they are
+    deliberately exposed for sensitivity studies.
+    """
+
+    #: Fraction of an L3 slice effectively available to instruction lines.
+    code_share: float = 0.3
+    #: CPI penalty weight for data-side L3 misses (DRAM stall cost).
+    l3_miss_weight: float = 0.5
+    #: CPI penalty weight for front-end (code) misses.
+    frontend_miss_weight: float = 0.6
+    #: CPI penalty weight for fully remote (cross-socket) memory access.
+    numa_weight: float = 0.55
+    #: Extra pressure multiplier applied per additional CCX an instance may
+    #: migrate across (cache-line drag of unpinned tasks).
+    migration_drag: float = 0.04
+    #: Whether same-named replicas on a CCX share their code footprint
+    #: (shared text pages).  Real systems do; turning this off is the A1
+    #: ablation isolating how much of the gain is code sharing.
+    share_code: bool = True
+    #: Machine-wide memory-bandwidth capacity in "intensity units": the
+    #: number of concurrently running fully-memory-bound bursts the
+    #: channels sustain without queueing.  ``None`` disables the model
+    #: (the default: the paper's mechanisms are L3/NUMA/SMT/boost; this
+    #: is the A4 extension).
+    bandwidth_capacity: float | None = None
+    #: CPI penalty weight for bandwidth congestion beyond capacity.
+    bandwidth_weight: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.code_share < 1.0:
+            raise ConfigurationError(
+                f"code_share must be in (0, 1): {self.code_share}")
+        for field in ("l3_miss_weight", "frontend_miss_weight",
+                      "numa_weight", "migration_drag", "bandwidth_weight"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ConfigurationError(f"{field} must be >= 0: {value}")
+        if (self.bandwidth_capacity is not None
+                and self.bandwidth_capacity <= 0):
+            raise ConfigurationError(
+                "bandwidth_capacity must be positive or None: "
+                f"{self.bandwidth_capacity}")

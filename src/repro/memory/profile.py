@@ -1,0 +1,64 @@
+"""Per-workload memory/microarchitecture descriptors."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """How one service (or batch kernel) exercises the memory system.
+
+    ``name`` doubles as the *code-sharing key*: two instances with the same
+    profile name on one CCX contribute the code footprint once (shared text
+    pages, warm i-lines), which is the mechanism behind the paper's
+    same-service-per-CCX packing.
+
+    The ``*_mpki`` fields are baseline misses-per-kilo-instruction when the
+    working set fits its cache level; the model scales them up under
+    pressure.  ``base_ipc`` is per-core IPC at base clock with warm caches.
+    """
+
+    name: str
+    #: Instruction (text + hot JIT/interpreter) footprint in bytes.
+    code_bytes: int
+    #: Resident data footprint per instance in bytes.
+    data_bytes: int
+    #: Fraction of execution sensitive to data-side cache misses, 0..1.
+    mem_intensity: float
+    #: Fraction of execution sensitive to front-end misses, 0..1.
+    #: Microservices are high (big flat instruction footprints); SPEC-class
+    #: loop kernels are low.
+    frontend_intensity: float
+    base_ipc: float = 1.0
+    l1i_mpki: float = 10.0
+    l1d_mpki: float = 20.0
+    l2_mpki: float = 8.0
+    l3_mpki: float = 1.0
+    branch_mpki: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.code_bytes < 0 or self.data_bytes < 0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: footprints must be non-negative")
+        for field in ("mem_intensity", "frontend_intensity"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"profile {self.name!r}: {field} must be in [0, 1]: "
+                    f"{value}")
+        if self.base_ipc <= 0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: base_ipc must be positive")
+        for field in ("l1i_mpki", "l1d_mpki", "l2_mpki", "l3_mpki",
+                      "branch_mpki"):
+            if getattr(self, field) < 0:
+                raise ConfigurationError(
+                    f"profile {self.name!r}: {field} must be >= 0")
+
+    @property
+    def total_bytes(self) -> int:
+        """Code plus data footprint."""
+        return self.code_bytes + self.data_bytes

@@ -1,0 +1,236 @@
+"""The memory-system model: residency tracking and CPI inflation.
+
+Instances register the set of CCXs their affinity covers.  An unpinned
+instance (machine-wide affinity) registers on *every* CCX: migrating tasks
+drag their working set across L3 slices, leaving dead lines behind and
+refetching on arrival, so the whole footprint pressures every slice it can
+touch.  A pinned instance pressures only its own slice.  This asymmetry is
+the modelled mechanism behind the paper's topology-aware gains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.memory.config import MemoryConfig
+from repro.memory.profile import WorkloadProfile
+from repro.topology.model import DISTANCE_CROSS_SOCKET, DISTANCE_LOCAL, Machine
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.burst import CpuBurst, TaskGroup
+    from repro.topology.model import LogicalCpu
+
+
+@dataclasses.dataclass(frozen=True)
+class InflationBreakdown:
+    """Decomposition of one (group, ccx, node) CPI inflation query."""
+
+    total: float
+    data_component: float
+    code_component: float
+    numa_component: float
+    data_pressure: float  # occupancy / capacity (1.0 = exactly fits)
+    code_pressure: float
+
+
+@dataclasses.dataclass
+class _Residency:
+    group_id: int
+    profile: WorkloadProfile
+    ccxs: frozenset[int]
+    home_node: int
+
+
+def _miss_fraction(pressure: float) -> float:
+    """Fraction of accesses missing a cache under occupancy ``pressure``.
+
+    0 while the footprint fits (pressure ≤ 1), then ``1 - 1/pressure``:
+    with ``p`` bytes competing for 1 byte of capacity, a random access
+    finds its line resident with probability ``1/p``.
+    """
+    if pressure <= 1.0:
+        return 0.0
+    return 1.0 - 1.0 / pressure
+
+
+class MemorySystemModel:
+    """Tracks footprint residency per CCX and prices execution locations.
+
+    Implements the :class:`repro.cpu.perf.PerfModel` protocol.  An optional
+    ``counter_sink`` (see :mod:`repro.metrics.hwcounters`) receives one
+    sample per completed burst for the characterization experiments.
+    """
+
+    def __init__(self, machine: Machine, config: MemoryConfig | None = None,
+                 counter_sink: "t.Any | None" = None):
+        self.machine = machine
+        self.config = config or MemoryConfig()
+        self.counter_sink = counter_sink
+        self._residencies: dict[int, _Residency] = {}
+        # Per-CCX aggregates, maintained incrementally.
+        n_ccxs = len(machine.ccxs)
+        self._code_by_ccx: list[dict[str, int]] = [{} for __ in range(n_ccxs)]
+        self._code_refcount: list[dict[str, int]] = [{} for __ in range(n_ccxs)]
+        self._data_by_ccx: list[float] = [0.0] * n_ccxs
+        self._epoch = 0
+        self._inflation_cache: dict[tuple[int, int], tuple[int, float]] = {}
+        #: Sum of mem_intensity over currently executing bursts (for the
+        #: optional bandwidth-contention model).
+        self._running_mem_load = 0.0
+
+    # ------------------------------------------------------------------
+    # Residency registration
+    # ------------------------------------------------------------------
+    def register(self, group: "TaskGroup", ccxs: t.Iterable[int]) -> None:
+        """Declare that ``group`` may execute on the given CCXs.
+
+        The group must have a :class:`WorkloadProfile`; its memory home
+        node is taken from ``group.home_node``.
+        """
+        if group.profile is None:
+            raise ConfigurationError(
+                f"group {group.name!r} has no workload profile")
+        if group.group_id in self._residencies:
+            raise ConfigurationError(
+                f"group {group.name!r} is already registered")
+        ccx_set = frozenset(int(c) for c in ccxs)
+        if not ccx_set:
+            raise ConfigurationError(
+                f"group {group.name!r}: empty CCX residency")
+        for ccx in ccx_set:
+            if not 0 <= ccx < len(self.machine.ccxs):
+                raise ConfigurationError(f"no such CCX: {ccx}")
+        profile = group.profile
+        drag = 1.0 + self.config.migration_drag * (len(ccx_set) - 1)
+        residency = _Residency(group.group_id, profile, ccx_set,
+                               group.home_node)
+        self._residencies[group.group_id] = residency
+        code_key = self._code_key(profile.name, group.group_id)
+        for ccx in ccx_set:
+            refcount = self._code_refcount[ccx]
+            refcount[code_key] = refcount.get(code_key, 0) + 1
+            self._code_by_ccx[ccx][code_key] = profile.code_bytes
+            self._data_by_ccx[ccx] += profile.data_bytes * drag
+        self._bump_epoch()
+
+    def _code_key(self, profile_name: str, group_id: int) -> str:
+        """Code-sharing key: per service name normally, per instance when
+        the A1 ablation turns text-page sharing off."""
+        if self.config.share_code:
+            return profile_name
+        return f"{profile_name}#{group_id}"
+
+    def register_for_affinity(self, group: "TaskGroup") -> None:
+        """Register ``group`` on every CCX its affinity mask touches."""
+        ccxs = {self.machine.cpu(i).ccx.index for i in group.affinity}
+        self.register(group, ccxs)
+
+    def deregister(self, group: "TaskGroup") -> None:
+        """Remove a group's residency (instance shut down)."""
+        residency = self._residencies.pop(group.group_id, None)
+        if residency is None:
+            raise ConfigurationError(
+                f"group {group.name!r} is not registered")
+        profile = residency.profile
+        drag = 1.0 + self.config.migration_drag * (len(residency.ccxs) - 1)
+        code_key = self._code_key(profile.name, residency.group_id)
+        for ccx in residency.ccxs:
+            refcount = self._code_refcount[ccx]
+            refcount[code_key] -= 1
+            if refcount[code_key] == 0:
+                del refcount[code_key]
+                del self._code_by_ccx[ccx][code_key]
+            self._data_by_ccx[ccx] -= profile.data_bytes * drag
+        self._bump_epoch()
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        self._inflation_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def data_pressure(self, ccx_index: int) -> float:
+        """Resident data bytes over the data share of one L3 slice."""
+        capacity = self.machine.l3_bytes_per_ccx() * (1.0 - self.config.code_share)
+        return self._data_by_ccx[ccx_index] / capacity
+
+    def code_pressure(self, ccx_index: int) -> float:
+        """Distinct code bytes over the code share of one L3 slice."""
+        capacity = self.machine.l3_bytes_per_ccx() * self.config.code_share
+        return sum(self._code_by_ccx[ccx_index].values()) / capacity
+
+    def breakdown(self, group: "TaskGroup",
+                  ccx_index: int, node_index: int) -> InflationBreakdown:
+        """Full inflation decomposition for a group at a location."""
+        residency = self._residencies.get(group.group_id)
+        if residency is None:
+            # Unregistered groups (e.g. bare batch kernels) see no memory
+            # effects; they opt in by registering.
+            return InflationBreakdown(1.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        profile = residency.profile
+        config = self.config
+        data_p = self.data_pressure(ccx_index)
+        code_p = self.code_pressure(ccx_index)
+        data_term = (config.l3_miss_weight * profile.mem_intensity
+                     * _miss_fraction(data_p))
+        code_term = (config.frontend_miss_weight * profile.frontend_intensity
+                     * _miss_fraction(code_p))
+        distance = self.machine.distance(node_index, residency.home_node)
+        distance_span = DISTANCE_CROSS_SOCKET - DISTANCE_LOCAL
+        numa_term = (config.numa_weight * profile.mem_intensity
+                     * (distance - DISTANCE_LOCAL) / distance_span)
+        total = 1.0 + data_term + code_term + numa_term
+        return InflationBreakdown(total, data_term, code_term, numa_term,
+                                  data_p, code_p)
+
+    def bandwidth_congestion_term(self, profile: WorkloadProfile) -> float:
+        """Extra CPI inflation from machine-wide bandwidth congestion.
+
+        Zero while total running memory intensity fits the configured
+        channel capacity; grows linearly with the overload beyond it.
+        Sampled when a burst starts or is re-rated (a documented
+        approximation, like the boost model).
+        """
+        capacity = self.config.bandwidth_capacity
+        if capacity is None:
+            return 0.0
+        overload = max(0.0, (self._running_mem_load - capacity) / capacity)
+        return self.config.bandwidth_weight * profile.mem_intensity * overload
+
+    # ------------------------------------------------------------------
+    # PerfModel protocol
+    # ------------------------------------------------------------------
+    def cpi_inflation(self, burst: "CpuBurst", cpu: "LogicalCpu") -> float:
+        key = (burst.group.group_id, cpu.index)
+        cached = self._inflation_cache.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            static = cached[1]
+        else:
+            static = self.breakdown(burst.group, cpu.ccx.index,
+                                    cpu.node.index).total
+            self._inflation_cache[key] = (self._epoch, static)
+        profile = burst.group.profile
+        if profile is None or self.config.bandwidth_capacity is None:
+            return static
+        return static + self.bandwidth_congestion_term(profile)
+
+    def on_burst_start(self, burst: "CpuBurst", cpu: "LogicalCpu") -> None:
+        profile = burst.group.profile
+        if profile is not None:
+            self._running_mem_load += profile.mem_intensity
+
+    def on_burst_complete(self, burst: "CpuBurst", cpu: "LogicalCpu",
+                          wall_time: float) -> None:
+        profile = burst.group.profile
+        if profile is not None:
+            self._running_mem_load -= profile.mem_intensity
+        if self.counter_sink is None:
+            return
+        self.counter_sink.record_burst(self, burst, cpu, wall_time)
+
+    def __repr__(self) -> str:
+        return (f"<MemorySystemModel {len(self._residencies)} residencies "
+                f"on {len(self.machine.ccxs)} CCXs>")

@@ -1,0 +1,37 @@
+"""Measurement and statistics.
+
+* :class:`~repro.metrics.latency.LatencyRecorder` — request latency samples
+  with percentile queries.
+* :class:`~repro.metrics.throughput.ThroughputMeter` — completed-operations
+  counting over a measurement window.
+* :mod:`~repro.metrics.utilization` — per-CPU and per-group CPU-time
+  accounting deltas.
+* :class:`~repro.metrics.hwcounters.CounterBank` — synthetic hardware
+  counters (instructions, cycles, MPKI, stall decomposition) fed by the
+  memory-system model.
+* :mod:`~repro.metrics.stats` — confidence intervals and the harmonic /
+  geometric means appropriate for speedup summaries.
+"""
+
+from repro.metrics.hwcounters import CounterBank, CounterTotals
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.stats import (
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+    summarize,
+)
+from repro.metrics.throughput import ThroughputMeter
+from repro.metrics.utilization import UtilizationProbe
+
+__all__ = [
+    "CounterBank",
+    "CounterTotals",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "UtilizationProbe",
+    "confidence_interval",
+    "geometric_mean",
+    "harmonic_mean",
+    "summarize",
+]

@@ -1,0 +1,82 @@
+"""Latency sample collection and percentile queries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._errors import AnalysisError
+
+
+class LatencyRecorder:
+    """Collects latency samples, optionally tagged by request type.
+
+    Samples are kept in full (simulations produce at most a few hundred
+    thousand requests), so percentiles are exact rather than sketched.
+    """
+
+    def __init__(self):
+        self._samples: list[float] = []
+        self._by_tag: dict[str, list[float]] = {}
+        self.enabled = True
+
+    def record(self, latency: float, tag: str | None = None) -> None:
+        """Add one sample (ignored while disabled, e.g. during warmup)."""
+        if not self.enabled:
+            return
+        if latency < 0:
+            raise AnalysisError(f"negative latency sample: {latency}")
+        self._samples.append(latency)
+        if tag is not None:
+            self._by_tag.setdefault(tag, []).append(latency)
+
+    def reset(self) -> None:
+        """Drop all samples (end of warmup)."""
+        self._samples.clear()
+        self._by_tag.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def tags(self) -> list[str]:
+        """Request types seen so far, sorted."""
+        return sorted(self._by_tag)
+
+    def _array(self, tag: str | None) -> np.ndarray:
+        samples = self._samples if tag is None else self._by_tag.get(tag, [])
+        if not samples:
+            raise AnalysisError(
+                "no latency samples recorded"
+                + (f" for tag {tag!r}" if tag else ""))
+        return np.asarray(samples)
+
+    def mean(self, tag: str | None = None) -> float:
+        """Arithmetic mean latency."""
+        return float(self._array(tag).mean())
+
+    def percentile(self, p: float, tag: str | None = None) -> float:
+        """The ``p``-th percentile (0–100)."""
+        if not 0 <= p <= 100:
+            raise AnalysisError(f"percentile must be in [0, 100]: {p}")
+        return float(np.percentile(self._array(tag), p))
+
+    def p50(self, tag: str | None = None) -> float:
+        """Median latency."""
+        return self.percentile(50, tag)
+
+    def p95(self, tag: str | None = None) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95, tag)
+
+    def p99(self, tag: str | None = None) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99, tag)
+
+    def max(self, tag: str | None = None) -> float:
+        """Worst observed latency."""
+        return float(self._array(tag).max())
+
+    def __repr__(self) -> str:
+        return f"<LatencyRecorder {len(self._samples)} samples>"

@@ -1,0 +1,65 @@
+"""Throughput measurement over an explicit window."""
+
+from __future__ import annotations
+
+from repro._errors import AnalysisError
+from repro.sim.engine import Simulator
+
+
+class ThroughputMeter:
+    """Counts completed operations; rate is computed over a marked window.
+
+    The experiment runner calls :meth:`start_window` when warmup ends and
+    :meth:`stop_window` when measurement ends; completions outside the
+    window still increment the lifetime count but not the windowed one.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.lifetime_count = 0
+        self._window_count = 0
+        self._window_start: float | None = None
+        self._window_end: float | None = None
+
+    def mark(self, n: int = 1) -> None:
+        """Record ``n`` completed operations at the current time."""
+        self.lifetime_count += n
+        if self._window_start is not None and self._window_end is None:
+            self._window_count += n
+
+    def start_window(self) -> None:
+        """Begin the measurement window at the current simulated time."""
+        self._window_start = self.sim.now
+        self._window_end = None
+        self._window_count = 0
+
+    def stop_window(self) -> None:
+        """Close the measurement window at the current simulated time."""
+        if self._window_start is None:
+            raise AnalysisError("stop_window() before start_window()")
+        if self._window_end is not None:
+            raise AnalysisError("measurement window already stopped")
+        self._window_end = self.sim.now
+
+    @property
+    def window_duration(self) -> float:
+        """Length of the (closed) measurement window."""
+        if self._window_start is None or self._window_end is None:
+            raise AnalysisError("measurement window is not closed")
+        return self._window_end - self._window_start
+
+    @property
+    def window_count(self) -> int:
+        """Operations completed inside the window."""
+        return self._window_count
+
+    def rate(self) -> float:
+        """Operations per second over the closed window."""
+        duration = self.window_duration
+        if duration <= 0:
+            raise AnalysisError("measurement window has zero duration")
+        return self._window_count / duration
+
+    def __repr__(self) -> str:
+        return (f"<ThroughputMeter lifetime={self.lifetime_count} "
+                f"window={self._window_count}>")

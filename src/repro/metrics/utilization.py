@@ -1,0 +1,107 @@
+"""CPU-time accounting: per-CPU and per-group utilization over a window."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import AnalysisError
+from repro.cpu.scheduler import CpuScheduler
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.cpu.burst import TaskGroup
+
+
+class UtilizationProbe:
+    """Snapshot-based utilization measurement.
+
+    Take a snapshot when the measurement window opens and query deltas when
+    it closes; works for both logical CPUs (from the scheduler's busy-time
+    integrals) and task groups (from their accumulated CPU time).
+    """
+
+    def __init__(self, scheduler: CpuScheduler,
+                 groups: t.Iterable["TaskGroup"] = ()):
+        self.scheduler = scheduler
+        self.groups = list(groups)
+        self._start_time: float | None = None
+        self._end_time: float | None = None
+        self._cpu_busy_at_start: dict[int, float] = {}
+        self._group_time_at_start: dict[int, float] = {}
+        self._cpu_busy_at_end: dict[int, float] = {}
+        self._group_time_at_end: dict[int, float] = {}
+
+    def track(self, group: "TaskGroup") -> None:
+        """Add a group to per-group accounting (before the window opens)."""
+        if self._start_time is not None:
+            raise AnalysisError("cannot add groups after start()")
+        self.groups.append(group)
+
+    def start(self) -> None:
+        """Open the measurement window."""
+        self._start_time = self.scheduler.sim.now
+        self._cpu_busy_at_start = {
+            i: self.scheduler.busy_time(i) for i in self.scheduler.online}
+        self._group_time_at_start = {
+            g.group_id: g.cpu_time for g in self.groups}
+
+    def stop(self) -> None:
+        """Close the measurement window."""
+        if self._start_time is None:
+            raise AnalysisError("stop() before start()")
+        self._end_time = self.scheduler.sim.now
+        self._cpu_busy_at_end = {
+            i: self.scheduler.busy_time(i) for i in self.scheduler.online}
+        self._group_time_at_end = {
+            g.group_id: g.cpu_time for g in self.groups}
+
+    @property
+    def duration(self) -> float:
+        """Window length in simulated seconds."""
+        if self._start_time is None or self._end_time is None:
+            raise AnalysisError("window is not closed")
+        return self._end_time - self._start_time
+
+    def cpu_utilization(self, cpu_index: int) -> float:
+        """Busy fraction of one logical CPU over the window."""
+        duration = self.duration
+        if duration <= 0:
+            raise AnalysisError("zero-length measurement window")
+        delta = (self._cpu_busy_at_end[cpu_index]
+                 - self._cpu_busy_at_start[cpu_index])
+        return delta / duration
+
+    def machine_utilization(self) -> float:
+        """Average busy fraction over all online logical CPUs."""
+        online = list(self.scheduler.online)
+        return sum(self.cpu_utilization(i) for i in online) / len(online)
+
+    def group_cpu_time(self, group: "TaskGroup") -> float:
+        """CPU seconds consumed by one group inside the window."""
+        if group.group_id not in self._group_time_at_end:
+            raise AnalysisError(f"group {group.name!r} was not tracked")
+        return (self._group_time_at_end[group.group_id]
+                - self._group_time_at_start[group.group_id])
+
+    def group_share(self) -> dict[str, float]:
+        """Fraction of total tracked CPU time per group *name*.
+
+        Instances of the same service aggregate under one name, giving the
+        paper-style per-service utilization breakdown.
+        """
+        by_name: dict[str, float] = {}
+        for group in self.groups:
+            by_name[group.name] = (by_name.get(group.name, 0.0)
+                                   + self.group_cpu_time(group))
+        total = sum(by_name.values())
+        if total <= 0:
+            return {name: 0.0 for name in by_name}
+        return {name: value / total for name, value in by_name.items()}
+
+    def group_utilization(self) -> dict[str, float]:
+        """Per-service-name CPU seconds per second of window time."""
+        duration = self.duration
+        by_name: dict[str, float] = {}
+        for group in self.groups:
+            by_name[group.name] = (by_name.get(group.name, 0.0)
+                                   + self.group_cpu_time(group))
+        return {name: value / duration for name, value in by_name.items()}

@@ -1,0 +1,136 @@
+"""Reactive per-service autoscaling over a reserved CCX pool.
+
+An extension beyond the paper (its evaluation is static): combine its two
+levers — per-service sizing and CCX-granular placement — into a control
+loop.  The autoscaler watches one service's CPU utilization over fixed
+intervals and grows/shrinks its replica set one CCX at a time, drawing
+from a reserved pool of L3 domains, so elasticity never violates the
+topology discipline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.services.deployment import Deployment
+from repro.services.instance import ServiceInstance
+from repro.services.spec import ServiceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingEvent:
+    """One executed scaling action."""
+
+    time: float
+    action: str  # "up" | "down"
+    replicas: int  # replica count after the action
+    utilization: float  # measured utilization that triggered it
+
+
+class Autoscaler:
+    """Scales one service between ``min_replicas`` and the pool size."""
+
+    def __init__(self, deployment: Deployment, spec: ServiceSpec,
+                 ccx_pool: t.Sequence[int],
+                 min_replicas: int = 1,
+                 interval: float = 0.25,
+                 high_watermark: float = 0.65,
+                 low_watermark: float = 0.30):
+        if not ccx_pool:
+            raise ConfigurationError("autoscaler needs a non-empty CCX pool")
+        if len(set(ccx_pool)) != len(ccx_pool):
+            raise ConfigurationError("CCX pool contains duplicates")
+        if not 1 <= min_replicas <= len(ccx_pool):
+            raise ConfigurationError(
+                f"min_replicas {min_replicas} outside 1..{len(ccx_pool)}")
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive: {interval}")
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= low ({low_watermark}) < high "
+                f"({high_watermark}) <= 1")
+        self.deployment = deployment
+        self.spec = spec
+        self.machine = deployment.machine
+        for ccx in ccx_pool:
+            if not 0 <= ccx < len(self.machine.ccxs):
+                raise ConfigurationError(f"no such CCX: {ccx}")
+        self.min_replicas = min_replicas
+        self.interval = interval
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.events: list[ScalingEvent] = []
+        #: Utilization measured at the most recent control tick.
+        self.last_utilization = 0.0
+        self._pool = list(ccx_pool)
+        self._free = list(ccx_pool)
+        self._replicas: list[tuple[ServiceInstance, int]] = []
+        self._cpu_time_at_last_tick = 0.0
+        for __ in range(min_replicas):
+            self._scale_up(record=False)
+        self._process = deployment.sim.process(self._control_loop())
+
+    @property
+    def replica_count(self) -> int:
+        """Current number of managed replicas."""
+        return len(self._replicas)
+
+    def utilization(self) -> float:
+        """CPU utilization of the managed replicas since the last tick."""
+        total_cpu_time = sum(instance.group.cpu_time
+                             for instance, __ in self._replicas)
+        delta = total_cpu_time - self._cpu_time_at_last_tick
+        lcpus = sum(len(instance.affinity)
+                    for instance, __ in self._replicas)
+        return delta / (self.interval * lcpus) if lcpus else 0.0
+
+    def _control_loop(self) -> t.Generator:
+        sim = self.deployment.sim
+        while True:
+            yield sim.timeout(self.interval)
+            measured = self.utilization()
+            self.last_utilization = measured
+            self._cpu_time_at_last_tick = sum(
+                instance.group.cpu_time for instance, __ in self._replicas)
+            if measured > self.high_watermark and self._free:
+                self._scale_up(utilization=measured)
+            elif (measured < self.low_watermark
+                  and len(self._replicas) > self.min_replicas):
+                self._scale_down(utilization=measured)
+
+    def _scale_up(self, utilization: float = 0.0, record: bool = True) -> None:
+        ccx = self._free.pop(0)
+        instance = self.deployment.add_instance(
+            self.spec, affinity=self.machine.cpus_in_ccx(ccx),
+            home_node=self.machine.ccxs[ccx].node.index)
+        self._replicas.append((instance, ccx))
+        # New replica's prior CPU time is zero; baseline stays valid.
+        if record:
+            self.events.append(ScalingEvent(
+                self.deployment.sim.now, "up", len(self._replicas),
+                utilization))
+
+    def _scale_down(self, utilization: float) -> None:
+        instance, ccx = self._replicas.pop()
+        self._cpu_time_at_last_tick -= instance.group.cpu_time
+        self.deployment.remove_instance(instance)
+        instance.shutdown()
+        self._free.insert(0, ccx)
+        self.events.append(ScalingEvent(
+            self.deployment.sim.now, "down", len(self._replicas),
+            utilization))
+
+    def scale_ups(self) -> list[ScalingEvent]:
+        """Executed scale-up events."""
+        return [e for e in self.events if e.action == "up"]
+
+    def scale_downs(self) -> list[ScalingEvent]:
+        """Executed scale-down events."""
+        return [e for e in self.events if e.action == "down"]
+
+    def __repr__(self) -> str:
+        return (f"<Autoscaler {self.spec.name!r} "
+                f"{len(self._replicas)} replicas, "
+                f"{len(self._free)} CCXs free>")

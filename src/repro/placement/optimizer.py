@@ -1,0 +1,96 @@
+"""Greedy refinement of CCX budgets.
+
+``ccx_aware`` placements start from utilization-derived weights; this
+hill-climber perturbs the weight vector (shifting budget between service
+pairs) and keeps moves an evaluation function scores as improvements.
+The evaluation function is supplied by the caller — typically "deploy the
+store with this allocation and measure throughput for a short window"
+(see :mod:`repro.experiments.headline`) — so the optimizer stays agnostic
+of the application.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import PlacementError
+from repro.placement.allocation import Allocation
+from repro.placement.policies import ccx_aware
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import Machine
+
+#: Scores an allocation; higher is better.
+Evaluator = t.Callable[[Allocation], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationStep:
+    """One accepted (or rejected final) state of the search."""
+
+    iteration: int
+    weights: dict[str, float]
+    score: float
+    accepted: bool
+
+
+def optimize_ccx_budget(machine: Machine,
+                        counts: t.Mapping[str, int],
+                        weights: t.Mapping[str, float],
+                        evaluate: Evaluator,
+                        online: CpuSet | None = None,
+                        iterations: int = 6,
+                        shift_fraction: float = 0.25,
+                        ) -> tuple[Allocation, list[OptimizationStep]]:
+    """First-improvement hill climbing over the service weight vector.
+
+    Each iteration proposes shifting ``shift_fraction`` of a donor
+    service's weight to a receiver (donors tried from the largest weight
+    down) and accepts the first proposal that the evaluator scores
+    strictly higher.  Stops early when no proposal improves.
+
+    Returns the best allocation found and the accepted-step history
+    (including the initial state).
+    """
+    if iterations < 1:
+        raise PlacementError(f"iterations must be >= 1: {iterations}")
+    if not 0.0 < shift_fraction < 1.0:
+        raise PlacementError(
+            f"shift_fraction must be in (0, 1): {shift_fraction}")
+    current = dict(weights)
+    best_allocation = ccx_aware(machine, counts, current, online)
+    best_score = evaluate(best_allocation)
+    history = [OptimizationStep(0, dict(current), best_score, True)]
+
+    for iteration in range(1, iterations + 1):
+        improved = False
+        donors = sorted(current, key=current.get, reverse=True)
+        for donor in donors:
+            receivers = sorted((s for s in current if s != donor),
+                               key=current.get)
+            for receiver in receivers:
+                candidate = dict(current)
+                shifted = candidate[donor] * shift_fraction
+                candidate[donor] -= shifted
+                candidate[receiver] += shifted
+                try:
+                    allocation = ccx_aware(machine, counts, candidate,
+                                           online)
+                except PlacementError:
+                    continue
+                score = evaluate(allocation)
+                if score > best_score:
+                    current = candidate
+                    best_score = score
+                    best_allocation = allocation
+                    history.append(OptimizationStep(
+                        iteration, dict(current), score, True))
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            history.append(OptimizationStep(
+                iteration, dict(current), best_score, False))
+            break
+    return best_allocation, history

@@ -1,0 +1,222 @@
+"""Placement policies from naive to topology-aware.
+
+All policies take the machine, per-service replica counts, and (for the
+topology-aware ones) per-service CPU weights, and return a validated
+:class:`~repro.placement.allocation.Allocation`:
+
+* :func:`unpinned` — machine-wide affinity for everything: what an
+  operator gets by default (the OS scheduler migrates freely).
+* :func:`node_spread` — replicas distributed round-robin across NUMA
+  nodes and pinned at node granularity: the sensible, NUMA-aware tuning a
+  careful operator applies — the paper's *performance-tuned baseline*.
+* :func:`socket_pack` — everything packed onto one socket: the contrast
+  case for NUMA experiments.
+* :func:`ccx_aware` — the paper's technique: CCX (L3-domain) budgets per
+  service proportional to CPU weight; each replica confined to its own
+  contiguous CCX group so its code/data stay resident in one L3 slice.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import PlacementError
+from repro.placement.allocation import Allocation, ReplicaPlacement
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import Machine
+
+
+def _check_counts(counts: t.Mapping[str, int]) -> None:
+    if not counts:
+        raise PlacementError("no services to place")
+    for service, count in counts.items():
+        if count < 1:
+            raise PlacementError(
+                f"replica count for {service!r} must be >= 1: {count}")
+
+
+def unpinned(machine: Machine, counts: t.Mapping[str, int],
+             online: CpuSet | None = None) -> Allocation:
+    """Every replica may run anywhere online."""
+    _check_counts(counts)
+    online = online if online is not None else machine.all_cpus()
+    placements = {
+        service: [ReplicaPlacement(online) for __ in range(count)]
+        for service, count in counts.items()
+    }
+    return Allocation(machine, placements, online)
+
+
+def node_spread(machine: Machine, counts: t.Mapping[str, int],
+                online: CpuSet | None = None) -> Allocation:
+    """Round-robin replicas across NUMA nodes, pinned at node granularity."""
+    _check_counts(counts)
+    online = online if online is not None else machine.all_cpus()
+    node_masks = [(node.index, machine.cpus_in_node(node.index) & online)
+                  for node in machine.nodes]
+    node_masks = [(index, mask) for index, mask in node_masks if mask]
+    if not node_masks:
+        raise PlacementError("no NUMA node has online CPUs")
+    placements: dict[str, list[ReplicaPlacement]] = {}
+    cursor = 0
+    for service in sorted(counts):
+        replicas = []
+        for __ in range(counts[service]):
+            node_index, mask = node_masks[cursor % len(node_masks)]
+            cursor += 1
+            replicas.append(ReplicaPlacement(mask, home_node=node_index))
+        placements[service] = replicas
+    return Allocation(machine, placements, online)
+
+
+def socket_pack(machine: Machine, counts: t.Mapping[str, int],
+                online: CpuSet | None = None,
+                socket: int = 0) -> Allocation:
+    """Pack every replica onto one socket (NUMA-contrast configuration)."""
+    _check_counts(counts)
+    online = online if online is not None else machine.all_cpus()
+    mask = machine.cpus_in_socket(socket) & online
+    if not mask:
+        raise PlacementError(f"socket {socket} has no online CPUs")
+    home_node = machine.cpu(mask.first()).node.index
+    placements = {
+        service: [ReplicaPlacement(mask, home_node=home_node)
+                  for __ in range(count)]
+        for service, count in counts.items()
+    }
+    return Allocation(machine, placements, online)
+
+
+def ccx_aware(machine: Machine, counts: t.Mapping[str, int],
+              weights: t.Mapping[str, float],
+              online: CpuSet | None = None) -> Allocation:
+    """The paper's placement: per-service CCX budgets, replicas per group.
+
+    1. CCXs (L3 domains) are budgeted to services proportionally to their
+       CPU ``weights`` (largest-remainder apportionment, ≥ 1 each).
+    2. Each service's CCXs are taken *contiguously* (neighbouring CCXs
+       share a CCD/NUMA node, keeping a service's replicas local).
+    3. A service's CCXs are split into one contiguous group per replica;
+       if it has more replicas than CCXs, replicas share CCXs round-robin
+       (same-service sharing is cheap: shared code).
+    """
+    _check_counts(counts)
+    online = online if online is not None else machine.all_cpus()
+    missing = sorted(set(counts) - set(weights))
+    if missing:
+        raise PlacementError(f"weights missing for services: {missing}")
+    for service in counts:
+        if weights[service] <= 0:
+            raise PlacementError(
+                f"weight for {service!r} must be positive: "
+                f"{weights[service]}")
+
+    ccx_indices = [ccx.index for ccx in machine.ccxs
+                   if machine.cpus_in_ccx(ccx.index) & online]
+    services = sorted(counts)
+    if len(ccx_indices) < len(services):
+        raise PlacementError(
+            f"{len(ccx_indices)} online CCXs cannot give "
+            f"{len(services)} services one each")
+
+    quotas = _apportion(ccx_indices, services, weights)
+    placements: dict[str, list[ReplicaPlacement]] = {}
+    cursor = 0
+    for service in services:
+        quota = quotas[service]
+        service_ccxs = ccx_indices[cursor:cursor + quota]
+        cursor += quota
+        placements[service] = _split_replicas(
+            machine, online, service_ccxs, counts[service])
+    return Allocation(machine, placements, online)
+
+
+def ccx_aware_auto(machine: Machine, weights: t.Mapping[str, float],
+                   online: CpuSet | None = None,
+                   fixed_counts: t.Mapping[str, int] | None = None
+                   ) -> Allocation:
+    """CCX-aware placement with scaling-derived replica counts.
+
+    The paper's full recipe: budget CCXs by weight, then run **one replica
+    per CCX** for every horizontally scalable service — each replica's
+    code and data live entirely in one L3 slice, maximizing code sharing
+    and locality.  Services that cannot be replicated (the database) keep
+    their ``fixed_counts`` and span their whole CCX budget as one
+    instance.
+    """
+    fixed_counts = dict(fixed_counts or {})
+    online = online if online is not None else machine.all_cpus()
+    for service, count in fixed_counts.items():
+        if count < 1:
+            raise PlacementError(
+                f"fixed count for {service!r} must be >= 1: {count}")
+    services = sorted(weights)
+    ccx_indices = [ccx.index for ccx in machine.ccxs
+                   if machine.cpus_in_ccx(ccx.index) & online]
+    if len(ccx_indices) < len(services):
+        raise PlacementError(
+            f"{len(ccx_indices)} online CCXs cannot give "
+            f"{len(services)} services one each")
+    quotas = _apportion(ccx_indices, services,
+                        {s: weights[s] for s in services})
+    counts = {service: fixed_counts.get(service, quotas[service])
+              for service in services}
+    return ccx_aware(machine, counts, weights, online)
+
+
+def _apportion(ccx_indices: list[int], services: list[str],
+               weights: t.Mapping[str, float]) -> dict[str, int]:
+    """Apportion CCXs by weight, minimum one per service.
+
+    Starts from floored ideal shares and repeatedly gives the next CCX to
+    the service with the largest *shortfall* (ideal − current quota).
+    Using the shortfall rather than the raw fractional part matters: a
+    service whose minimum-1 floor already over-serves its ideal share
+    (e.g. a light Recommender at 0.9 CCXs) must not outrank a heavy
+    service still missing most of a CCX.
+    """
+    n_ccxs = len(ccx_indices)
+    total_weight = sum(weights[s] for s in services)
+    ideal = {s: weights[s] / total_weight * n_ccxs for s in services}
+    quotas = {s: max(1, int(ideal[s])) for s in services}
+    while sum(quotas.values()) > n_ccxs:
+        shrinkable = [s for s in services if quotas[s] > 1]
+        victim = max(shrinkable, key=lambda s: (quotas[s] - ideal[s], s))
+        quotas[victim] -= 1
+    while sum(quotas.values()) < n_ccxs:
+        neediest = max(services, key=lambda s: (ideal[s] - quotas[s], s))
+        quotas[neediest] += 1
+    return quotas
+
+
+def _split_replicas(machine: Machine, online: CpuSet,
+                    service_ccxs: list[int],
+                    n_replicas: int) -> list[ReplicaPlacement]:
+    replicas: list[ReplicaPlacement] = []
+    if n_replicas <= len(service_ccxs):
+        # Contiguous, balanced chunks (numpy.array_split sizing).
+        base, extra = divmod(len(service_ccxs), n_replicas)
+        start = 0
+        for replica_index in range(n_replicas):
+            size = base + (1 if replica_index < extra else 0)
+            chunk = service_ccxs[start:start + size]
+            start += size
+            replicas.append(_placement_for(machine, online, chunk))
+    else:
+        # More replicas than CCXs: all replicas share the service's whole
+        # CCX group.  Same-service sharing is cheap (shared text pages),
+        # and identical masks keep round-robin load balancing fair —
+        # unequal per-replica slices would make the smallest replica the
+        # tail-latency bottleneck.
+        shared = _placement_for(machine, online, service_ccxs)
+        replicas.extend(shared for __ in range(n_replicas))
+    return replicas
+
+
+def _placement_for(machine: Machine, online: CpuSet,
+                   ccx_chunk: list[int]) -> ReplicaPlacement:
+    mask = CpuSet()
+    for ccx_index in ccx_chunk:
+        mask = mask | (machine.cpus_in_ccx(ccx_index) & online)
+    home_node = machine.ccxs[ccx_chunk[0]].node.index
+    return ReplicaPlacement(mask, home_node=home_node)

@@ -1,0 +1,89 @@
+"""Per-service scaling curves and weight estimation.
+
+The paper sizes each service from its individual scaling behaviour.  Here:
+
+* :class:`ScalingCurve` holds a (replica count → throughput) sweep and
+  derives speedups/efficiencies (fit it with
+  :func:`repro.analysis.usl.fit_usl` for the paper-style analysis);
+* :func:`weights_from_utilization` turns a profiling run's per-service
+  CPU utilization into the weight vector the
+  :func:`~repro.placement.policies.ccx_aware` policy budgets with.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import PlacementError
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingCurve:
+    """Throughput versus replica count for one service."""
+
+    service: str
+    replica_counts: tuple[int, ...]
+    throughputs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.replica_counts) != len(self.throughputs):
+            raise PlacementError(
+                f"{self.service!r}: counts and throughputs differ in length")
+        if not self.replica_counts:
+            raise PlacementError(f"{self.service!r}: empty scaling curve")
+        if list(self.replica_counts) != sorted(set(self.replica_counts)):
+            raise PlacementError(
+                f"{self.service!r}: replica counts must be strictly "
+                f"increasing")
+        if any(x <= 0 for x in self.throughputs):
+            raise PlacementError(
+                f"{self.service!r}: throughputs must be positive")
+
+    def speedups(self) -> tuple[float, ...]:
+        """Throughput normalized to the first point."""
+        base = self.throughputs[0]
+        return tuple(x / base for x in self.throughputs)
+
+    def efficiency(self) -> tuple[float, ...]:
+        """Speedup per replica, relative to the first point."""
+        base_count = self.replica_counts[0]
+        return tuple(s / (n / base_count)
+                     for s, n in zip(self.speedups(), self.replica_counts))
+
+    def saturation_point(self, threshold: float = 0.05) -> int:
+        """Smallest replica count beyond which gains fall under ``threshold``.
+
+        Returns the last count if the curve keeps improving.
+        """
+        for previous, current, count in zip(self.throughputs,
+                                            self.throughputs[1:],
+                                            self.replica_counts[1:]):
+            if current < previous * (1.0 + threshold):
+                return count
+        return self.replica_counts[-1]
+
+    def __str__(self) -> str:
+        points = ", ".join(
+            f"{n}→{x:.0f}" for n, x in zip(self.replica_counts,
+                                           self.throughputs))
+        return f"{self.service}: {points}"
+
+
+def weights_from_utilization(
+        service_utilization: t.Mapping[str, float],
+        floor: float = 0.02) -> dict[str, float]:
+    """Normalize a profiling run's CPU-utilization breakdown into weights.
+
+    ``floor`` keeps even nearly idle services (Recommender at low load)
+    from being starved of their minimum placement share.
+    """
+    if not service_utilization:
+        raise PlacementError("empty utilization breakdown")
+    if any(v < 0 for v in service_utilization.values()):
+        raise PlacementError("utilization values must be non-negative")
+    total = sum(service_utilization.values())
+    if total <= 0:
+        raise PlacementError("total utilization is zero")
+    return {service: max(value / total, floor)
+            for service, value in service_utilization.items()}

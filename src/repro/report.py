@@ -1,0 +1,71 @@
+"""Markdown report generation across experiments.
+
+``build_report`` turns a list of :class:`ExperimentResult` objects into a
+single self-describing markdown document (title, machine description,
+table of contents, one section per experiment); the CLI exposes it as
+``repro run all --markdown report.md``.  ``ascii_bars`` renders quick
+terminal charts for examples.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.topology.model import Machine
+
+
+def build_report(results: t.Sequence[ExperimentResult],
+                 machine: Machine | None = None,
+                 title: str = "TeaStore scale-up study — reproduction "
+                              "report") -> str:
+    """One markdown document covering all ``results``."""
+    if not results:
+        raise ConfigurationError("cannot build a report with no results")
+    lines = [f"# {title}", ""]
+    if machine is not None:
+        lines.append("```")
+        lines.append(machine.describe())
+        lines.append("```")
+        lines.append("")
+    lines.append("## Contents")
+    lines.append("")
+    for result in results:
+        anchor = f"{result.experiment.lower()}--{_slug(result.title)}"
+        lines.append(f"* [{result.experiment} — {result.title}](#{anchor})")
+    lines.append("")
+    for result in results:
+        lines.append(result.to_markdown())
+    return "\n".join(lines)
+
+
+def _slug(text: str) -> str:
+    keep = []
+    for char in text.lower():
+        if char.isalnum():
+            keep.append(char)
+        elif char in " -_":
+            keep.append("-")
+    return "".join(keep).strip("-")
+
+
+def ascii_bars(points: t.Sequence[tuple[str, float]],
+               width: int = 50, unit: str = "") -> str:
+    """A quick horizontal bar chart for terminals.
+
+    ``points`` are (label, value) pairs; bars scale to the maximum value.
+    """
+    if not points:
+        raise ConfigurationError("ascii_bars needs at least one point")
+    if any(value < 0 for __, value in points):
+        raise ConfigurationError("ascii_bars values must be non-negative")
+    peak = max(value for __, value in points)
+    label_width = max(len(label) for label, __ in points)
+    lines = []
+    for label, value in points:
+        length = 0 if peak == 0 else max(
+            1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} |{'#' * length} "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Microservice substrate.
+
+The framework TeaStore-like applications are assembled from:
+
+* :class:`~repro.services.request.Request` — one in-flight operation with
+  its completion event and timestamps.
+* :class:`~repro.services.spec.ServiceSpec` / endpoints — a service type:
+  its workload profile, worker-pool width, and handler per endpoint.
+* :class:`~repro.services.instance.ServiceInstance` — a running replica:
+  a bounded request queue plus a pool of worker processes executing
+  handlers; each replica is one CPU-scheduler :class:`TaskGroup`.
+* :class:`~repro.services.instance.ServiceContext` — the handler-facing
+  API: ``compute`` (CPU bursts), ``call`` (downstream RPC), randomness.
+* :class:`~repro.services.rpc.RpcFabric` — loopback-latency message
+  passing between services.
+* :class:`~repro.services.loadbalancer.LoadBalancer` — replica selection
+  (round-robin or least-outstanding).
+* :class:`~repro.services.registry.ServiceRegistry` — name → balancer.
+* :class:`~repro.services.deployment.Deployment` — wires machine,
+  scheduler, memory model, RPC and registry into one system under test.
+"""
+
+from repro.services.deployment import Deployment
+from repro.services.instance import ServiceContext, ServiceInstance
+from repro.services.loadbalancer import LoadBalancer
+from repro.services.registry import ServiceRegistry
+from repro.services.request import Request
+from repro.services.rpc import RpcFabric
+from repro.services.spec import Endpoint, ServiceSpec
+
+__all__ = [
+    "Deployment",
+    "Endpoint",
+    "LoadBalancer",
+    "Request",
+    "RpcFabric",
+    "ServiceContext",
+    "ServiceInstance",
+    "ServiceRegistry",
+    "ServiceSpec",
+]

@@ -1,0 +1,121 @@
+"""The system under test: machine + scheduler + memory model + services."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.cpu.frequency import FrequencyModel
+from repro.cpu.scheduler import CpuScheduler
+from repro.cpu.smt import SmtModel
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystemModel
+from repro.services.instance import ServiceInstance
+from repro.services.registry import ServiceRegistry
+from repro.services.request import Request
+from repro.services.rpc import RpcFabric
+from repro.services.spec import ServiceSpec
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.rand import RandomStreams
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import Machine
+
+
+class Deployment:
+    """Wires all substrates together and hosts service instances.
+
+    One :class:`Deployment` is one experimental configuration: a machine,
+    the online CPU set, SMT/frequency/memory models, and a set of placed
+    service replicas.  Experiments construct a fresh deployment per
+    configuration (nothing is hot-swapped mid-run).
+    """
+
+    def __init__(self, machine: Machine,
+                 online: CpuSet | None = None,
+                 seed: int = 0,
+                 smt_model: SmtModel | None = None,
+                 frequency_model: FrequencyModel | None = None,
+                 memory_config: MemoryConfig | None = None,
+                 counter_sink: t.Any | None = None,
+                 rpc: RpcFabric | None = None,
+                 lb_policy: str = "round_robin"):
+        self.sim = Simulator()
+        self.machine = machine
+        self.streams = RandomStreams(seed)
+        self.memory_model = MemorySystemModel(
+            machine, memory_config, counter_sink=counter_sink)
+        self.scheduler = CpuScheduler(
+            self.sim, machine, online=online,
+            smt_model=smt_model,
+            frequency_model=frequency_model,
+            perf_model=self.memory_model)
+        self.rpc = rpc or RpcFabric(self.sim)
+        if self.rpc.sim is not self.sim:
+            raise ConfigurationError(
+                "rpc fabric must be built on the deployment's simulator")
+        self.registry = ServiceRegistry(default_policy=lb_policy)
+        self.instances: list[ServiceInstance] = []
+        #: Optional :class:`repro.tracing.TraceCollector`; when set, every
+        #: completed request is recorded as a span.
+        self.tracer = None
+
+    @property
+    def online(self) -> CpuSet:
+        """Online logical CPUs of this configuration."""
+        return self.scheduler.online
+
+    # ------------------------------------------------------------------
+    # Instance management
+    # ------------------------------------------------------------------
+    def add_instance(self, spec: ServiceSpec,
+                     affinity: CpuSet | None = None,
+                     home_node: int | None = None) -> ServiceInstance:
+        """Place one replica of ``spec``.
+
+        ``affinity`` defaults to every online CPU (the unpinned baseline);
+        ``home_node`` defaults to the NUMA node of the lowest CPU in the
+        mask (first-touch allocation).
+        """
+        affinity = affinity if affinity is not None else self.online
+        effective = affinity & self.online
+        if not effective:
+            raise ConfigurationError(
+                f"{spec.name}: affinity {affinity.to_string()!r} has no "
+                f"online CPU")
+        if home_node is None:
+            home_node = self.machine.cpu(effective.first()).node.index
+        instance = ServiceInstance(self, spec, effective, home_node,
+                                   local_id=len(self.instances))
+        self.registry.register(instance)
+        self.memory_model.register_for_affinity(instance.group)
+        self.instances.append(instance)
+        return instance
+
+    def remove_instance(self, instance: ServiceInstance) -> None:
+        """Tear one replica down (registry + memory residency)."""
+        self.registry.deregister(instance)
+        self.memory_model.deregister(instance.group)
+        self.instances.remove(instance)
+
+    def groups(self):
+        """All replicas' task groups (for utilization probes)."""
+        return [instance.group for instance in self.instances]
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, service_name: str, endpoint: str,
+                 payload: object = None,
+                 parent: Request | None = None) -> Event:
+        """Route one request to a replica; returns its completion event."""
+        done = self.sim.event()
+        request = Request(service_name, endpoint, done, payload=payload,
+                          parent=parent, created_at=self.sim.now)
+        instance = self.registry.lookup(service_name)
+        self.rpc.deliver(request, instance)
+        return done
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)

@@ -1,0 +1,209 @@
+"""Running service replicas and the handler-facing context API."""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+from repro._errors import ServiceOverloadError, ServiceUnavailableError
+from repro.cpu.burst import CpuBurst, TaskGroup
+from repro.services.request import Request
+from repro.services.spec import ServiceSpec
+from repro.sim.events import AllOf, Event
+from repro.sim.resources import Store
+from repro.topology.cpuset import CpuSet
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.deployment import Deployment
+
+_instance_ids = itertools.count()
+
+
+class ServiceInstance:
+    """One replica: a request queue drained by a pool of worker processes.
+
+    Each replica owns a :class:`TaskGroup`, so all its CPU bursts share an
+    affinity mask and accounting — the simulated equivalent of running one
+    pinned Tomcat container.
+    """
+
+    def __init__(self, deployment: "Deployment", spec: ServiceSpec,
+                 affinity: CpuSet, home_node: int, local_id: int = 0):
+        self.deployment = deployment
+        self.spec = spec
+        self.instance_id = next(_instance_ids)
+        #: Index within this deployment (stable across runs, unlike the
+        #: process-global ``instance_id``); use it — never
+        #: ``instance_id`` — in random-stream names, or reruns in one
+        #: process lose reproducibility.
+        self.local_id = local_id
+        self.group = TaskGroup(spec.name, affinity, profile=spec.profile,
+                               home_node=home_node)
+        self.queue = Store(deployment.sim, capacity=spec.queue_capacity)
+        self.shared = (spec.shared_factory(self)
+                       if spec.shared_factory else None)
+        self.outstanding = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.accepting = True
+        self._workers = [deployment.sim.process(self._worker_loop())
+                         for __ in range(spec.workers)]
+
+    @property
+    def affinity(self) -> CpuSet:
+        """The replica's CPU mask."""
+        return self.group.affinity
+
+    @property
+    def home_node(self) -> int:
+        """NUMA node holding the replica's memory."""
+        return self.group.home_node
+
+    def enqueue(self, request: Request) -> None:
+        """Admit a request (called by the RPC fabric).
+
+        A full bounded queue sheds load: the request fails with
+        :class:`~repro._errors.ServiceOverloadError`, which the caller
+        observes on its completion event.
+        """
+        request.enqueued_at = self.deployment.sim.now
+        request.instance_id = self.instance_id
+        if not self.accepting:
+            self.rejected += 1
+            request.done.fail(ServiceUnavailableError(
+                f"{self.spec.name}#{self.instance_id} is shut down"))
+            return
+        if self.queue.try_put(request):
+            self.outstanding += 1
+            return
+        self.rejected += 1
+        request.done.fail(ServiceOverloadError(
+            f"{self.spec.name}#{self.instance_id} queue full "
+            f"({self.spec.queue_capacity})"))
+
+    def shutdown(self) -> None:
+        """Crash semantics: stop accepting and fail everything queued.
+
+        Requests already inside a worker run to completion (the simulated
+        process finishes its in-flight work); queued ones fail
+        immediately with :class:`ServiceUnavailableError`.  Idle workers
+        stay parked on the empty queue and never run again.
+        """
+        self.accepting = False
+        for item in self.queue.drain():
+            request = t.cast(Request, item)
+            self.outstanding -= 1
+            self.rejected += 1
+            request.done.fail(ServiceUnavailableError(
+                f"{self.spec.name}#{self.instance_id} crashed with "
+                f"request queued"))
+
+    def _worker_loop(self) -> t.Generator:
+        sim = self.deployment.sim
+        while True:
+            request = t.cast(Request, (yield self.queue.get()))
+            request.started_at = sim.now
+            context = ServiceContext(self, request)
+            try:
+                endpoint = self.spec.resolve(request.endpoint)
+                response = yield from endpoint.handler(context)
+            except Exception as exc:  # handler bug or modelled failure
+                self.failed += 1
+                self.outstanding -= 1
+                self.deployment.rpc.respond_failure(request.done, exc)
+                continue
+            request.completed_at = sim.now
+            self.completed += 1
+            self.outstanding -= 1
+            if self.deployment.tracer is not None:
+                self.deployment.tracer.record(request)
+            self.deployment.rpc.respond(request.done, response)
+
+    def __repr__(self) -> str:
+        return (f"<ServiceInstance {self.spec.name}#{self.instance_id} "
+                f"affinity={self.affinity.to_string()!r} "
+                f"outstanding={self.outstanding}>")
+
+
+class ServiceContext:
+    """What a handler sees: CPU, downstream calls, randomness, shared state.
+
+    Handlers are generator functions; every method returning an event is
+    meant to be ``yield``-ed.
+    """
+
+    __slots__ = ("instance", "request")
+
+    def __init__(self, instance: ServiceInstance, request: Request):
+        self.instance = instance
+        self.request = request
+
+    @property
+    def sim(self):
+        """The simulator (for raw timeouts in advanced handlers)."""
+        return self.instance.deployment.sim
+
+    @property
+    def shared(self) -> object:
+        """Per-instance shared state built by the spec's factory."""
+        return self.instance.shared
+
+    @property
+    def payload(self) -> object:
+        """The request's payload."""
+        return self.request.payload
+
+    # ------------------------------------------------------------------
+    # CPU work
+    # ------------------------------------------------------------------
+    def compute(self, mean_demand: float, cv: float = 0.25) -> Event:
+        """Execute CPU work; yields until the burst completes.
+
+        ``mean_demand`` is seconds of CPU at nominal speed; the actual
+        demand is drawn from a lognormal with coefficient of variation
+        ``cv`` on this service/endpoint's named stream.
+        """
+        deployment = self.instance.deployment
+        stream = f"demand.{self.instance.spec.name}.{self.request.endpoint}"
+        demand = deployment.streams.lognormal_mean_cv(stream, mean_demand, cv)
+        return self.submit_demand(demand)
+
+    def submit_demand(self, demand: float) -> Event:
+        """Execute an exact CPU demand (no sampling)."""
+        deployment = self.instance.deployment
+        burst = CpuBurst(demand, self.group, deployment.sim.event())
+        deployment.scheduler.submit(burst)
+        return burst.done
+
+    @property
+    def group(self) -> TaskGroup:
+        """The replica's scheduling group."""
+        return self.instance.group
+
+    # ------------------------------------------------------------------
+    # Downstream calls
+    # ------------------------------------------------------------------
+    def call(self, service_name: str, endpoint: str,
+             payload: object = None) -> Event:
+        """RPC to another service; yields until the response arrives."""
+        return self.instance.deployment.dispatch(
+            service_name, endpoint, payload=payload, parent=self.request)
+
+    def gather(self, *events: Event) -> Event:
+        """Wait for several events (e.g. parallel downstream calls)."""
+        return AllOf(self.sim, events)
+
+    # ------------------------------------------------------------------
+    # Randomness (per-service named streams, reproducible)
+    # ------------------------------------------------------------------
+    def uniform(self, purpose: str, low: float = 0.0,
+                high: float = 1.0) -> float:
+        """A uniform draw on this service's ``purpose`` stream."""
+        stream = f"svc.{self.instance.spec.name}.{purpose}"
+        return self.instance.deployment.streams.uniform(stream, low, high)
+
+    def integers(self, purpose: str, low: int, high: int) -> int:
+        """An integer draw in ``[low, high)``."""
+        stream = f"svc.{self.instance.spec.name}.{purpose}"
+        return self.instance.deployment.streams.integers(stream, low, high)

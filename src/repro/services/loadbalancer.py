@@ -1,0 +1,68 @@
+"""Replica selection policies."""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.instance import ServiceInstance
+
+#: Valid policy names for :class:`LoadBalancer`.
+POLICIES = ("round_robin", "least_outstanding")
+
+
+class LoadBalancer:
+    """Chooses the replica that serves each request for one service.
+
+    ``round_robin`` matches TeaStore's default (its WebUI iterates the
+    registry's instance list); ``least_outstanding`` is the stronger
+    baseline useful for sensitivity studies.
+    """
+
+    def __init__(self, service_name: str, policy: str = "round_robin"):
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown load-balancing policy {policy!r}; "
+                f"choose from {POLICIES}")
+        self.service_name = service_name
+        self.policy = policy
+        self._instances: list["ServiceInstance"] = []
+        self._next = 0
+
+    @property
+    def instances(self) -> list["ServiceInstance"]:
+        """Registered replicas (in registration order)."""
+        return list(self._instances)
+
+    def add(self, instance: "ServiceInstance") -> None:
+        """Register one replica."""
+        self._instances.append(instance)
+
+    def remove(self, instance: "ServiceInstance") -> None:
+        """Deregister one replica (it must be present)."""
+        try:
+            self._instances.remove(instance)
+        except ValueError:
+            raise ConfigurationError(
+                f"instance {instance!r} is not registered with "
+                f"{self.service_name!r}") from None
+        self._next = 0
+
+    def pick(self) -> "ServiceInstance":
+        """Choose the replica for the next request."""
+        if not self._instances:
+            raise ConfigurationError(
+                f"service {self.service_name!r} has no instances")
+        if self.policy == "round_robin":
+            instance = self._instances[self._next % len(self._instances)]
+            self._next += 1
+            return instance
+        # least_outstanding: fewest requests in flight; ties to the
+        # lowest-index replica for determinism.
+        return min(self._instances, key=lambda i: (i.outstanding, i.instance_id))
+
+    def __repr__(self) -> str:
+        return (f"<LoadBalancer {self.service_name!r} {self.policy} "
+                f"{len(self._instances)} instances>")

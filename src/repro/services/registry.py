@@ -1,0 +1,67 @@
+"""Service discovery: name → load balancer → instances.
+
+Mirrors TeaStore's Registry service functionally (it tells callers where
+replicas live); its CPU cost is negligible and modelled as part of RPC
+latency, which the paper's profiling also observed (Registry barely
+registers in CPU-time breakdowns).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.services.loadbalancer import LoadBalancer
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.instance import ServiceInstance
+
+
+class ServiceRegistry:
+    """Maps service names to their load balancers."""
+
+    def __init__(self, default_policy: str = "round_robin"):
+        self.default_policy = default_policy
+        self._balancers: dict[str, LoadBalancer] = {}
+
+    @property
+    def service_names(self) -> list[str]:
+        """All registered service names, sorted."""
+        return sorted(self._balancers)
+
+    def balancer(self, service_name: str) -> LoadBalancer:
+        """The balancer for ``service_name`` (created on first use)."""
+        balancer = self._balancers.get(service_name)
+        if balancer is None:
+            balancer = LoadBalancer(service_name, self.default_policy)
+            self._balancers[service_name] = balancer
+        return balancer
+
+    def register(self, instance: "ServiceInstance") -> None:
+        """Add a replica under its service name."""
+        self.balancer(instance.spec.name).add(instance)
+
+    def deregister(self, instance: "ServiceInstance") -> None:
+        """Remove a replica."""
+        self.balancer(instance.spec.name).remove(instance)
+
+    def lookup(self, service_name: str) -> "ServiceInstance":
+        """Pick a replica of ``service_name`` for one request."""
+        balancer = self._balancers.get(service_name)
+        if balancer is None:
+            raise ConfigurationError(
+                f"no such service: {service_name!r}; "
+                f"known: {self.service_names}")
+        return balancer.pick()
+
+    def instances_of(self, service_name: str) -> list["ServiceInstance"]:
+        """All replicas of one service."""
+        balancer = self._balancers.get(service_name)
+        return balancer.instances if balancer else []
+
+    def all_instances(self) -> list["ServiceInstance"]:
+        """Every replica of every service."""
+        instances: list["ServiceInstance"] = []
+        for name in self.service_names:
+            instances.extend(self._balancers[name].instances)
+        return instances

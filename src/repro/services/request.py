@@ -1,0 +1,55 @@
+"""In-flight request objects."""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+_request_ids = itertools.count()
+
+
+class Request:
+    """One operation travelling through the service graph.
+
+    ``done`` succeeds with the handler's response payload once the target
+    service finishes (including the return network hop).  Timestamps allow
+    latency decomposition in tests and experiments.
+    """
+
+    __slots__ = ("request_id", "service_name", "endpoint", "payload",
+                 "parent", "done", "created_at", "enqueued_at",
+                 "started_at", "completed_at", "instance_id")
+
+    def __init__(self, service_name: str, endpoint: str, done: "Event",
+                 payload: object = None, parent: "Request | None" = None,
+                 created_at: float = 0.0):
+        self.request_id = next(_request_ids)
+        self.service_name = service_name
+        self.endpoint = endpoint
+        self.payload = payload
+        #: The request whose handler issued this one (None for user calls).
+        self.parent = parent
+        self.done = done
+        self.created_at = created_at
+        self.enqueued_at: float | None = None
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        #: Replica that served the request (set at dispatch).
+        self.instance_id: int | None = None
+
+    @property
+    def depth(self) -> int:
+        """Call depth below the user request (0 = user-facing)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return (f"<Request #{self.request_id} "
+                f"{self.service_name}/{self.endpoint}>")

@@ -1,0 +1,59 @@
+"""Loopback RPC fabric between co-located services.
+
+All services run on one server (the paper's scale-*up* setting), so the
+"network" is the kernel loopback path: a small constant latency per hop
+plus whatever CPU cost handlers model themselves.  Request and response
+each pay one hop.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro._units import us
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.instance import ServiceInstance
+    from repro.services.request import Request
+
+
+class RpcFabric:
+    """Delivers requests to instances and responses back to callers."""
+
+    def __init__(self, sim: Simulator, hop_latency: float = us(25.0)):
+        if hop_latency < 0:
+            raise ConfigurationError(
+                f"hop latency must be non-negative: {hop_latency}")
+        self.sim = sim
+        self.hop_latency = hop_latency
+        self.messages_sent = 0
+
+    def deliver(self, request: "Request",
+                instance: "ServiceInstance") -> None:
+        """Send ``request`` to ``instance`` after one network hop."""
+        self.messages_sent += 1
+        if self.hop_latency == 0:
+            instance.enqueue(request)
+        else:
+            self.sim.call_in(self.hop_latency,
+                             lambda: instance.enqueue(request))
+
+    def respond(self, done: Event, response: object) -> None:
+        """Complete ``done`` with ``response`` after the return hop."""
+        self.messages_sent += 1
+        if self.hop_latency == 0:
+            done.succeed(response)
+        else:
+            self.sim.call_in(self.hop_latency,
+                             lambda: done.succeed(response))
+
+    def respond_failure(self, done: Event, exc: Exception) -> None:
+        """Propagate a handler failure to the caller after the return hop."""
+        self.messages_sent += 1
+        if self.hop_latency == 0:
+            done.fail(exc)
+        else:
+            self.sim.call_in(self.hop_latency, lambda: done.fail(exc))

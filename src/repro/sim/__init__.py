@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free DES core in the style of SimPy:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop and clock.
+* :class:`~repro.sim.events.Event` — one-shot triggerable events.
+* :class:`~repro.sim.engine.Process` — generator-based coroutines that
+  ``yield`` events to wait on them.
+* :class:`~repro.sim.resources.Resource` / :class:`~repro.sim.resources.Store`
+  — capacity-limited resources and FIFO item queues.
+* :class:`~repro.sim.rand.RandomStreams` — named, independently seeded
+  random-number streams for reproducible experiments.
+
+The kernel additionally exposes cheap *callback scheduling*
+(:meth:`Simulator.call_at` / :meth:`Simulator.call_in`) with cancellable
+handles, which the CPU scheduler uses for burst completions that must be
+re-timed when execution rates change.
+"""
+
+from repro.sim.engine import Process, Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.rand import RandomStreams
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

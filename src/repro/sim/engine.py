@@ -1,0 +1,248 @@
+"""The simulation event loop, clock, and process machinery."""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+
+from repro._errors import SimulationError
+from repro.sim.events import Event, Interrupt, Timeout
+
+
+class Handle:
+    """A cancellable handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_in`.
+    Cancellation is O(1): the heap entry is tombstoned and skipped when
+    popped.
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: t.Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        self.callback = _noop
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else f"at t={self.time:.6f}"
+        return f"<Handle {state}>"
+
+
+def _noop() -> None:
+    return None
+
+
+class Simulator:
+    """Discrete-event simulator: a clock plus a time-ordered work heap.
+
+    Two scheduling styles coexist:
+
+    * **Events & processes** — rich SimPy-style coroutines for modelling
+      protocol logic (service handlers, load generators).
+    * **Raw callbacks** — :meth:`call_in` returns a cancellable
+      :class:`Handle`; used on hot paths (CPU burst completions) where
+      events would be needless overhead and cancellation must be cheap.
+
+    Entries at equal times are processed in insertion order (FIFO), which
+    makes runs deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: list[tuple[float, int, Handle]] = []
+        self._counter = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Raw callback scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: t.Callable[[], None]) -> Handle:
+        """Schedule ``callback()`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}")
+        handle = Handle(time, callback)
+        self._counter += 1
+        heapq.heappush(self._heap, (time, self._counter, handle))
+        return handle
+
+    def call_in(self, delay: float, callback: t.Callable[[], None]) -> Handle:
+        """Schedule ``callback()`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event for callback processing."""
+        self.call_in(delay, lambda: self._process_event(event))
+
+    def _process_event(self, event: Event) -> None:
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event.defused:
+            exc = t.cast(BaseException, event.value)
+            raise exc
+
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that succeeds ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: t.Generator[Event, object, object]) -> "Process":
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled entry, or ``inf`` if none remain."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process exactly one scheduled entry, advancing the clock."""
+        while True:
+            if not self._heap:
+                raise SimulationError("nothing scheduled")
+            time, __, handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                break
+        self.now = time
+        handle.callback()
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, mirroring SimPy semantics.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            if until is not None and until < self.now:
+                raise SimulationError(
+                    f"until={until} is in the past (now={self.now})")
+            while True:
+                next_time = self.peek()
+                if next_time == float("inf"):
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The wrapped generator ``yield``\\ s :class:`Event` objects; the process
+    resumes when each yielded event is processed, receiving the event's
+    value (or having the exception thrown in, if it failed).  The process
+    itself is an event that succeeds with the generator's return value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: Simulator, generator: t.Generator[Event, object, object]):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick off on the next processing slot so construction order does
+        # not matter within a time step.
+        bootstrap = Event(sim)
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the event it was waiting on (the
+        event stays valid and may trigger later without effect).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself")
+        exc = Interrupt(cause)
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        # Deliver on the next processing slot, preserving determinism.
+        carrier = Event(self.sim)
+        carrier.add_callback(lambda __: self._advance(exc, failed=True))
+        carrier.succeed()
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defuse()
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._advance(event.value, failed=False)
+        else:
+            event.defuse()
+            self._advance(t.cast(BaseException, event.value), failed=True)
+
+    def _advance(self, value: object, failed: bool) -> None:
+        try:
+            if failed:
+                target = self._generator.throw(t.cast(BaseException, value))
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process yielded a non-event: {target!r}")
+            self._generator.throw(error)
+            return
+        if target.sim is not self.sim:
+            error = SimulationError("yielded event belongs to another simulator")
+            self._generator.throw(error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,232 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot object that is *pending* until it either
+succeeds with a value or fails with an exception.  Callbacks attached to a
+pending event run when the simulator processes the triggered event; callbacks
+attached after triggering run immediately at processing time.
+
+Processes (see :mod:`repro.sim.engine`) wait on events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.sim.engine import Simulator
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot triggerable event bound to a simulator.
+
+    Lifecycle: *pending* → (``succeed`` | ``fail``) → *triggered* →
+    *processed* (callbacks ran).  Re-triggering raises
+    :class:`~repro._errors.SimulationError`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.  Set to
+        #: ``None`` once processed.
+        self.callbacks: list[t.Callable[[Event], None]] | None = []
+        self._value: object = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        """True when a failure has been claimed by a waiter.
+
+        An unclaimed failure escalates out of
+        :meth:`~repro.sim.engine.Simulator.run` to avoid silently dropped
+        errors.
+        """
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the simulation."""
+        self._defused = True
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: t.Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.sim, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay.
+
+    Created via :meth:`~repro.sim.engine.Simulator.timeout`; the constructor
+    schedules it immediately.
+    """
+
+    __slots__ = ("delay", "_payload")
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._payload = value
+        sim.call_in(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._ok = True
+        self._value = self._payload
+        # Process directly instead of re-queueing: the timeout already owns
+        # its slot in the time heap, so an extra hop would only distort
+        # same-timestamp ordering.
+        self.sim._process_event(self)
+
+    def succeed(self, value: object = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: t.Iterable[Event]):
+        super().__init__(sim)
+        self.events: tuple[Event, ...] = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError(
+                    "cannot mix events from different simulators")
+        self._count = 0
+        if not self.events:
+            self._ok = True
+            self._value = {}
+            sim._schedule_event(self)
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _satisfied(self, n_triggered: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                # A sibling failure after the condition resolved must still
+                # be claimed, otherwise the simulator escalates it.
+                event.defuse()
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(t.cast(BaseException, event.value))
+            return
+        self._count += 1
+        if self._satisfied(self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, object]:
+        return {e: e.value for e in self.events if e.triggered and e.ok}
+
+
+class AllOf(_Condition):
+    """Succeeds when *all* component events have succeeded.
+
+    The value is a dict mapping each event to its value.  Fails as soon as
+    any component fails.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self, n_triggered: int) -> bool:
+        return n_triggered == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Succeeds when *any* component event has succeeded.
+
+    The value is a dict of the events that had succeeded at trigger time.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self, n_triggered: int) -> bool:
+        return n_triggered >= 1

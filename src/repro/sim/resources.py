@@ -1,0 +1,153 @@
+"""Capacity-limited resources and FIFO stores for the simulation kernel."""
+
+from __future__ import annotations
+
+import collections
+import typing as t
+
+from repro._errors import SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    ``acquire()`` returns an event that succeeds when a slot is granted;
+    ``release()`` frees a slot and grants it to the oldest waiter.  Unlike
+    SimPy there is no request-object handshake: the caller promises to call
+    ``release()`` exactly once per successful acquire (service worker pools
+    and database connection pools follow this discipline).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: collections.deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquisitions still waiting."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request a slot; the returned event succeeds when granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            # Slot transfers directly to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self._in_use}/{self.capacity} in use, "
+                f"{len(self._waiters)} waiting>")
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items.
+
+    ``put(item)`` returns an event succeeding once the item is accepted
+    (immediately unless the store is full); ``get()`` returns an event
+    succeeding with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: collections.deque[object] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, object]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        """Number of blocked ``get()`` calls."""
+        return len(self._getters)
+
+    @property
+    def putters_waiting(self) -> int:
+        """Number of blocked ``put()`` calls."""
+        return len(self._putters)
+
+    def put(self, item: object) -> Event:
+        """Offer ``item``; the returned event succeeds once accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: object) -> bool:
+        """Non-blocking put: accept ``item`` now or return ``False``."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Take the oldest item; the returned event succeeds with it."""
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self._admit_blocked_putter()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[object]:
+        """Remove and return every queued item (blocked putters stay
+        blocked; used for crash semantics — the owner decides their fate)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters:
+            put_event, item = self._putters.popleft()
+            self._items.append(item)
+            put_event.succeed()
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (f"<Store {len(self._items)}/{cap} items, "
+                f"{len(self._getters)} getters, {len(self._putters)} putters>")

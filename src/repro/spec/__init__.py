@@ -1,0 +1,9 @@
+"""SPEC-class comparison kernels for the characterization contrast."""
+
+from repro.spec.kernels import (
+    KERNEL_NAMES,
+    batch_kernel_profiles,
+    run_batch_kernels,
+)
+
+__all__ = ["KERNEL_NAMES", "batch_kernel_profiles", "run_batch_kernels"]

@@ -1,0 +1,101 @@
+"""TeaStore deployment configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+
+#: The six modelled CPU-consuming components.
+_KNOWN_SERVICES = ("webui", "auth", "persistence", "image",
+                   "recommender", "db")
+
+#: Performance-tuned baseline replica counts for the 128-logical-CPU
+#: platform: sized by the services' relative CPU appetites (WebUI heaviest,
+#: Recommender light, one database), which is how the paper's baseline was
+#: tuned before topology awareness was applied.
+DEFAULT_REPLICAS: dict[str, int] = {
+    "webui": 4,
+    "auth": 2,
+    "persistence": 3,
+    "image": 2,
+    "recommender": 1,
+    "db": 1,
+}
+
+#: Worker-pool widths (Tomcat threads / DB connections) per replica —
+#: generous, as in the tuned testbed, so CPU rather than thread count is
+#: the binding resource.
+DEFAULT_WORKERS: dict[str, int] = {
+    "webui": 200,
+    "auth": 32,
+    "persistence": 64,
+    "image": 64,
+    "recommender": 32,
+    "db": 64,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TeaStoreConfig:
+    """Knobs of the TeaStore application model.
+
+    ``demand_scale`` multiplies every CPU demand — useful for shrinking
+    tests or stress-scaling.  The DB serial fractions model lock/log
+    serialization inside the database, which is what caps Persistence+DB
+    scaling (the per-service scaling differences the paper exploits).
+    """
+
+    replicas: t.Mapping[str, int] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_REPLICAS))
+    workers: t.Mapping[str, int] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_WORKERS))
+    demand_scale: float = 1.0
+    demand_cv: float = 0.25
+    image_cache_hit_rate: float = 0.75
+    image_preview_hit_rate: float = 0.95
+    db_read_serial_fraction: float = 0.05
+    db_write_serial_fraction: float = 0.12
+
+    def __post_init__(self) -> None:
+        for mapping_name in ("replicas", "workers"):
+            mapping = getattr(self, mapping_name)
+            for service, count in mapping.items():
+                if service not in _KNOWN_SERVICES:
+                    raise ConfigurationError(
+                        f"{mapping_name}: unknown service {service!r}; "
+                        f"known: {_KNOWN_SERVICES}")
+                if count < 1:
+                    raise ConfigurationError(
+                        f"{mapping_name}[{service!r}] must be >= 1: {count}")
+        if self.demand_scale <= 0:
+            raise ConfigurationError(
+                f"demand_scale must be positive: {self.demand_scale}")
+        if self.demand_cv < 0:
+            raise ConfigurationError(
+                f"demand_cv must be >= 0: {self.demand_cv}")
+        for field in ("image_cache_hit_rate", "image_preview_hit_rate"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{field} must be in [0, 1]: {value}")
+        for field in ("db_read_serial_fraction", "db_write_serial_fraction"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{field} must be in [0, 1]: {value}")
+
+    def replica_count(self, service: str) -> int:
+        """Replica count for ``service`` (defaults applied)."""
+        return self.replicas.get(service, DEFAULT_REPLICAS[service])
+
+    def worker_count(self, service: str) -> int:
+        """Worker-pool width for ``service`` (defaults applied)."""
+        return self.workers.get(service, DEFAULT_WORKERS[service])
+
+    def with_replicas(self, **overrides: int) -> "TeaStoreConfig":
+        """A copy with some replica counts replaced."""
+        replicas = dict(self.replicas)
+        replicas.update(overrides)
+        return dataclasses.replace(self, replicas=replicas)

@@ -1,0 +1,137 @@
+"""User session profiles as Markov chains.
+
+TeaStore's load driver walks stochastic user profiles; the study uses the
+"browse" profile: users arrive at the home page, typically log in, browse
+categories and product pages, occasionally add items to their cart, and
+eventually log out.  The transition matrix below reconstructs that profile
+(the suite's LIMBO/Markov definition) — the exact probabilities shape the
+request mix, not the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import WorkloadError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.deployment import Deployment
+
+#: state → list of (next_state, probability).
+Transitions = t.Mapping[str, t.Sequence[tuple[str, float]]]
+
+#: The reconstructed TeaStore "browse" profile.
+BROWSE_TRANSITIONS: dict[str, list[tuple[str, float]]] = {
+    "home": [("login", 0.5), ("category", 0.5)],
+    "login": [("category", 1.0)],
+    "category": [("product", 0.55), ("category", 0.25), ("home", 0.20)],
+    "product": [("add_to_cart", 0.35), ("category", 0.45),
+                ("product", 0.10), ("home", 0.10)],
+    "add_to_cart": [("category", 0.55), ("product", 0.25),
+                    ("logout", 0.20)],
+    "logout": [("home", 1.0)],
+}
+
+#: The reconstructed TeaStore "buy" profile: users who fill a cart and
+#: complete the order — heavier on cart updates and the write-intensive
+#: checkout path, stressing the database's serialized fraction.
+BUY_TRANSITIONS: dict[str, list[tuple[str, float]]] = {
+    "home": [("login", 0.8), ("category", 0.2)],
+    "login": [("category", 1.0)],
+    "category": [("product", 0.70), ("category", 0.20), ("home", 0.10)],
+    "product": [("add_to_cart", 0.60), ("category", 0.30),
+                ("product", 0.10)],
+    "add_to_cart": [("cart_view", 0.35), ("category", 0.40),
+                    ("product", 0.25)],
+    "cart_view": [("checkout", 0.60), ("category", 0.30),
+                  ("add_to_cart", 0.10)],
+    "checkout": [("logout", 0.55), ("home", 0.45)],
+    "logout": [("home", 1.0)],
+}
+
+
+class MarkovSessionProfile:
+    """A user-session generator driven by a Markov chain over endpoints.
+
+    Each state is an endpoint of ``service`` (WebUI for TeaStore).  Users
+    walk independent chains on their own random streams, so traces are
+    reproducible per (seed, user).
+    """
+
+    def __init__(self, transitions: Transitions, start: str = "home",
+                 service: str = "webui"):
+        self.service = service
+        self.start = start
+        self.transitions = {state: list(nexts)
+                            for state, nexts in transitions.items()}
+        self._validate()
+        self._targets = {state: [target for target, __ in nexts]
+                         for state, nexts in self.transitions.items()}
+        self._weights = {state: [weight for __, weight in nexts]
+                         for state, nexts in self.transitions.items()}
+
+    def _validate(self) -> None:
+        if self.start not in self.transitions:
+            raise WorkloadError(
+                f"start state {self.start!r} has no transitions")
+        for state, nexts in self.transitions.items():
+            if not nexts:
+                raise WorkloadError(f"state {state!r} has no successors")
+            total = sum(weight for __, weight in nexts)
+            if abs(total - 1.0) > 1e-9:
+                raise WorkloadError(
+                    f"state {state!r}: probabilities sum to {total}, not 1")
+            for target, weight in nexts:
+                if weight < 0:
+                    raise WorkloadError(
+                        f"state {state!r}: negative probability for "
+                        f"{target!r}")
+                if target not in self.transitions:
+                    raise WorkloadError(
+                        f"state {state!r} references unknown state "
+                        f"{target!r}")
+
+    @property
+    def states(self) -> list[str]:
+        """All endpoint states, sorted."""
+        return sorted(self.transitions)
+
+    def session_factory(self, deployment: "Deployment"):
+        """Bind to a deployment; returns a workload session factory."""
+        def factory(user_id: int) -> t.Iterator[tuple[str, str, object]]:
+            return self._walk(deployment, user_id)
+        return factory
+
+    def _walk(self, deployment: "Deployment",
+              user_id: int) -> t.Iterator[tuple[str, str, object]]:
+        stream = f"session.{user_id}"
+        state = self.start
+        while True:
+            yield (self.service, state, None)
+            index = deployment.streams.choice_index(stream,
+                                                    self._weights[state])
+            state = self._targets[state][index]
+
+    def stationary_mix(self, n_steps: int = 100_000, seed: int = 0,
+                       deployment: "Deployment | None" = None) -> dict[str, float]:
+        """Empirical endpoint mix over a long walk (for tests/analysis)."""
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        counts = {state: 0 for state in self.transitions}
+        state = self.start
+        for __ in range(n_steps):
+            counts[state] += 1
+            weights = np.asarray(self._weights[state])
+            state = self._targets[state][
+                int(rng.choice(len(weights), p=weights / weights.sum()))]
+        return {state: count / n_steps for state, count in counts.items()}
+
+
+def browse_profile() -> MarkovSessionProfile:
+    """The standard browse profile used throughout the experiments."""
+    return MarkovSessionProfile(BROWSE_TRANSITIONS)
+
+
+def buy_profile() -> MarkovSessionProfile:
+    """The order-completing profile (checkout-heavy, DB-write-intensive)."""
+    return MarkovSessionProfile(BUY_TRANSITIONS)

@@ -1,0 +1,66 @@
+"""Server hardware topology model.
+
+Models the structural facts the paper's optimizations exploit: which logical
+CPUs share a physical core (SMT), which cores share an L3 slice (CCX), how
+CCXs group into dies (CCDs), dies into NUMA nodes, and nodes into sockets.
+
+* :class:`~repro.topology.cpuset.CpuSet` — immutable sets of logical CPU ids
+  with Linux-style list syntax ("0-7,64-71").
+* :class:`~repro.topology.model.Machine` — the topology tree plus lookup
+  helpers and a SLIT-like NUMA distance matrix.
+* :mod:`~repro.topology.presets` — ready-made machines, including the
+  EPYC-"Rome"-class server studied by the paper (128 logical CPUs per
+  socket).
+"""
+
+from repro.topology.cache import CacheSpec
+from repro.topology.cpuset import CpuSet
+from repro.topology.model import (
+    Ccd,
+    Ccx,
+    Core,
+    LogicalCpu,
+    Machine,
+    MachineSpec,
+    NumaNode,
+    Socket,
+)
+from repro.topology.presets import (
+    PRESETS,
+    dual_socket_rome,
+    machine_from_preset,
+    medium_machine,
+    single_socket_rome,
+    small_numa_machine,
+    tiny_machine,
+)
+from repro.topology.serialize import (
+    dump_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+)
+
+__all__ = [
+    "CacheSpec",
+    "Ccd",
+    "Ccx",
+    "Core",
+    "CpuSet",
+    "LogicalCpu",
+    "Machine",
+    "MachineSpec",
+    "NumaNode",
+    "PRESETS",
+    "Socket",
+    "dual_socket_rome",
+    "dump_machine",
+    "load_machine",
+    "machine_from_dict",
+    "machine_from_preset",
+    "machine_to_dict",
+    "medium_machine",
+    "single_socket_rome",
+    "small_numa_machine",
+    "tiny_machine",
+]

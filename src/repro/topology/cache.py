@@ -1,0 +1,42 @@
+"""Cache descriptors attached to topology levels."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro._errors import TopologyError
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheSpec:
+    """Static description of one cache level.
+
+    Only the attributes the performance model consumes are kept: capacity
+    (for occupancy/miss-curve computations), the miss penalty in cycles
+    (for CPI inflation), and the sharing scope name (documentation and
+    pretty-printing).
+    """
+
+    name: str
+    size_bytes: int
+    miss_penalty_cycles: float
+    shared_by: str  # "core", "ccx", ...
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise TopologyError(f"cache {self.name}: size must be positive")
+        if self.miss_penalty_cycles < 0:
+            raise TopologyError(
+                f"cache {self.name}: miss penalty must be non-negative")
+
+    @property
+    def size_kib(self) -> float:
+        """Capacity in KiB, for human-readable output."""
+        return self.size_bytes / 1024.0
+
+    def __str__(self) -> str:
+        if self.size_bytes >= 1024 * 1024:
+            size = f"{self.size_bytes / (1024 * 1024):g} MiB"
+        else:
+            size = f"{self.size_kib:g} KiB"
+        return f"{self.name} {size} (per {self.shared_by})"

@@ -1,0 +1,145 @@
+"""Immutable sets of logical CPU ids with Linux-style list syntax.
+
+Affinity masks throughout the simulator are :class:`CpuSet` instances.  The
+string format matches Linux's cpulist convention used by ``taskset -c`` and
+sysfs (e.g. ``"0-7,64-71"``), so experiment configurations read like the
+shell commands the paper's authors would have typed.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import TopologyError
+
+
+class CpuSet:
+    """A frozen set of non-negative logical CPU ids."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: t.Iterable[int] = ()):
+        frozen = frozenset(int(i) for i in ids)
+        for cpu_id in frozen:
+            if cpu_id < 0:
+                raise TopologyError(f"negative cpu id: {cpu_id}")
+        self._ids = frozen
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_string(cls, text: str) -> "CpuSet":
+        """Parse Linux cpulist syntax: ``"0-3,8,10-11"``; "" is empty."""
+        text = text.strip()
+        if not text:
+            return cls()
+        ids: set[int] = set()
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                raise TopologyError(f"empty element in cpulist: {text!r}")
+            if "-" in part:
+                lo_text, __, hi_text = part.partition("-")
+                try:
+                    lo, hi = int(lo_text), int(hi_text)
+                except ValueError as exc:
+                    raise TopologyError(f"bad cpulist range: {part!r}") from exc
+                if lo > hi:
+                    raise TopologyError(f"reversed cpulist range: {part!r}")
+                ids.update(range(lo, hi + 1))
+            else:
+                try:
+                    ids.add(int(part))
+                except ValueError as exc:
+                    raise TopologyError(f"bad cpulist entry: {part!r}") from exc
+        return cls(ids)
+
+    @classmethod
+    def single(cls, cpu_id: int) -> "CpuSet":
+        """A set holding exactly one CPU."""
+        return cls((cpu_id,))
+
+    @classmethod
+    def range(cls, start: int, stop: int) -> "CpuSet":
+        """CPUs ``start`` .. ``stop - 1`` (half-open, like :func:`range`)."""
+        return cls(range(start, stop))
+
+    # ------------------------------------------------------------------
+    # Set protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, cpu_id: int) -> bool:
+        return cpu_id in self._ids
+
+    def __iter__(self) -> t.Iterator[int]:
+        return iter(sorted(self._ids))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return bool(self._ids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CpuSet):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __hash__(self) -> int:
+        return hash(self._ids)
+
+    def __or__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self._ids | other._ids)
+
+    def __and__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self._ids & other._ids)
+
+    def __sub__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self._ids - other._ids)
+
+    def issubset(self, other: "CpuSet") -> bool:
+        """True if every CPU here is also in ``other``."""
+        return self._ids <= other._ids
+
+    def isdisjoint(self, other: "CpuSet") -> bool:
+        """True if no CPU is shared with ``other``."""
+        return self._ids.isdisjoint(other._ids)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """Sorted tuple of member ids."""
+        return tuple(sorted(self._ids))
+
+    def first(self) -> int:
+        """Smallest member id; raises on an empty set."""
+        if not self._ids:
+            raise TopologyError("first() on empty CpuSet")
+        return min(self._ids)
+
+    def to_string(self) -> str:
+        """Render in Linux cpulist syntax with ranges collapsed."""
+        if not self._ids:
+            return ""
+        sorted_ids = sorted(self._ids)
+        parts: list[str] = []
+        run_start = prev = sorted_ids[0]
+        for cpu_id in sorted_ids[1:]:
+            if cpu_id == prev + 1:
+                prev = cpu_id
+                continue
+            parts.append(self._render_run(run_start, prev))
+            run_start = prev = cpu_id
+        parts.append(self._render_run(run_start, prev))
+        return ",".join(parts)
+
+    @staticmethod
+    def _render_run(start: int, end: int) -> str:
+        if start == end:
+            return str(start)
+        return f"{start}-{end}"
+
+    def __repr__(self) -> str:
+        return f"CpuSet({self.to_string()!r})"

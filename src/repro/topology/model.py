@@ -1,0 +1,325 @@
+"""The machine topology tree and its lookup helpers.
+
+The hierarchy mirrors an AMD-EPYC-class part, which is also general enough
+for simpler machines (set the group sizes to 1):
+
+    Machine → Socket → NumaNode → CCD → CCX → Core → LogicalCpu
+
+Logical CPU numbering follows Linux's convention on such machines: ids
+``0 .. n_cores-1`` are the *first* hardware thread of every physical core
+(socket-major), and ids ``n_cores .. 2*n_cores-1`` are the SMT siblings in
+the same order.  Experiments that enable "the first N logical CPUs"
+therefore populate distinct physical cores before doubling up on SMT — the
+same behaviour the paper's `numactl`/`taskset` runs relied on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import TopologyError
+from repro._units import MIB
+from repro.topology.cache import CacheSpec
+from repro.topology.cpuset import CpuSet
+
+#: SLIT-style NUMA distances (dimensionless, 10 = local).
+DISTANCE_LOCAL = 10
+DISTANCE_SAME_SOCKET = 12
+DISTANCE_CROSS_SOCKET = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Static parameters from which a :class:`Machine` is built."""
+
+    name: str
+    sockets: int = 1
+    ccds_per_socket: int = 8
+    ccxs_per_ccd: int = 2
+    cores_per_ccx: int = 4
+    threads_per_core: int = 2
+    numa_nodes_per_socket: int = 1
+    l1i_kib: float = 32.0
+    l1d_kib: float = 32.0
+    l2_kib: float = 512.0
+    l3_mib_per_ccx: float = 16.0
+    base_freq_ghz: float = 2.25
+    max_boost_ghz: float = 3.4
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise TopologyError("sockets must be >= 1")
+        if self.ccds_per_socket < 1 or self.ccxs_per_ccd < 1:
+            raise TopologyError("CCD/CCX counts must be >= 1")
+        if self.cores_per_ccx < 1:
+            raise TopologyError("cores_per_ccx must be >= 1")
+        if self.threads_per_core not in (1, 2):
+            raise TopologyError(
+                f"threads_per_core must be 1 or 2: {self.threads_per_core}")
+        if self.numa_nodes_per_socket < 1:
+            raise TopologyError("numa_nodes_per_socket must be >= 1")
+        if self.ccds_per_socket % self.numa_nodes_per_socket != 0:
+            raise TopologyError(
+                "ccds_per_socket must divide evenly among NUMA nodes "
+                f"({self.ccds_per_socket} CCDs, "
+                f"{self.numa_nodes_per_socket} nodes)")
+        if self.base_freq_ghz <= 0 or self.max_boost_ghz < self.base_freq_ghz:
+            raise TopologyError("need 0 < base_freq_ghz <= max_boost_ghz")
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.ccds_per_socket * self.ccxs_per_ccd * self.cores_per_ccx
+
+    @property
+    def n_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def n_logical_cpus(self) -> int:
+        return self.n_cores * self.threads_per_core
+
+    @property
+    def logical_cpus_per_socket(self) -> int:
+        return self.cores_per_socket * self.threads_per_core
+
+
+@dataclasses.dataclass(frozen=True)
+class Socket:
+    """One CPU package."""
+    index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class NumaNode:
+    """One NUMA memory domain (globally indexed)."""
+    index: int
+    socket: Socket
+
+
+@dataclasses.dataclass(frozen=True)
+class Ccd:
+    """One core chiplet die (globally indexed)."""
+    index: int
+    node: NumaNode
+
+    @property
+    def socket(self) -> Socket:
+        return self.node.socket
+
+
+@dataclasses.dataclass(frozen=True)
+class Ccx:
+    """One core complex sharing an L3 slice (globally indexed)."""
+    index: int
+    ccd: Ccd
+
+    @property
+    def node(self) -> NumaNode:
+        return self.ccd.node
+
+    @property
+    def socket(self) -> Socket:
+        return self.ccd.socket
+
+
+@dataclasses.dataclass(frozen=True)
+class Core:
+    """One physical core (globally indexed)."""
+    index: int
+    ccx: Ccx
+
+    @property
+    def ccd(self) -> Ccd:
+        return self.ccx.ccd
+
+    @property
+    def node(self) -> NumaNode:
+        return self.ccx.node
+
+    @property
+    def socket(self) -> Socket:
+        return self.ccx.socket
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalCpu:
+    """One hardware thread."""
+    index: int
+    core: Core
+    thread: int  # 0 = first thread, 1 = SMT sibling
+
+    @property
+    def ccx(self) -> Ccx:
+        return self.core.ccx
+
+    @property
+    def node(self) -> NumaNode:
+        return self.core.node
+
+    @property
+    def socket(self) -> Socket:
+        return self.core.socket
+
+
+class Machine:
+    """A fully enumerated machine topology with O(1) lookups."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self.sockets: list[Socket] = [Socket(s) for s in range(spec.sockets)]
+        self.nodes: list[NumaNode] = []
+        self.ccds: list[Ccd] = []
+        self.ccxs: list[Ccx] = []
+        self.cores: list[Core] = []
+        self._build_tree()
+        self.cpus: list[LogicalCpu] = self._enumerate_cpus()
+        self._cpus_by_ccx = self._group_cpus(lambda c: c.ccx.index,
+                                             len(self.ccxs))
+        self._cpus_by_node = self._group_cpus(lambda c: c.node.index,
+                                              len(self.nodes))
+        self._cpus_by_core = self._group_cpus(lambda c: c.core.index,
+                                              len(self.cores))
+        self._cpus_by_socket = self._group_cpus(lambda c: c.socket.index,
+                                                len(self.sockets))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_tree(self) -> None:
+        spec = self.spec
+        ccds_per_node = spec.ccds_per_socket // spec.numa_nodes_per_socket
+        for socket in self.sockets:
+            for __ in range(spec.numa_nodes_per_socket):
+                node = NumaNode(len(self.nodes), socket)
+                self.nodes.append(node)
+                for __ in range(ccds_per_node):
+                    ccd = Ccd(len(self.ccds), node)
+                    self.ccds.append(ccd)
+                    for __ in range(spec.ccxs_per_ccd):
+                        ccx = Ccx(len(self.ccxs), ccd)
+                        self.ccxs.append(ccx)
+                        for __ in range(spec.cores_per_ccx):
+                            self.cores.append(Core(len(self.cores), ccx))
+
+    def _enumerate_cpus(self) -> list[LogicalCpu]:
+        cpus = [LogicalCpu(core.index, core, 0) for core in self.cores]
+        if self.spec.threads_per_core == 2:
+            offset = len(self.cores)
+            cpus.extend(
+                LogicalCpu(offset + core.index, core, 1)
+                for core in self.cores)
+        return cpus
+
+    def _group_cpus(self, key: t.Callable[[LogicalCpu], int],
+                    n_groups: int) -> list[CpuSet]:
+        buckets: list[list[int]] = [[] for __ in range(n_groups)]
+        for cpu in self.cpus:
+            buckets[key(cpu)].append(cpu.index)
+        return [CpuSet(bucket) for bucket in buckets]
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def n_logical_cpus(self) -> int:
+        """Total number of hardware threads."""
+        return len(self.cpus)
+
+    def cpu(self, index: int) -> LogicalCpu:
+        """The logical CPU with the given id."""
+        if not 0 <= index < len(self.cpus):
+            raise TopologyError(
+                f"cpu id {index} out of range 0..{len(self.cpus) - 1}")
+        return self.cpus[index]
+
+    def sibling(self, index: int) -> LogicalCpu | None:
+        """The SMT sibling of a logical CPU, or ``None`` without SMT."""
+        if self.spec.threads_per_core == 1:
+            self.cpu(index)  # validate
+            return None
+        cpu = self.cpu(index)
+        n_cores = len(self.cores)
+        sibling_index = (cpu.index + n_cores if cpu.thread == 0
+                         else cpu.index - n_cores)
+        return self.cpus[sibling_index]
+
+    def cpus_in_ccx(self, ccx_index: int) -> CpuSet:
+        """All logical CPUs of one CCX."""
+        return self._cpus_by_ccx[ccx_index]
+
+    def cpus_in_node(self, node_index: int) -> CpuSet:
+        """All logical CPUs of one NUMA node."""
+        return self._cpus_by_node[node_index]
+
+    def cpus_in_core(self, core_index: int) -> CpuSet:
+        """Both hardware threads of one physical core."""
+        return self._cpus_by_core[core_index]
+
+    def cpus_in_socket(self, socket_index: int) -> CpuSet:
+        """All logical CPUs of one socket."""
+        return self._cpus_by_socket[socket_index]
+
+    def all_cpus(self) -> CpuSet:
+        """Every logical CPU."""
+        return CpuSet.range(0, len(self.cpus))
+
+    def first_threads(self) -> CpuSet:
+        """The first hardware thread of every physical core."""
+        return CpuSet.range(0, len(self.cores))
+
+    def distance(self, node_a: int, node_b: int) -> int:
+        """SLIT-style distance between two NUMA nodes."""
+        a, b = self.nodes[node_a], self.nodes[node_b]
+        if a.index == b.index:
+            return DISTANCE_LOCAL
+        if a.socket.index == b.socket.index:
+            return DISTANCE_SAME_SOCKET
+        return DISTANCE_CROSS_SOCKET
+
+    # ------------------------------------------------------------------
+    # Cache descriptors
+    # ------------------------------------------------------------------
+    def cache_specs(self) -> list[CacheSpec]:
+        """The machine's cache hierarchy descriptors."""
+        spec = self.spec
+        return [
+            CacheSpec("L1i", int(spec.l1i_kib * 1024), 12.0, "core"),
+            CacheSpec("L1d", int(spec.l1d_kib * 1024), 12.0, "core"),
+            CacheSpec("L2", int(spec.l2_kib * 1024), 40.0, "core"),
+            CacheSpec("L3", int(spec.l3_mib_per_ccx * MIB), 220.0, "ccx"),
+        ]
+
+    def l3_bytes_per_ccx(self) -> int:
+        """L3 slice capacity of one CCX in bytes."""
+        return int(self.spec.l3_mib_per_ccx * MIB)
+
+    # ------------------------------------------------------------------
+    # Pretty-printing (experiment E1: platform table)
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A platform-configuration table like the paper's Table 1."""
+        spec = self.spec
+        lines = [
+            f"Machine: {spec.name}",
+            f"  Sockets:               {spec.sockets}",
+            f"  NUMA nodes:            {len(self.nodes)} "
+            f"({spec.numa_nodes_per_socket} per socket)",
+            f"  CCDs:                  {len(self.ccds)} "
+            f"({spec.ccds_per_socket} per socket)",
+            f"  CCXs (L3 domains):     {len(self.ccxs)} "
+            f"({spec.cores_per_ccx} cores each)",
+            f"  Physical cores:        {len(self.cores)}",
+            f"  Logical CPUs:          {len(self.cpus)} "
+            f"(SMT{spec.threads_per_core})",
+            f"  Logical CPUs / socket: {spec.logical_cpus_per_socket}",
+            f"  Base / boost clock:    {spec.base_freq_ghz:.2f} / "
+            f"{spec.max_boost_ghz:.2f} GHz",
+        ]
+        lines.extend(f"  {cache}" for cache in self.cache_specs())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<Machine {self.spec.name!r}: {len(self.cpus)} lcpus, "
+                f"{len(self.cores)} cores, {len(self.ccxs)} ccxs, "
+                f"{len(self.nodes)} nodes>")

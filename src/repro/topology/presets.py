@@ -1,0 +1,138 @@
+"""Ready-made machine definitions.
+
+``single_socket_rome`` / ``dual_socket_rome`` model the server class the
+paper studied: a state-of-the-art x86 part with 64 cores / 128 SMT threads
+per socket, 4-core CCXs each sharing a 16 MiB L3 slice, 2 CCXs per CCD and
+8 CCDs per socket (AMD EPYC 7742-class "Rome").  The smaller presets keep
+unit tests and quick examples fast.
+"""
+
+from __future__ import annotations
+
+from repro._errors import TopologyError
+from repro.topology.model import Machine, MachineSpec
+
+
+def single_socket_rome() -> Machine:
+    """The paper's platform: one socket, 128 logical CPUs."""
+    return Machine(MachineSpec(
+        name="rome-1s-128t",
+        sockets=1,
+        ccds_per_socket=8,
+        ccxs_per_ccd=2,
+        cores_per_ccx=4,
+        threads_per_core=2,
+        numa_nodes_per_socket=1,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+def dual_socket_rome() -> Machine:
+    """A two-socket variant (256 logical CPUs) for NUMA experiments."""
+    return Machine(MachineSpec(
+        name="rome-2s-256t",
+        sockets=2,
+        ccds_per_socket=8,
+        ccxs_per_ccd=2,
+        cores_per_ccx=4,
+        threads_per_core=2,
+        numa_nodes_per_socket=1,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+def single_socket_rome_nps4() -> Machine:
+    """The paper's platform configured NPS4 (4 NUMA nodes per socket)."""
+    return Machine(MachineSpec(
+        name="rome-1s-128t-nps4",
+        sockets=1,
+        ccds_per_socket=8,
+        ccxs_per_ccd=2,
+        cores_per_ccx=4,
+        threads_per_core=2,
+        numa_nodes_per_socket=4,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+def medium_machine() -> Machine:
+    """A 64-lcpu, 8-CCX single-socket machine: the smallest shape on which
+    every placement policy (one CCX per service and then some) is
+    exercisable quickly."""
+    return Machine(MachineSpec(
+        name="medium-1s-64t",
+        sockets=1,
+        ccds_per_socket=4,
+        ccxs_per_ccd=2,
+        cores_per_ccx=4,
+        threads_per_core=2,
+        numa_nodes_per_socket=1,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+def small_numa_machine() -> Machine:
+    """A 2-node, 32-lcpu machine: big enough to show every topology effect,
+    small enough for integration tests."""
+    return Machine(MachineSpec(
+        name="small-2n-32t",
+        sockets=2,
+        ccds_per_socket=1,
+        ccxs_per_ccd=2,
+        cores_per_ccx=4,
+        threads_per_core=2,
+        numa_nodes_per_socket=1,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+def tiny_machine() -> Machine:
+    """An 8-lcpu single-node machine for fast unit tests."""
+    return Machine(MachineSpec(
+        name="tiny-1n-8t",
+        sockets=1,
+        ccds_per_socket=1,
+        ccxs_per_ccd=2,
+        cores_per_ccx=2,
+        threads_per_core=2,
+        numa_nodes_per_socket=1,
+        l3_mib_per_ccx=16.0,
+        base_freq_ghz=2.25,
+        max_boost_ghz=3.4,
+    ))
+
+
+#: Name → factory mapping used by the CLI and experiment configs.
+PRESETS = {
+    "rome-1s": single_socket_rome,
+    "rome-2s": dual_socket_rome,
+    "rome-1s-nps4": single_socket_rome_nps4,
+    "medium": medium_machine,
+    "small": small_numa_machine,
+    "tiny": tiny_machine,
+}
+
+
+def machine_from_preset(name: str) -> Machine:
+    """Build the preset machine called ``name``.
+
+    Raises :class:`~repro._errors.TopologyError` with the list of valid
+    names on a typo, so CLI errors are self-explanatory.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown machine preset {name!r}; "
+            f"choose from {sorted(PRESETS)}") from None
+    return factory()

@@ -1,0 +1,58 @@
+"""Machine (de)serialization: bring-your-own topologies as JSON/dicts.
+
+Users reproducing the study on a different part (Milan's 8-core CCXs, a
+Xeon with one big LLC domain per socket) describe it once as a dict/JSON
+file and load it with :func:`machine_from_dict` / :func:`load_machine`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as t
+
+from repro._errors import TopologyError
+from repro.topology.model import Machine, MachineSpec
+
+#: MachineSpec field names, in declaration order.
+_FIELDS = tuple(field.name for field in dataclasses.fields(MachineSpec))
+
+
+def spec_to_dict(spec: MachineSpec) -> dict[str, t.Any]:
+    """The spec as a plain JSON-serializable dict."""
+    return dataclasses.asdict(spec)
+
+
+def machine_to_dict(machine: Machine) -> dict[str, t.Any]:
+    """The machine's defining spec as a dict (topology is derived)."""
+    return spec_to_dict(machine.spec)
+
+
+def machine_from_dict(data: t.Mapping[str, t.Any]) -> Machine:
+    """Build a machine from a spec dict; unknown keys are rejected."""
+    unknown = sorted(set(data) - set(_FIELDS))
+    if unknown:
+        raise TopologyError(
+            f"unknown machine spec keys: {unknown}; "
+            f"valid keys: {sorted(_FIELDS)}")
+    if "name" not in data:
+        raise TopologyError("machine spec requires a 'name'")
+    return Machine(MachineSpec(**data))
+
+
+def dump_machine(machine: Machine, path: str | pathlib.Path) -> None:
+    """Write the machine's spec as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(machine_to_dict(machine), indent=2) + "\n")
+
+
+def load_machine(path: str | pathlib.Path) -> Machine:
+    """Read a machine spec from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid machine JSON in {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TopologyError(f"machine JSON must be an object: {path}")
+    return machine_from_dict(data)

@@ -1,0 +1,14 @@
+"""Distributed request tracing.
+
+Attach a :class:`~repro.tracing.collector.TraceCollector` to a deployment
+(``deployment.tracer = TraceCollector()``) and every completed request
+becomes a span.  The collector reconstructs call trees and computes
+per-service *exclusive* time — the latency a service contributes after
+subtracting the time it merely spent waiting on its downstream calls —
+which is the decomposition behind "where does a page's latency actually
+go" (experiment E11).
+"""
+
+from repro.tracing.collector import Span, TraceCollector
+
+__all__ = ["Span", "TraceCollector"]

@@ -1,0 +1,231 @@
+"""Span collection and latency decomposition."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import AnalysisError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.request import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One completed request hop."""
+
+    request_id: int
+    parent_id: int | None
+    service: str
+    endpoint: str
+    instance_id: int | None
+    created_at: float    # caller issued the request
+    enqueued_at: float   # arrived at the replica queue
+    started_at: float    # a worker picked it up
+    completed_at: float  # handler finished
+
+    @property
+    def duration(self) -> float:
+        """Caller-visible time excluding the return network hop."""
+        return self.completed_at - self.created_at
+
+    @property
+    def queue_time(self) -> float:
+        """Time from replica arrival to worker pickup."""
+        return self.started_at - self.enqueued_at
+
+    @property
+    def service_time(self) -> float:
+        """Time inside the handler (own CPU + downstream waits)."""
+        return self.completed_at - self.started_at
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of possibly overlapping intervals."""
+    return sum(end - start for start, end in _merge(intervals))
+
+
+def _merge(intervals: list[tuple[float, float]]
+           ) -> list[tuple[float, float]]:
+    """Merge possibly overlapping intervals into disjoint sorted ones."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start > last_end:
+            merged.append((start, end))
+        else:
+            merged[-1] = (last_start, max(last_end, end))
+    return merged
+
+
+def _subtract(base: tuple[float, float],
+              holes: list[tuple[float, float]]
+              ) -> list[tuple[float, float]]:
+    """``base`` minus the union of ``holes`` as disjoint intervals."""
+    start, end = base
+    result: list[tuple[float, float]] = []
+    cursor = start
+    for hole_start, hole_end in _merge(holes):
+        hole_start = max(hole_start, start)
+        hole_end = min(hole_end, end)
+        if hole_end <= cursor:
+            continue
+        if hole_start > cursor:
+            result.append((cursor, min(hole_start, end)))
+        cursor = max(cursor, hole_end)
+        if cursor >= end:
+            break
+    if cursor < end:
+        result.append((cursor, end))
+    return [(s, e) for s, e in result if e > s]
+
+
+class TraceCollector:
+    """Collects spans and answers latency-decomposition queries."""
+
+    def __init__(self):
+        self._spans: dict[int, Span] = {}
+        self._children: dict[int, list[Span]] = {}
+        self._roots: list[Span] = []
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def record(self, request: "Request") -> None:
+        """Turn a completed request into a span (called by instances)."""
+        if (request.enqueued_at is None or request.started_at is None
+                or request.completed_at is None):
+            raise AnalysisError(
+                f"request {request!r} is missing timestamps")
+        parent_id = (request.parent.request_id
+                     if request.parent is not None else None)
+        span = Span(request.request_id, parent_id,
+                    request.service_name, request.endpoint,
+                    request.instance_id, request.created_at,
+                    request.enqueued_at, request.started_at,
+                    request.completed_at)
+        self._spans[span.request_id] = span
+        if parent_id is None:
+            self._roots.append(span)
+        else:
+            self._children.setdefault(parent_id, []).append(span)
+
+    def reset(self) -> None:
+        """Drop all spans (end of warmup)."""
+        self._spans.clear()
+        self._children.clear()
+        self._roots.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> list[Span]:
+        """User-facing spans (no parent), in completion order."""
+        return list(self._roots)
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Direct downstream spans of one span."""
+        return list(self._children.get(span.request_id, ()))
+
+    def trace_of(self, root: Span) -> list[Span]:
+        """The whole call tree below (and including) ``root``."""
+        result = [root]
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            kids = self._children.get(node.request_id, ())
+            result.extend(kids)
+            frontier.extend(kids)
+        return result
+
+    def exclusive_intervals(self, span: Span) -> list[tuple[float, float]]:
+        """The span's window minus its children's windows.
+
+        What remains is when this hop itself was the reason the caller
+        waited (own queueing + own CPU), not a downstream call.
+        """
+        holes = [(child.created_at, child.completed_at)
+                 for child in self._children.get(span.request_id, ())]
+        return _subtract((span.created_at, span.completed_at), holes)
+
+    def exclusive_time(self, span: Span) -> float:
+        """Total length of :meth:`exclusive_intervals`."""
+        return _union_length(self.exclusive_intervals(span))
+
+    def breakdown(self, endpoint: str | None = None) -> dict[str, float]:
+        """Mean per-service critical-path seconds per user request.
+
+        For each traced user request, a service's contribution is the
+        *union* of its spans' exclusive intervals — two parallel calls to
+        the same service that overlap in time count once, because the
+        caller only waited through that wall-clock window once.
+        Restricted to roots of one ``endpoint`` when given.  Values sum
+        to ≈ the mean end-to-end latency (slightly more when *different*
+        services overlap in parallel: each is on the critical path).
+        """
+        roots = [r for r in self._roots
+                 if endpoint is None or r.endpoint == endpoint]
+        if not roots:
+            raise AnalysisError(
+                "no traced roots" + (f" for endpoint {endpoint!r}"
+                                     if endpoint else ""))
+        totals: dict[str, float] = {}
+        for root in roots:
+            per_service: dict[str, list[tuple[float, float]]] = {}
+            for span in self.trace_of(root):
+                per_service.setdefault(span.service, []).extend(
+                    self.exclusive_intervals(span))
+            for service, intervals in per_service.items():
+                totals[service] = (totals.get(service, 0.0)
+                                   + _union_length(intervals))
+        return {service: value / len(roots)
+                for service, value in totals.items()}
+
+    def mean_root_latency(self, endpoint: str | None = None) -> float:
+        """Mean end-to-end duration of traced user requests."""
+        roots = [r for r in self._roots
+                 if endpoint is None or r.endpoint == endpoint]
+        if not roots:
+            raise AnalysisError("no traced roots")
+        return sum(r.duration for r in roots) / len(roots)
+
+    def to_chrome_trace(self, limit_roots: int | None = None) -> list[dict]:
+        """Export spans as Chrome trace-event JSON (``chrome://tracing``,
+        Perfetto, Speedscope).
+
+        Each service maps to a process row, each replica to a thread row;
+        spans become complete ("X") events with microsecond timestamps.
+        ``limit_roots`` caps the export to the first N user requests'
+        trees (traces of long runs are large).
+        """
+        roots = self._roots if limit_roots is None \
+            else self._roots[:limit_roots]
+        events: list[dict] = []
+        for root in roots:
+            for span in self.trace_of(root):
+                events.append({
+                    "name": f"{span.service}/{span.endpoint}",
+                    "cat": span.service,
+                    "ph": "X",
+                    "ts": span.created_at * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": span.service,
+                    "tid": (span.instance_id
+                            if span.instance_id is not None else 0),
+                    "args": {
+                        "request_id": span.request_id,
+                        "parent_id": span.parent_id,
+                        "queue_ms": span.queue_time * 1e3,
+                        "root_id": root.request_id,
+                    },
+                })
+        return events
+
+    def __repr__(self) -> str:
+        return (f"<TraceCollector {len(self._spans)} spans, "
+                f"{len(self._roots)} roots>")

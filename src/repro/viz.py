@@ -1,0 +1,211 @@
+"""Dependency-free SVG charts for regenerating the paper's figures.
+
+Matplotlib is deliberately not required: these are small, deterministic
+SVG writers good enough for scaling curves and breakdown bars.  The
+experiment→figure mapping lives in :mod:`repro.experiments.figures`; the
+CLI writes them with ``repro run all --figures DIR``.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from xml.sax.saxutils import escape
+
+from repro._errors import ConfigurationError
+
+#: One series: name → list of (x, y) points.
+Series = t.Mapping[str, t.Sequence[tuple[float, float]]]
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#17becf", "#7f7f7f")
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_LEFT, _MARGIN_RIGHT = 70, 20
+_MARGIN_TOP, _MARGIN_BOTTOM = 50, 60
+
+
+def _plot_area() -> tuple[float, float, float, float]:
+    return (_MARGIN_LEFT, _MARGIN_TOP,
+            _WIDTH - _MARGIN_RIGHT, _HEIGHT - _MARGIN_BOTTOM)
+
+
+def _ticks(low: float, high: float, n: int = 5) -> list[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / (n - 1)
+    return [low + i * step for i in range(n)]
+
+
+def _header(title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="16" font-weight="bold">{escape(title)}</text>',
+    ]
+
+
+def _axes(x_label: str, y_label: str,
+          x_ticks: list[tuple[float, str]],
+          y_ticks: list[tuple[float, str]]) -> list[str]:
+    left, top, right, bottom = _plot_area()
+    parts = [
+        f'<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" '
+        f'stroke="black"/>',
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" '
+        f'stroke="black"/>',
+        f'<text x="{(left + right) / 2}" y="{_HEIGHT - 14}" '
+        f'text-anchor="middle" font-size="13">{escape(x_label)}</text>',
+        f'<text x="18" y="{(top + bottom) / 2}" text-anchor="middle" '
+        f'font-size="13" transform="rotate(-90 18 '
+        f'{(top + bottom) / 2})">{escape(y_label)}</text>',
+    ]
+    for position, label in x_ticks:
+        parts.append(f'<line x1="{position:.1f}" y1="{bottom}" '
+                     f'x2="{position:.1f}" y2="{bottom + 5}" '
+                     f'stroke="black"/>')
+        parts.append(f'<text x="{position:.1f}" y="{bottom + 20}" '
+                     f'text-anchor="middle" font-size="11">'
+                     f'{escape(label)}</text>')
+    for position, label in y_ticks:
+        parts.append(f'<line x1="{left - 5}" y1="{position:.1f}" '
+                     f'x2="{left}" y2="{position:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{left - 8}" y="{position + 4:.1f}" '
+                     f'text-anchor="end" font-size="11">'
+                     f'{escape(label)}</text>')
+        parts.append(f'<line x1="{left}" y1="{position:.1f}" '
+                     f'x2="{_plot_area()[2]}" y2="{position:.1f}" '
+                     f'stroke="#dddddd"/>')
+    return parts
+
+
+def _format_value(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def line_chart(series: Series, title: str,
+               x_label: str = "", y_label: str = "") -> str:
+    """A multi-series line chart with markers and a legend."""
+    if not series or all(not points for points in series.values()):
+        raise ConfigurationError("line_chart needs at least one point")
+    left, top, right, bottom = _plot_area()
+    xs = [x for points in series.values() for x, __ in points]
+    ys = [y for points in series.values() for __, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(0.0, min(ys)), max(ys) * 1.05
+
+    def sx(x: float) -> float:
+        span = (x_high - x_low) or 1.0
+        return left + (x - x_low) / span * (right - left)
+
+    def sy(y: float) -> float:
+        span = (y_high - y_low) or 1.0
+        return bottom - (y - y_low) / span * (bottom - top)
+
+    parts = _header(title)
+    parts += _axes(
+        x_label, y_label,
+        [(sx(x), _format_value(x)) for x in _ticks(x_low, x_high)],
+        [(sy(y), _format_value(y)) for y in _ticks(y_low, y_high)])
+    for index, (name, points) in enumerate(series.items()):
+        color = _COLORS[index % len(_COLORS)]
+        ordered = sorted(points)
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in ordered)
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        for x, y in ordered:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
+                         f'r="3.5" fill="{color}"/>')
+        legend_y = top + 16 * index
+        parts.append(f'<rect x="{right - 150}" y="{legend_y - 9}" '
+                     f'width="12" height="12" fill="{color}"/>')
+        parts.append(f'<text x="{right - 133}" y="{legend_y + 2}" '
+                     f'font-size="12">{escape(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(labels: t.Sequence[str], values: t.Sequence[float],
+              title: str, y_label: str = "",
+              color: str = _COLORS[0]) -> str:
+    """A single-series vertical bar chart."""
+    if not labels or len(labels) != len(values):
+        raise ConfigurationError(
+            "bar_chart needs equal, non-empty labels and values")
+    left, top, right, bottom = _plot_area()
+    y_high = max(max(values), 1e-12) * 1.05
+    slot = (right - left) / len(labels)
+    bar_width = slot * 0.65
+
+    def sy(y: float) -> float:
+        return bottom - y / y_high * (bottom - top)
+
+    parts = _header(title)
+    parts += _axes("", y_label, [],
+                   [(sy(y), _format_value(y)) for y in _ticks(0, y_high)])
+    for index, (label, value) in enumerate(zip(labels, values)):
+        x = left + slot * index + (slot - bar_width) / 2
+        parts.append(f'<rect x="{x:.1f}" y="{sy(value):.1f}" '
+                     f'width="{bar_width:.1f}" '
+                     f'height="{bottom - sy(value):.1f}" fill="{color}"/>')
+        center = x + bar_width / 2
+        parts.append(f'<text x="{center:.1f}" y="{bottom + 16}" '
+                     f'text-anchor="middle" font-size="11">'
+                     f'{escape(str(label))}</text>')
+        parts.append(f'<text x="{center:.1f}" y="{sy(value) - 4:.1f}" '
+                     f'text-anchor="middle" font-size="10">'
+                     f'{_format_value(value)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def grouped_bar_chart(groups: t.Sequence[str],
+                      series: t.Mapping[str, t.Sequence[float]],
+                      title: str, y_label: str = "") -> str:
+    """Bars grouped by category, one color per series."""
+    if not groups or not series:
+        raise ConfigurationError("grouped_bar_chart needs groups and series")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups")
+    left, top, right, bottom = _plot_area()
+    y_high = max(max(values) for values in series.values()) * 1.05
+    slot = (right - left) / len(groups)
+    bar_width = slot * 0.8 / len(series)
+
+    def sy(y: float) -> float:
+        return bottom - y / y_high * (bottom - top)
+
+    parts = _header(title)
+    parts += _axes("", y_label, [],
+                   [(sy(y), _format_value(y)) for y in _ticks(0, y_high)])
+    for group_index, group in enumerate(groups):
+        base = left + slot * group_index + slot * 0.1
+        for series_index, (name, values) in enumerate(series.items()):
+            color = _COLORS[series_index % len(_COLORS)]
+            value = values[group_index]
+            x = base + bar_width * series_index
+            parts.append(f'<rect x="{x:.1f}" y="{sy(value):.1f}" '
+                         f'width="{bar_width:.1f}" '
+                         f'height="{bottom - sy(value):.1f}" '
+                         f'fill="{color}"/>')
+        parts.append(f'<text x="{base + slot * 0.4:.1f}" '
+                     f'y="{bottom + 16}" text-anchor="middle" '
+                     f'font-size="11">{escape(str(group))}</text>')
+    for series_index, name in enumerate(series):
+        color = _COLORS[series_index % len(_COLORS)]
+        legend_y = top + 16 * series_index
+        parts.append(f'<rect x="{right - 150}" y="{legend_y - 9}" '
+                     f'width="12" height="12" fill="{color}"/>')
+        parts.append(f'<text x="{right - 133}" y="{legend_y + 2}" '
+                     f'font-size="12">{escape(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,34 @@
+"""Load generation and experiment execution.
+
+* :class:`~repro.workload.closed.ClosedLoopWorkload` — a fixed population
+  of users with exponential think time, each walking a session profile
+  (the paper's HTTP load-driver setup).
+* :class:`~repro.workload.openloop.OpenLoopWorkload` — Poisson arrivals at
+  a fixed rate, for latency-under-load curves.
+* :func:`~repro.workload.runner.run_experiment` — warmup, measure, and
+  collect a :class:`~repro.workload.runner.RunResult`.
+"""
+
+from repro.workload.batch import BatchKernelWorkload
+from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.faults import FaultEvent, FaultInjector
+from repro.workload.openloop import OpenLoopWorkload
+from repro.workload.runner import RunResult, run_experiment
+from repro.workload.sessions import (
+    constant_session,
+    scripted_session,
+    weighted_mix_session,
+)
+
+__all__ = [
+    "BatchKernelWorkload",
+    "ClosedLoopWorkload",
+    "FaultEvent",
+    "FaultInjector",
+    "OpenLoopWorkload",
+    "RunResult",
+    "constant_session",
+    "run_experiment",
+    "scripted_session",
+    "weighted_mix_session",
+]

@@ -1,0 +1,90 @@
+"""Batch co-runner workloads ("noisy neighbors").
+
+A :class:`BatchKernelWorkload` keeps a configurable number of batch
+threads busy on the shared machine — the classic datacenter co-location
+scenario.  It executes through the same scheduler and memory model as the
+services, so an unpinned neighbor both steals CPU *and* thrashes every L3
+slice it may migrate across, while a confined one pressures only its own
+partition.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import WorkloadError
+from repro.cpu.burst import CpuBurst, TaskGroup
+from repro.memory.profile import WorkloadProfile
+from repro.services.deployment import Deployment
+from repro.topology.cpuset import CpuSet
+
+
+class BatchKernelWorkload:
+    """``concurrency`` batch threads issuing back-to-back CPU bursts."""
+
+    def __init__(self, deployment: Deployment, profile: WorkloadProfile,
+                 affinity: CpuSet | None = None,
+                 concurrency: int = 8,
+                 burst_demand: float = 5e-3,
+                 demand_cv: float = 0.1,
+                 home_node: int | None = None):
+        if concurrency < 1:
+            raise WorkloadError(
+                f"concurrency must be >= 1: {concurrency}")
+        if burst_demand <= 0:
+            raise WorkloadError(
+                f"burst_demand must be positive: {burst_demand}")
+        self.deployment = deployment
+        affinity = affinity if affinity is not None else deployment.online
+        if home_node is None:
+            home_node = deployment.machine.cpu(affinity.first()).node.index
+        self.group = TaskGroup(profile.name, affinity, profile=profile,
+                               home_node=home_node)
+        deployment.memory_model.register_for_affinity(self.group)
+        self.concurrency = concurrency
+        self.burst_demand = burst_demand
+        self.demand_cv = demand_cv
+        self._started = False
+        self._count_at_window_start: int | None = None
+        self._window_start_time: float | None = None
+
+    def start(self) -> None:
+        """Launch the batch threads (idempotence guarded)."""
+        if self._started:
+            raise WorkloadError("batch workload already started")
+        self._started = True
+        for thread_index in range(self.concurrency):
+            self.deployment.sim.process(self._thread(thread_index))
+
+    def _thread(self, thread_index: int) -> t.Generator:
+        deployment = self.deployment
+        stream = f"batch.{self.group.name}.{thread_index}"
+        while True:
+            demand = deployment.streams.lognormal_mean_cv(
+                stream, self.burst_demand, self.demand_cv)
+            burst = CpuBurst(demand, self.group, deployment.sim.event())
+            deployment.scheduler.submit(burst)
+            yield burst.done
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def start_window(self) -> None:
+        """Begin measuring batch progress."""
+        self._count_at_window_start = self.group.bursts_completed
+        self._window_start_time = self.deployment.sim.now
+
+    def bursts_per_second(self) -> float:
+        """Batch bursts completed per second since :meth:`start_window`."""
+        if (self._count_at_window_start is None
+                or self._window_start_time is None):
+            raise WorkloadError("start_window() was never called")
+        elapsed = self.deployment.sim.now - self._window_start_time
+        if elapsed <= 0:
+            raise WorkloadError("measurement window has zero duration")
+        return ((self.group.bursts_completed - self._count_at_window_start)
+                / elapsed)
+
+    def __repr__(self) -> str:
+        return (f"<BatchKernelWorkload {self.group.name!r} "
+                f"x{self.concurrency}>")

@@ -1,0 +1,80 @@
+"""Closed-loop load generation.
+
+A fixed population of simulated users.  Each user repeatedly: thinks for an
+exponentially distributed time, issues the next request of its session
+profile, and waits for the response.  Throughput is therefore governed by
+the interactive response-time law — exactly how the TeaStore HTTP load
+driver used in the paper operates.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import WorkloadError
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import ThroughputMeter
+from repro.services.deployment import Deployment
+
+#: A session factory returns, per user, an iterator of
+#: (service, endpoint, payload) triples — the user's request stream.
+SessionFactory = t.Callable[[int], t.Iterator[tuple[str, str, object]]]
+
+
+class ClosedLoopWorkload:
+    """``n_users`` closed-loop users driving a deployment."""
+
+    def __init__(self, deployment: Deployment,
+                 session_factory: SessionFactory,
+                 n_users: int,
+                 think_time: float = 0.5):
+        if n_users < 1:
+            raise WorkloadError(f"n_users must be >= 1: {n_users}")
+        if think_time < 0:
+            raise WorkloadError(f"think_time must be >= 0: {think_time}")
+        self.deployment = deployment
+        self.session_factory = session_factory
+        self.n_users = n_users
+        self.think_time = think_time
+        self.latency = LatencyRecorder()
+        self.meter = ThroughputMeter(deployment.sim)
+        self.errors = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Launch all user processes (idempotence guarded)."""
+        if self._started:
+            raise WorkloadError("workload already started")
+        self._started = True
+        for user_id in range(self.n_users):
+            self.deployment.sim.process(self._user(user_id))
+
+    def _user(self, user_id: int) -> t.Generator:
+        deployment = self.deployment
+        sim = deployment.sim
+        session = self.session_factory(user_id)
+        stream = f"user.think.{user_id}"
+        # Desynchronize user start times across one think period.
+        initial_delay = deployment.streams.uniform(
+            f"user.start.{user_id}", 0.0, max(self.think_time, 1e-3))
+        yield sim.timeout(initial_delay)
+        for service, endpoint, payload in session:
+            if self.think_time > 0:
+                delay = deployment.streams.exponential(stream,
+                                                       self.think_time)
+                yield sim.timeout(delay)
+            issued_at = sim.now
+            done = deployment.dispatch(service, endpoint, payload=payload)
+            try:
+                yield done
+            except Exception:
+                # Shed or failed request: count it; the user retries with
+                # its next session step after thinking again.
+                self.errors += 1
+                continue
+            self.latency.record(sim.now - issued_at, tag=endpoint)
+            self.meter.mark()
+
+    def __repr__(self) -> str:
+        return (f"<ClosedLoopWorkload {self.n_users} users, "
+                f"think={self.think_time}s>")

@@ -1,0 +1,94 @@
+"""Fault injection: replica crashes and recoveries on a schedule.
+
+The scale-up study assumes healthy replicas; production deployments do
+not.  :class:`FaultInjector` kills a replica at a chosen time (new
+requests shed, queued ones fail, in-flight ones finish) and optionally
+restores an identical one later — letting tests and examples verify that
+placement and load balancing degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.services.deployment import Deployment
+from repro.services.instance import ServiceInstance
+
+
+@dataclasses.dataclass
+class FaultEvent:
+    """One executed fault, for post-run inspection."""
+
+    time: float
+    kind: str  # "kill" | "restore"
+    service: str
+    instance_id: int
+
+
+class FaultInjector:
+    """Schedules replica kills/restores against a deployment."""
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+        self.events: list[FaultEvent] = []
+
+    def kill_at(self, time: float, service: str,
+                replica_index: int = 0,
+                restore_after: float | None = None) -> None:
+        """Kill the ``replica_index``-th replica of ``service`` at ``time``.
+
+        With ``restore_after``, an identical replica (same spec, affinity
+        and home node) re-registers that many seconds after the kill.
+        Scheduling is validated lazily: the replica is resolved when the
+        fault fires, so replicas created after scheduling count too.
+        """
+        if time < self.deployment.sim.now:
+            raise ConfigurationError(
+                f"cannot schedule a fault in the past (t={time})")
+        if restore_after is not None and restore_after <= 0:
+            raise ConfigurationError(
+                f"restore_after must be positive: {restore_after}")
+
+        def fire() -> None:
+            instance = self._resolve(service, replica_index)
+            self._kill(instance)
+            if restore_after is not None:
+                self.deployment.sim.call_in(
+                    restore_after, lambda: self._restore(instance))
+
+        self.deployment.sim.call_at(time, fire)
+
+    def _resolve(self, service: str, replica_index: int) -> ServiceInstance:
+        instances = self.deployment.registry.instances_of(service)
+        if not instances:
+            raise ConfigurationError(
+                f"no replicas of {service!r} to kill")
+        if not 0 <= replica_index < len(instances):
+            raise ConfigurationError(
+                f"{service!r} has {len(instances)} replicas; "
+                f"index {replica_index} is invalid")
+        return instances[replica_index]
+
+    def _kill(self, instance: ServiceInstance) -> None:
+        self.deployment.remove_instance(instance)
+        instance.shutdown()
+        self.events.append(FaultEvent(
+            self.deployment.sim.now, "kill",
+            instance.spec.name, instance.instance_id))
+
+    def _restore(self, dead: ServiceInstance) -> None:
+        replacement = self.deployment.add_instance(
+            dead.spec, affinity=dead.affinity, home_node=dead.home_node)
+        self.events.append(FaultEvent(
+            self.deployment.sim.now, "restore",
+            replacement.spec.name, replacement.instance_id))
+
+    def kills(self) -> list[FaultEvent]:
+        """Executed kill events."""
+        return [e for e in self.events if e.kind == "kill"]
+
+    def restores(self) -> list[FaultEvent]:
+        """Executed restore events."""
+        return [e for e in self.events if e.kind == "restore"]

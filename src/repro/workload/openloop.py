@@ -1,0 +1,94 @@
+"""Open-loop (Poisson) load generation.
+
+Requests arrive at a fixed average rate regardless of completions, so the
+system can genuinely overload — the right driver for latency-versus-offered
+-load curves.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import WorkloadError
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import ThroughputMeter
+from repro.services.deployment import Deployment
+from repro.workload.closed import SessionFactory
+
+
+#: Arrival rate: a constant, or a function of simulated time (for
+#: diurnal/time-varying load).
+RateSpec = float | t.Callable[[float], float]
+
+
+class OpenLoopWorkload:
+    """Poisson arrivals at ``rate`` requests/second.
+
+    ``rate`` may be a callable ``rate(now) -> float`` for time-varying
+    load (the rate is re-sampled at every arrival, which is accurate for
+    rates that vary slowly relative to inter-arrival gaps).  Each arrival
+    takes the next step of a single shared session iterator (arrivals are
+    anonymous, matching an open HTTP workload mix).
+    """
+
+    def __init__(self, deployment: Deployment,
+                 session_factory: SessionFactory,
+                 rate: RateSpec):
+        if not callable(rate) and rate <= 0:
+            raise WorkloadError(f"arrival rate must be positive: {rate}")
+        self.deployment = deployment
+        self.rate = rate
+        self.session = session_factory(0)
+        self.latency = LatencyRecorder()
+        self.meter = ThroughputMeter(deployment.sim)
+        self.errors = 0
+        self.in_flight = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the arrival process."""
+        if self._started:
+            raise WorkloadError("workload already started")
+        self._started = True
+        self.deployment.sim.process(self._arrivals())
+
+    def current_rate(self) -> float:
+        """The arrival rate in effect right now."""
+        if callable(self.rate):
+            value = float(self.rate(self.deployment.sim.now))
+            if value <= 0:
+                raise WorkloadError(
+                    f"rate function returned non-positive rate {value} "
+                    f"at t={self.deployment.sim.now}")
+            return value
+        return self.rate
+
+    def _arrivals(self) -> t.Generator:
+        deployment = self.deployment
+        sim = deployment.sim
+        while True:
+            gap = deployment.streams.exponential(
+                "openloop.arrivals", 1.0 / self.current_rate())
+            yield sim.timeout(gap)
+            try:
+                service, endpoint, payload = next(self.session)
+            except StopIteration:
+                return
+            issued_at = sim.now
+            done = deployment.dispatch(service, endpoint, payload=payload)
+            self.in_flight += 1
+            done.add_callback(
+                lambda event, t0=issued_at, tag=endpoint:
+                self._on_complete(event, t0, tag))
+
+    def _on_complete(self, event, issued_at: float, tag: str) -> None:
+        self.in_flight -= 1
+        if not event.ok:
+            event.defuse()
+            self.errors += 1
+            return
+        self.latency.record(self.deployment.sim.now - issued_at, tag=tag)
+        self.meter.mark()
+
+    def __repr__(self) -> str:
+        return f"<OpenLoopWorkload rate={self.rate}/s>"

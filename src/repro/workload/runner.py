@@ -1,0 +1,110 @@
+"""Warmup/measure experiment execution and result collection.
+
+Implements the rigorous-methodology discipline: a warmup phase whose
+samples are discarded, then a measurement window over which throughput,
+latency percentiles, and utilization are computed.  One call = one run;
+repeat with different seeds and summarize with
+:func:`repro.metrics.stats.confidence_interval`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.metrics.utilization import UtilizationProbe
+from repro.services.deployment import Deployment
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.closed import ClosedLoopWorkload
+    from repro.workload.openloop import OpenLoopWorkload
+
+    Workload = ClosedLoopWorkload | OpenLoopWorkload
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Everything one measured run produces."""
+
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    completed: int
+    errors: int
+    duration: float
+    machine_utilization: float
+    service_utilization: dict[str, float]
+    service_share: dict[str, float]
+    #: Per request type: (mean, p99) latency — the paper-style
+    #: per-page-class view.
+    latency_by_endpoint: dict[str, tuple[float, float]] = dataclasses.field(
+        default_factory=dict)
+
+    def row(self) -> dict[str, float]:
+        """Flat numeric summary (benchmark table row)."""
+        return {
+            "throughput_rps": self.throughput,
+            "latency_mean_ms": self.latency_mean * 1e3,
+            "latency_p50_ms": self.latency_p50 * 1e3,
+            "latency_p95_ms": self.latency_p95 * 1e3,
+            "latency_p99_ms": self.latency_p99 * 1e3,
+            "completed": float(self.completed),
+            "errors": float(self.errors),
+            "machine_utilization": self.machine_utilization,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.throughput:8.1f} req/s | "
+                f"mean {self.latency_mean * 1e3:7.2f} ms | "
+                f"p99 {self.latency_p99 * 1e3:7.2f} ms | "
+                f"util {self.machine_utilization * 100:5.1f}%")
+
+
+def run_experiment(deployment: Deployment, workload: "Workload",
+                   warmup: float = 2.0,
+                   duration: float = 5.0) -> RunResult:
+    """Run ``workload`` against ``deployment`` and measure one window.
+
+    The workload is started (if it was not already), warmed up for
+    ``warmup`` simulated seconds, then measured for ``duration`` seconds.
+    """
+    if warmup < 0 or duration <= 0:
+        raise ConfigurationError(
+            f"need warmup >= 0 and duration > 0 "
+            f"(got {warmup}, {duration})")
+    if not workload._started:
+        workload.start()
+    probe = UtilizationProbe(deployment.scheduler, deployment.groups())
+
+    deployment.run(until=deployment.sim.now + warmup)
+    workload.latency.reset()
+    workload.meter.start_window()
+    probe.start()
+
+    deployment.run(until=deployment.sim.now + duration)
+    workload.meter.stop_window()
+    probe.stop()
+
+    if workload.latency.count == 0:
+        raise ConfigurationError(
+            "no requests completed inside the measurement window; "
+            "increase duration or check the workload wiring")
+    return RunResult(
+        throughput=workload.meter.rate(),
+        latency_mean=workload.latency.mean(),
+        latency_p50=workload.latency.p50(),
+        latency_p95=workload.latency.p95(),
+        latency_p99=workload.latency.p99(),
+        completed=workload.meter.window_count,
+        errors=workload.errors,
+        duration=duration,
+        machine_utilization=probe.machine_utilization(),
+        service_utilization=probe.group_utilization(),
+        service_share=probe.group_share(),
+        latency_by_endpoint={
+            tag: (workload.latency.mean(tag), workload.latency.p99(tag))
+            for tag in workload.latency.tags},
+    )

@@ -1,0 +1,77 @@
+"""Reusable session factories for load generators.
+
+Session factories return, per user, an iterator of
+``(service, endpoint, payload)`` triples.  TeaStore experiments use the
+Markov profiles in :mod:`repro.teastore.profiles`; these helpers cover
+the other common shapes: a constant endpoint, a fixed script, and a
+static weighted mix.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as t
+
+from repro._errors import WorkloadError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.deployment import Deployment
+
+Step = tuple[str, str, object]
+
+
+def constant_session(service: str, endpoint: str,
+                     payload: object = None) -> t.Callable[[int], t.Iterator[Step]]:
+    """Every request hits the same endpoint (microbenchmarks)."""
+    def factory(user_id: int) -> t.Iterator[Step]:
+        return itertools.repeat((service, endpoint, payload))
+    return factory
+
+
+def scripted_session(steps: t.Sequence[Step],
+                     repeat: bool = True) -> t.Callable[[int], t.Iterator[Step]]:
+    """Users replay a fixed request script, optionally forever.
+
+    With ``repeat=False`` each user performs the script once and stops
+    (its closed-loop user then goes idle) — useful for replaying recorded
+    traces with exact request counts.
+    """
+    if not steps:
+        raise WorkloadError("scripted_session needs at least one step")
+    steps = [tuple(step) for step in steps]
+    for step in steps:
+        if len(step) != 3:
+            raise WorkloadError(
+                f"each step must be (service, endpoint, payload): {step!r}")
+
+    def factory(user_id: int) -> t.Iterator[Step]:
+        if repeat:
+            return itertools.cycle(steps)
+        return iter(steps)
+    return factory
+
+
+def weighted_mix_session(deployment: "Deployment",
+                         mix: t.Mapping[Step, float]
+                         ) -> t.Callable[[int], t.Iterator[Step]]:
+    """Independent draws from a static endpoint mix (no session state).
+
+    Unlike the Markov profiles there is no per-user state; each request
+    is an independent sample, as in open HTTP replay tools.
+    """
+    if not mix:
+        raise WorkloadError("weighted_mix_session needs a non-empty mix")
+    steps = [tuple(step) for step in mix]
+    weights = [mix[step] for step in mix]  # type: ignore[index]
+    if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+        raise WorkloadError("mix weights must be non-negative, sum > 0")
+
+    def factory(user_id: int) -> t.Iterator[Step]:
+        stream = f"mix.{user_id}"
+
+        def walk() -> t.Iterator[Step]:
+            while True:
+                index = deployment.streams.choice_index(stream, weights)
+                yield t.cast(Step, steps[index])
+        return walk()
+    return factory

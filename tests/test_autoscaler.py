@@ -1,0 +1,160 @@
+"""Tests for time-varying load and the CCX-pool autoscaler."""
+
+import pytest
+
+from repro._errors import ConfigurationError, WorkloadError
+from repro._units import ms
+from repro.cpu import FlatFrequencyModel, SmtModel
+from repro.memory import WorkloadProfile
+from repro.placement import Autoscaler
+from repro.services import Deployment, ServiceSpec
+from repro.topology import medium_machine
+from repro.workload import OpenLoopWorkload
+
+
+def scalable_system():
+    deployment = Deployment(medium_machine(), seed=4,
+                            smt_model=SmtModel(2.0),
+                            frequency_model=FlatFrequencyModel())
+    deployment.rpc.hop_latency = 0.0
+    profile = WorkloadProfile("svc", 1024, 1024, 0.1, 0.1)
+    spec = ServiceSpec("svc", profile, workers=16)
+
+    @spec.endpoint("op")
+    def op(ctx):
+        yield ctx.submit_demand(ms(2.0))
+        return "ok"
+
+    return deployment, spec
+
+
+def session(user_id):
+    while True:
+        yield ("svc", "op", None)
+
+
+# ---------------------------------------------------------------------------
+# Time-varying open-loop rate
+# ---------------------------------------------------------------------------
+
+def test_constant_rate_still_works():
+    deployment, spec = scalable_system()
+    deployment.add_instance(spec)
+    workload = OpenLoopWorkload(deployment, session, rate=200.0)
+    assert workload.current_rate() == 200.0
+
+
+def test_rate_function_is_sampled_over_time():
+    deployment, spec = scalable_system()
+    deployment.add_instance(spec)
+    workload = OpenLoopWorkload(deployment, session,
+                                rate=lambda t: 100.0 + 100.0 * t)
+    workload.start()
+    deployment.run(until=2.0)
+    assert workload.current_rate() == pytest.approx(300.0)
+    # Mean rate over [0,2] is 200/s → ~400 arrivals.
+    assert 250 < workload.meter.lifetime_count < 550
+
+
+def test_rate_function_returning_nonpositive_raises():
+    deployment, spec = scalable_system()
+    deployment.add_instance(spec)
+    workload = OpenLoopWorkload(deployment, session, rate=lambda t: -1.0)
+    workload.start()
+    with pytest.raises(WorkloadError):
+        deployment.run(until=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Autoscaler
+# ---------------------------------------------------------------------------
+
+def test_autoscaler_validation():
+    deployment, spec = scalable_system()
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[])
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[0, 0])
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[0], min_replicas=2)
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[99])
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[0], interval=0.0)
+    with pytest.raises(ConfigurationError):
+        Autoscaler(deployment, spec, ccx_pool=[0],
+                   low_watermark=0.8, high_watermark=0.5)
+
+
+def test_autoscaler_starts_at_min_replicas():
+    deployment, spec = scalable_system()
+    scaler = Autoscaler(deployment, spec, ccx_pool=[0, 1, 2],
+                        min_replicas=2)
+    assert scaler.replica_count == 2
+    assert len(deployment.registry.instances_of("svc")) == 2
+
+
+def test_autoscaler_grows_under_load():
+    deployment, spec = scalable_system()
+    scaler = Autoscaler(deployment, spec, ccx_pool=[0, 1, 2, 3],
+                        min_replicas=1, interval=0.2)
+    # One CCX (4 cores at 2ms/op) saturates around 2000/s; offer well
+    # above that.
+    workload = OpenLoopWorkload(deployment, session, rate=4000.0)
+    workload.start()
+    deployment.run(until=3.0)
+    assert scaler.replica_count >= 2
+    assert len(scaler.scale_ups()) >= 1
+    # All managed replicas stay CCX-aligned.
+    for instance in deployment.registry.instances_of("svc"):
+        ccxs = {deployment.machine.cpu(c).ccx.index
+                for c in instance.affinity}
+        assert len(ccxs) == 1
+
+
+def test_autoscaler_shrinks_when_idle():
+    deployment, spec = scalable_system()
+    scaler = Autoscaler(deployment, spec, ccx_pool=[0, 1, 2],
+                        min_replicas=1, interval=0.2)
+    # Grow first under heavy load...
+    heavy = OpenLoopWorkload(deployment, session,
+                             rate=lambda t: 4000.0 if t < 1.5 else 20.0)
+    heavy.start()
+    deployment.run(until=1.5)
+    grown = scaler.replica_count
+    # ...then the load collapses and the scaler shrinks back.
+    deployment.run(until=5.0)
+    assert grown >= 2
+    assert scaler.replica_count < grown
+    assert len(scaler.scale_downs()) >= 1
+
+
+def test_autoscaler_never_exceeds_pool_or_drops_below_min():
+    deployment, spec = scalable_system()
+    scaler = Autoscaler(deployment, spec, ccx_pool=[0, 1],
+                        min_replicas=1, interval=0.1)
+    workload = OpenLoopWorkload(deployment, session, rate=6000.0)
+    workload.start()
+    deployment.run(until=2.0)
+    assert 1 <= scaler.replica_count <= 2
+
+
+def test_autoscaler_diurnal_cycle_tracks_load():
+    import math
+    deployment, spec = scalable_system()
+    scaler = Autoscaler(deployment, spec, ccx_pool=[0, 1, 2, 3],
+                        min_replicas=1, interval=0.2)
+
+    def diurnal(t):
+        return 2200.0 + 1800.0 * math.sin(2 * math.pi * t / 4.0)
+
+    workload = OpenLoopWorkload(deployment, session, rate=diurnal)
+    workload.start()
+    counts = []
+    for step in range(1, 17):
+        deployment.run(until=step * 0.5)
+        counts.append(scaler.replica_count)
+    # The replica count must actually vary with the load wave.
+    assert max(counts) >= 2
+    assert min(counts) <= max(counts) - 1
+    assert workload.errors == 0

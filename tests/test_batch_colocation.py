@@ -1,0 +1,89 @@
+"""Tests for the batch co-runner workload and the E12 experiment."""
+
+import pytest
+
+from repro._errors import ConfigurationError, WorkloadError
+from repro._units import mib, ms
+from repro.experiments import ExperimentSettings
+from repro.experiments import e12_colocation
+from repro.memory import WorkloadProfile
+from repro.services import Deployment
+from repro.topology import CpuSet, medium_machine, tiny_machine
+from repro.workload import BatchKernelWorkload
+
+
+def stream_profile():
+    return WorkloadProfile("streamer", code_bytes=mib(0.2),
+                           data_bytes=mib(48.0), mem_intensity=0.9,
+                           frontend_intensity=0.05)
+
+
+def test_batch_workload_validation():
+    deployment = Deployment(tiny_machine(), seed=0)
+    with pytest.raises(WorkloadError):
+        BatchKernelWorkload(deployment, stream_profile(), concurrency=0)
+    with pytest.raises(WorkloadError):
+        BatchKernelWorkload(deployment, stream_profile(),
+                            burst_demand=0.0)
+    workload = BatchKernelWorkload(deployment, stream_profile())
+    workload.start()
+    with pytest.raises(WorkloadError):
+        workload.start()
+    with pytest.raises(WorkloadError):
+        workload.bursts_per_second()  # window never opened
+
+
+def test_batch_workload_keeps_cpus_busy():
+    deployment = Deployment(tiny_machine(), seed=0)
+    workload = BatchKernelWorkload(deployment, stream_profile(),
+                                   concurrency=4, burst_demand=ms(2.0))
+    workload.start()
+    deployment.run(until=0.5)
+    workload.start_window()
+    deployment.run(until=1.5)
+    rate = workload.bursts_per_second()
+    # 4 threads of 2ms bursts → up to ~2000/s; boosted cores go faster.
+    assert rate > 500
+
+
+def test_batch_workload_respects_affinity():
+    deployment = Deployment(tiny_machine(), seed=0)
+    mask = CpuSet([0, 4])  # one physical core
+    workload = BatchKernelWorkload(deployment, stream_profile(),
+                                   affinity=mask, concurrency=4,
+                                   burst_demand=ms(1.0))
+    workload.start()
+    deployment.run(until=1.0)
+    outside = deployment.machine.all_cpus() - mask
+    assert sum(deployment.scheduler.busy_time(i) for i in outside) == 0.0
+
+
+def test_batch_workload_pressures_memory_model():
+    deployment = Deployment(tiny_machine(), seed=0)
+    before = deployment.memory_model.data_pressure(0)
+    BatchKernelWorkload(deployment, stream_profile())
+    assert deployment.memory_model.data_pressure(0) > before
+
+
+def test_e12_rejects_small_machines():
+    with pytest.raises(ConfigurationError):
+        e12_colocation.run(ExperimentSettings(preset="tiny"))
+
+
+def test_e12_structure_on_small_machine():
+    """Fast-mode check of E12's mechanics only: the neighbor hurts, and
+    all three configurations measure cleanly.  The containment claim
+    (partitioned ≫ shared) depends on the interference being large
+    relative to the sacrificed capacity, which needs the 16-CCX machine
+    — benchmarks/test_e12_colocation.py asserts it at paper scale."""
+    settings = ExperimentSettings.fast(users=400, warmup=0.6, duration=1.2)
+    result = e12_colocation.run(settings, neighbor_concurrency=8)
+    by_config = {row["config"]: row for row in result.rows}
+    alone = by_config["store alone"]["store_rps"]
+    shared = by_config["shared, both unpinned"]["store_rps"]
+    partitioned = by_config["partitioned (CCX-aware)"]["store_rps"]
+    assert shared < alone  # the neighbor hurts
+    assert partitioned > 0
+    assert by_config["shared, both unpinned"]["neighbor_bursts_per_s"] > 0
+    assert by_config["store alone"]["neighbor_bursts_per_s"] == 0.0
+    assert by_config["store alone"]["store_vs_alone"] == 1.0

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in EXPERIMENTS:
+        assert experiment_id in out
+
+
+def test_platform_prints_topology(capsys):
+    assert main(["platform", "--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny-1n-8t" in out
+    assert "Logical CPUs" in out
+
+
+def test_platform_default_is_paper_machine(capsys):
+    assert main(["platform"]) == 0
+    assert "128" in capsys.readouterr().out
+
+
+def test_run_e1_fast(capsys):
+    assert main(["run", "e1", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "[E1]" in out
+
+
+def test_run_e5_fast_with_overrides(capsys):
+    assert main(["run", "e5", "--fast", "--seed", "3",
+                 "--users", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "[E5]" in out
+    assert "webui" in out
+
+
+def test_run_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "e99"])
+
+
+def test_run_rejects_unknown_preset():
+    with pytest.raises(SystemExit):
+        main(["run", "e1", "--preset", "mega"])
+
+
+def test_e10_fast_picks_multi_node_machine(capsys):
+    assert main(["run", "e10", "--fast", "--users", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "[E10]" in out
+
+
+def test_e11_and_a4_registered():
+    assert "e11" in EXPERIMENTS
+    assert "a4" in EXPERIMENTS
+
+
+def test_run_e11_fast(capsys):
+    assert main(["run", "e11", "--fast", "--users", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "[E11]" in out
+    assert "checkout" in out
+
+
+def test_platform_json(capsys):
+    assert main(["platform", "--preset", "tiny", "--json"]) == 0
+    import json
+    data = json.loads(capsys.readouterr().out)
+    assert data["name"] == "tiny-1n-8t"
+
+
+def test_run_with_markdown_report(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["run", "e1", "--fast", "--markdown", str(target)]) == 0
+    text = target.read_text()
+    assert text.startswith("# TeaStore")
+    assert "### E1" in text

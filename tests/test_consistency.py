@@ -1,0 +1,94 @@
+"""Consistency invariants across the package: catalogs, exports, wiring."""
+
+import pytest
+
+import repro
+from repro.experiments import e3_core_scaling
+from repro.experiments.common import ExperimentSettings
+from repro.teastore import catalog
+from repro.teastore.services import build_specs
+from repro.teastore.profiles import BROWSE_TRANSITIONS, BUY_TRANSITIONS
+
+
+def test_public_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+
+def test_star_import_is_clean():
+    namespace: dict = {}
+    exec("from repro import *", namespace)  # noqa: S102 - deliberate
+    assert "Deployment" in namespace
+    assert "build_teastore" in namespace
+
+
+def test_webui_parse_and_render_cover_same_endpoints():
+    assert set(catalog.WEBUI_PARSE) == set(catalog.WEBUI_RENDER)
+
+
+def test_persistence_ops_have_db_costs():
+    assert set(catalog.PERSISTENCE) == set(catalog.DB_COST)
+
+
+def test_all_demand_constants_positive():
+    for mapping in (catalog.WEBUI_PARSE, catalog.WEBUI_RENDER,
+                    catalog.PERSISTENCE, catalog.DB_COST):
+        assert all(value > 0 for value in mapping.values())
+    for constant in (catalog.AUTH_VALIDATE, catalog.AUTH_LOGIN,
+                     catalog.AUTH_LOGOUT, catalog.IMAGE_HIT,
+                     catalog.IMAGE_MISS, catalog.IMAGE_PREVIEW_HIT,
+                     catalog.IMAGE_PREVIEW_MISS, catalog.RECOMMEND):
+        assert constant > 0
+
+
+def test_image_miss_costlier_than_hit():
+    assert catalog.IMAGE_MISS > catalog.IMAGE_HIT
+    assert catalog.IMAGE_PREVIEW_MISS > catalog.IMAGE_PREVIEW_HIT
+    assert catalog.IMAGE_PREVIEW_HIT < catalog.IMAGE_HIT  # thumbnails
+
+
+def test_webui_endpoints_match_catalog_and_profiles():
+    specs = build_specs()
+    webui_endpoints = set(specs["webui"].endpoints)
+    assert webui_endpoints == set(catalog.WEBUI_PARSE)
+    # Every Markov state of both profiles is a real WebUI endpoint.
+    assert set(BROWSE_TRANSITIONS) <= webui_endpoints
+    assert set(BUY_TRANSITIONS) <= webui_endpoints
+
+
+def test_cli_covers_every_experiment_module():
+    import pkgutil
+
+    import repro.experiments as experiments_package
+    from repro.cli import EXPERIMENTS
+
+    modules = {name for __, name, __ in pkgutil.iter_modules(
+        experiments_package.__path__)}
+    experiment_modules = {name for name in modules
+                          if name.startswith("e") and name[1].isdigit()}
+    registered = set()
+    for experiment_id in EXPERIMENTS:
+        if experiment_id.startswith("e"):
+            registered.add(experiment_id)
+    # e1..e12 all registered.
+    assert {f"e{i}" for i in range(1, 13)} <= registered
+    assert len(experiment_modules) == 12
+
+
+def test_e3_default_ladder_on_small_machine():
+    settings = ExperimentSettings.fast(users=150, warmup=0.4, duration=0.8)
+    result = e3_core_scaling.run(settings)  # default cpu_counts path
+    counts = result.column("logical_cpus")
+    assert counts == [16, 32, 48, 64]
+
+
+def test_benchmark_files_exist_for_every_experiment():
+    import pathlib
+    bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+    names = {p.stem for p in bench_dir.glob("test_*.py")}
+    for i in range(1, 13):
+        assert any(f"e{i}_" in name for name in names), f"no bench for e{i}"
+
+
+def test_version_is_exported():
+    assert repro.__version__ == "1.0.0"

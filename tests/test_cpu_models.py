@@ -1,0 +1,98 @@
+"""Unit tests for SMT and frequency models and burst/task-group basics."""
+
+import pytest
+
+from repro._errors import SchedulingError
+from repro.cpu import CpuBurst, FlatFrequencyModel, FrequencyModel, SmtModel, TaskGroup
+from repro.sim import Simulator
+from repro.topology import CpuSet
+
+
+def test_smt_alone_is_full_speed():
+    assert SmtModel(1.3).factor(sibling_busy=False) == 1.0
+
+
+def test_smt_shared_core_each_thread_slows():
+    model = SmtModel(1.3)
+    assert model.factor(sibling_busy=True) == pytest.approx(0.65)
+
+
+def test_smt_yield_two_means_no_interference():
+    assert SmtModel(2.0).factor(sibling_busy=True) == 1.0
+
+
+def test_smt_yield_validation():
+    with pytest.raises(SchedulingError):
+        SmtModel(0.9)
+    with pytest.raises(SchedulingError):
+        SmtModel(2.5)
+
+
+def test_frequency_full_boost_at_low_occupancy():
+    model = FrequencyModel(base_ghz=2.0, boost_ghz=3.0,
+                           full_boost_fraction=0.25)
+    assert model.factor(1, 100) == pytest.approx(1.5)
+    assert model.factor(25, 100) == pytest.approx(1.5)
+
+
+def test_frequency_base_clock_at_full_occupancy():
+    model = FrequencyModel(base_ghz=2.0, boost_ghz=3.0)
+    assert model.factor(100, 100) == pytest.approx(1.0)
+
+
+def test_frequency_linear_in_between():
+    model = FrequencyModel(base_ghz=2.0, boost_ghz=3.0,
+                           full_boost_fraction=0.25)
+    # Halfway between 25% and 100% occupancy → halfway between 1.5 and 1.0.
+    assert model.factor(625, 1000) == pytest.approx(1.25)
+
+
+def test_frequency_monotonically_nonincreasing():
+    model = FrequencyModel(base_ghz=2.25, boost_ghz=3.4)
+    factors = [model.factor(n, 64) for n in range(65)]
+    assert all(a >= b for a, b in zip(factors, factors[1:]))
+    assert min(factors) == pytest.approx(1.0)
+
+
+def test_frequency_validation():
+    with pytest.raises(SchedulingError):
+        FrequencyModel(base_ghz=0.0, boost_ghz=1.0)
+    with pytest.raises(SchedulingError):
+        FrequencyModel(base_ghz=2.0, boost_ghz=1.0)
+    with pytest.raises(SchedulingError):
+        FrequencyModel(base_ghz=1.0, boost_ghz=2.0, full_boost_fraction=0.0)
+    model = FrequencyModel(base_ghz=1.0, boost_ghz=2.0)
+    with pytest.raises(SchedulingError):
+        model.factor(1, 0)
+
+
+def test_flat_frequency_is_always_one():
+    model = FlatFrequencyModel()
+    assert model.factor(0, 64) == 1.0
+    assert model.factor(64, 64) == 1.0
+
+
+def test_task_group_requires_affinity():
+    with pytest.raises(SchedulingError):
+        TaskGroup("empty", CpuSet())
+
+
+def test_task_group_ids_unique():
+    a = TaskGroup("a", CpuSet([0]))
+    b = TaskGroup("b", CpuSet([0]))
+    assert a.group_id != b.group_id
+
+
+def test_burst_rejects_negative_demand():
+    sim = Simulator()
+    group = TaskGroup("g", CpuSet([0]))
+    with pytest.raises(SchedulingError):
+        CpuBurst(-1.0, group, sim.event())
+
+
+def test_burst_queueing_delay_requires_dispatch():
+    sim = Simulator()
+    group = TaskGroup("g", CpuSet([0]))
+    burst = CpuBurst(1.0, group, sim.event())
+    with pytest.raises(SchedulingError):
+        __ = burst.queueing_delay

@@ -1,0 +1,92 @@
+"""Tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.experiments.common import (
+    ExperimentSettings,
+    default_counts,
+    percent,
+    require_positive,
+    run_store,
+)
+from repro.placement import unpinned
+from repro.topology import CpuSet
+
+
+def test_run_store_returns_result_deployment_store():
+    settings = ExperimentSettings.fast(users=100, warmup=0.3, duration=0.8)
+    result, deployment, store = run_store(settings)
+    assert result.throughput > 0
+    assert deployment.machine.spec.name == "medium-1s-64t"
+    assert store.replica_counts()["webui"] == 2
+
+
+def test_run_store_honours_online_and_allocation():
+    settings = ExperimentSettings.fast(users=60, warmup=0.3, duration=0.8)
+    machine = settings.machine()
+    online = machine.cpus_in_node(0)
+    counts = default_counts(settings)
+    allocation = unpinned(machine, counts, online=online)
+    result, deployment, __ = run_store(settings, machine=machine,
+                                       online=online,
+                                       allocation=allocation)
+    assert deployment.online == online
+    busy_outside = sum(deployment.scheduler.busy_time(i)
+                       for i in machine.all_cpus() - online
+                       if i in deployment.online)
+    assert busy_outside == 0
+
+
+def test_run_store_seed_override_changes_trace():
+    settings = ExperimentSettings.fast(users=50, warmup=0.3, duration=0.8)
+    a, __, __ = run_store(settings, seed=1)
+    b, __, __ = run_store(settings, seed=2)
+    c, __, __ = run_store(settings, seed=1)
+    assert a.throughput == c.throughput
+    assert a.latency_mean == c.latency_mean
+    assert a.latency_mean != b.latency_mean
+
+
+def test_default_counts_reflect_store_config():
+    settings = ExperimentSettings.fast()
+    counts = default_counts(settings)
+    assert counts["webui"] == 2
+    full_counts = default_counts(ExperimentSettings.full())
+    assert full_counts["webui"] == 4
+    assert set(counts) == {"webui", "auth", "persistence", "image",
+                           "recommender", "db"}
+
+
+def test_percent():
+    assert percent(0.5) == 50.0
+
+
+def test_require_positive():
+    require_positive("x", 1.0)
+    with pytest.raises(ConfigurationError):
+        require_positive("x", 0.0)
+
+
+def test_to_markdown_shape():
+    from repro.experiments.common import ExperimentResult
+    result = ExperimentResult("E0", "demo", [{"a": 1, "b": 2.5}],
+                              notes=["hello"])
+    markdown = result.to_markdown()
+    assert "### E0 — demo" in markdown
+    assert "| a | b |" in markdown
+    assert "| 1 | 2.500 |" in markdown
+    assert "* hello" in markdown
+    empty = ExperimentResult("E0", "demo", [])
+    assert "(no rows)" in empty.to_markdown()
+
+
+def test_settings_machine_builds_preset():
+    assert ExperimentSettings(preset="tiny").machine().n_logical_cpus == 8
+
+
+def test_fast_settings_overrides():
+    settings = ExperimentSettings.fast(seed=9, users=77)
+    assert settings.seed == 9
+    assert settings.users == 77
+    assert settings.preset == "medium"

@@ -1,0 +1,146 @@
+"""Tests for fault injection and crash semantics."""
+
+import pytest
+
+from repro._errors import ConfigurationError, ServiceUnavailableError
+from repro._units import ms
+from repro.cpu import FlatFrequencyModel, SmtModel
+from repro.memory import WorkloadProfile
+from repro.services import Deployment, ServiceSpec
+from repro.topology import small_numa_machine, tiny_machine
+from repro.workload import ClosedLoopWorkload, FaultInjector, run_experiment
+from repro.teastore import build_teastore
+from repro.teastore.config import TeaStoreConfig
+
+
+def echo_system(replicas=2, demand=ms(1.0)):
+    deployment = Deployment(tiny_machine(), seed=0,
+                            smt_model=SmtModel(2.0),
+                            frequency_model=FlatFrequencyModel())
+    deployment.rpc.hop_latency = 0.0
+    profile = WorkloadProfile("svc", 1024, 1024, 0.1, 0.1)
+    spec = ServiceSpec("svc", profile, workers=2)
+
+    @spec.endpoint("op")
+    def op(ctx):
+        yield ctx.submit_demand(demand)
+        return "ok"
+
+    for __ in range(replicas):
+        deployment.add_instance(spec)
+    return deployment
+
+
+def session(user_id):
+    while True:
+        yield ("svc", "op", None)
+
+
+def test_shutdown_fails_queued_requests_but_finishes_inflight():
+    deployment = echo_system(replicas=1, demand=ms(10.0))
+    deployment.run(until=0.0)  # boot workers
+    inflight = [deployment.dispatch("svc", "op") for __ in range(2)]
+    queued = deployment.dispatch("svc", "op")
+    queued.defuse()
+    instance = deployment.registry.instances_of("svc")[0]
+    instance.shutdown()
+    for event in inflight:
+        event.defuse()
+    deployment.run()
+    # The two in worker hands completed; the queued one failed.
+    assert all(e.ok for e in inflight)
+    assert not queued.ok
+    assert isinstance(queued.value, ServiceUnavailableError)
+
+
+def test_shutdown_rejects_new_requests():
+    deployment = echo_system(replicas=1)
+    instance = deployment.registry.instances_of("svc")[0]
+    instance.shutdown()
+    done = deployment.dispatch("svc", "op")
+    done.defuse()
+    deployment.run()
+    assert not done.ok
+    assert isinstance(done.value, ServiceUnavailableError)
+    assert instance.rejected >= 1
+
+
+def test_kill_reroutes_to_survivor():
+    deployment = echo_system(replicas=2)
+    injector = FaultInjector(deployment)
+    injector.kill_at(0.5, "svc", replica_index=0)
+    workload = ClosedLoopWorkload(deployment, session,
+                                  n_users=2, think_time=0.01)
+    workload.start()
+    deployment.run(until=2.0)
+    assert len(injector.kills()) == 1
+    survivors = deployment.registry.instances_of("svc")
+    assert len(survivors) == 1
+    # Work continued after the kill (errors possible at the instant of
+    # the kill, but the system keeps serving).
+    completed_after = survivors[0].completed
+    assert completed_after > 50
+
+
+def test_kill_and_restore_cycle():
+    deployment = echo_system(replicas=2)
+    injector = FaultInjector(deployment)
+    injector.kill_at(0.5, "svc", replica_index=0, restore_after=0.5)
+    workload = ClosedLoopWorkload(deployment, session,
+                                  n_users=4, think_time=0.01)
+    workload.start()
+    deployment.run(until=2.0)
+    assert len(injector.kills()) == 1
+    assert len(injector.restores()) == 1
+    assert len(deployment.registry.instances_of("svc")) == 2
+    restored = injector.restores()[0]
+    assert restored.time == pytest.approx(1.0)
+
+
+def test_restored_replica_matches_dead_one():
+    deployment = echo_system(replicas=1)
+    original = deployment.registry.instances_of("svc")[0]
+    original_affinity = original.affinity
+    injector = FaultInjector(deployment)
+    injector.kill_at(0.2, "svc", restore_after=0.3)
+    # Keep one more replica so the registry is never empty.
+    deployment.add_instance(original.spec)
+    deployment.run(until=1.0)
+    replacement = [i for i in deployment.registry.instances_of("svc")
+                   if i.instance_id != original.instance_id]
+    assert any(i.affinity == original_affinity for i in replacement)
+
+
+def test_fault_validation():
+    deployment = echo_system()
+    injector = FaultInjector(deployment)
+    with pytest.raises(ConfigurationError):
+        injector.kill_at(-1.0, "svc")
+    with pytest.raises(ConfigurationError):
+        injector.kill_at(1.0, "svc", restore_after=0.0)
+    injector.kill_at(0.5, "svc", replica_index=99)
+    with pytest.raises(ConfigurationError):
+        deployment.run(until=1.0)  # resolves at fire time → invalid index
+
+
+def test_teastore_survives_webui_replica_loss():
+    """Integration: kill one WebUI replica mid-run; the store keeps
+    serving through the remaining ones with only transient errors."""
+    deployment = Deployment(small_numa_machine(), seed=2)
+    config = TeaStoreConfig(
+        replicas={"webui": 2, "auth": 1, "persistence": 1, "image": 1,
+                  "recommender": 1, "db": 1},
+        workers={"webui": 32, "auth": 8, "persistence": 16, "image": 8,
+                 "recommender": 8, "db": 16})
+    store = build_teastore(deployment, config)
+    injector = FaultInjector(deployment)
+    injector.kill_at(1.5, "webui", replica_index=0)
+    workload = ClosedLoopWorkload(
+        deployment, store.browse_session_factory(),
+        n_users=24, think_time=0.05)
+    result = run_experiment(deployment, workload, warmup=1.0, duration=2.0)
+    assert len(injector.kills()) == 1
+    assert result.throughput > 50
+    # Only requests caught in the dying replica's queue may error.
+    assert result.errors < result.completed * 0.2
+    assert len(store.deployment.registry.instances_of("webui")) == 1

@@ -1,0 +1,299 @@
+"""Unit tests for the memory-system performance model."""
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro._units import mib
+from repro.cpu import TaskGroup
+from repro.memory import MemoryConfig, MemorySystemModel, WorkloadProfile
+from repro.memory.system import _miss_fraction
+from repro.topology import small_numa_machine, tiny_machine
+
+
+def profile(name="svc", code=mib(2), data=mib(4), mem=0.5, fe=0.5):
+    return WorkloadProfile(name=name, code_bytes=code, data_bytes=data,
+                           mem_intensity=mem, frontend_intensity=fe)
+
+
+def group_for(machine, prof, name=None, home_node=0, affinity=None):
+    return TaskGroup(name or prof.name,
+                     affinity or machine.all_cpus(),
+                     profile=prof, home_node=home_node)
+
+
+def test_miss_fraction_zero_when_fits():
+    assert _miss_fraction(0.5) == 0.0
+    assert _miss_fraction(1.0) == 0.0
+
+
+def test_miss_fraction_grows_smoothly():
+    assert _miss_fraction(2.0) == pytest.approx(0.5)
+    assert _miss_fraction(4.0) == pytest.approx(0.75)
+    assert 0 < _miss_fraction(1.1) < _miss_fraction(1.2)
+
+
+def test_unregistered_group_sees_no_inflation():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    group = group_for(machine, profile())
+    breakdown = model.breakdown(group, 0, 0)
+    assert breakdown.total == 1.0
+
+
+def test_small_footprint_on_one_ccx_no_inflation():
+    machine = tiny_machine()  # 16 MiB L3 per CCX
+    model = MemorySystemModel(machine)
+    group = group_for(machine, profile(code=mib(1), data=mib(2)))
+    model.register(group, [0])
+    breakdown = model.breakdown(group, 0, 0)
+    assert breakdown.total == pytest.approx(1.0)
+    assert breakdown.data_pressure < 1.0
+    assert breakdown.code_pressure < 1.0
+
+
+def test_oversubscribed_ccx_inflates():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    big = profile(code=mib(10), data=mib(40))
+    group = group_for(machine, big)
+    model.register(group, [0])
+    breakdown = model.breakdown(group, 0, 0)
+    assert breakdown.total > 1.0
+    assert breakdown.data_component > 0
+    assert breakdown.code_component > 0
+
+
+def test_same_service_replicas_share_code():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    prof = profile(code=mib(8), data=mib(1))
+    a = group_for(machine, prof, name="svc")
+    b = group_for(machine, prof, name="svc")
+    model.register(a, [0])
+    code_single = model.code_pressure(0)
+    model.register(b, [0])
+    # Same profile name → code counted once.
+    assert model.code_pressure(0) == pytest.approx(code_single)
+
+
+def test_different_services_do_not_share_code():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    a = group_for(machine, profile(name="svc-a", code=mib(8)))
+    b = group_for(machine, profile(name="svc-b", code=mib(8)))
+    model.register(a, [0])
+    code_single = model.code_pressure(0)
+    model.register(b, [0])
+    assert model.code_pressure(0) == pytest.approx(2 * code_single)
+
+
+def test_data_always_adds_per_instance():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    prof = profile(data=mib(4))
+    a = group_for(machine, prof, name="svc")
+    b = group_for(machine, prof, name="svc")
+    model.register(a, [0])
+    single = model.data_pressure(0)
+    model.register(b, [0])
+    assert model.data_pressure(0) == pytest.approx(2 * single)
+
+
+def test_unpinned_instance_pressures_every_ccx_with_drag():
+    machine = tiny_machine()  # 2 CCXs
+    config = MemoryConfig(migration_drag=0.1)
+    model = MemorySystemModel(machine, config)
+    group = group_for(machine, profile(data=mib(4)))
+    model.register_for_affinity(group)  # machine-wide affinity
+    for ccx in range(len(machine.ccxs)):
+        assert model._data_by_ccx[ccx] == pytest.approx(mib(4) * 1.1)
+
+
+def test_pinned_instance_pressures_only_its_ccx():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    group = TaskGroup("svc", machine.cpus_in_ccx(0), profile=profile())
+    model.register_for_affinity(group)
+    assert model._data_by_ccx[0] > 0
+    assert model._data_by_ccx[1] == 0
+
+
+def test_numa_penalty_only_when_remote():
+    machine = small_numa_machine()  # 2 sockets
+    model = MemorySystemModel(machine)
+    group = group_for(machine, profile(mem=0.8), home_node=0)
+    model.register(group, [0])
+    local = model.breakdown(group, 0, 0)
+    remote = model.breakdown(group, 0, 1)
+    assert local.numa_component == 0.0
+    assert remote.numa_component > 0.0
+    assert remote.total > local.total
+
+
+def test_numa_penalty_scales_with_mem_intensity():
+    machine = small_numa_machine()
+    model = MemorySystemModel(machine)
+    light = group_for(machine, profile(name="light", mem=0.1), home_node=0)
+    heavy = group_for(machine, profile(name="heavy", mem=0.9), home_node=0)
+    model.register(light, [0])
+    model.register(heavy, [0])
+    assert (model.breakdown(heavy, 0, 1).numa_component
+            > model.breakdown(light, 0, 1).numa_component)
+
+
+def test_deregister_restores_pressure():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    a = group_for(machine, profile(name="a"))
+    b = group_for(machine, profile(name="b"))
+    model.register(a, [0])
+    before = (model.data_pressure(0), model.code_pressure(0))
+    model.register(b, [0])
+    model.deregister(b)
+    after = (model.data_pressure(0), model.code_pressure(0))
+    assert after == pytest.approx(before)
+
+
+def test_deregister_shared_code_keeps_it_while_replicas_remain():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    prof = profile(code=mib(8))
+    a = group_for(machine, prof, name="svc")
+    b = group_for(machine, prof, name="svc")
+    model.register(a, [0])
+    model.register(b, [0])
+    with_both = model.code_pressure(0)
+    model.deregister(a)
+    assert model.code_pressure(0) == pytest.approx(with_both)
+    model.deregister(b)
+    assert model.code_pressure(0) == 0.0
+
+
+def test_register_validation():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    no_profile = TaskGroup("bare", machine.all_cpus())
+    with pytest.raises(ConfigurationError):
+        model.register(no_profile, [0])
+    group = group_for(machine, profile())
+    with pytest.raises(ConfigurationError):
+        model.register(group, [])
+    with pytest.raises(ConfigurationError):
+        model.register(group, [99])
+    model.register(group, [0])
+    with pytest.raises(ConfigurationError):
+        model.register(group, [0])  # double registration
+    with pytest.raises(ConfigurationError):
+        model.deregister(no_profile)
+
+
+def test_inflation_cache_invalidated_on_registration():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    group = group_for(machine, profile(data=mib(4)))
+    model.register(group, [0])
+
+    class FakeBurst:
+        def __init__(self, g):
+            self.group = g
+
+    cpu = machine.cpu(0)
+    first = model.cpi_inflation(FakeBurst(group), cpu)
+    # Add a huge tenant on the same CCX → inflation must change.
+    hog = group_for(machine, profile(name="hog", data=mib(200)))
+    model.register(hog, [0])
+    second = model.cpi_inflation(FakeBurst(group), cpu)
+    assert second > first
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(code_share=0.0)
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(l3_miss_weight=-1.0)
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(bandwidth_capacity=0.0)
+    with pytest.raises(ConfigurationError):
+        MemoryConfig(bandwidth_weight=-1.0)
+
+
+def test_code_sharing_ablation_counts_code_per_instance():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine,
+                              MemoryConfig(share_code=False))
+    prof = profile(code=mib(8), data=mib(1))
+    a = group_for(machine, prof, name="svc")
+    b = group_for(machine, prof, name="svc")
+    model.register(a, [0])
+    single = model.code_pressure(0)
+    model.register(b, [0])
+    assert model.code_pressure(0) == pytest.approx(2 * single)
+    model.deregister(a)
+    assert model.code_pressure(0) == pytest.approx(single)
+
+
+class _Burst:
+    def __init__(self, group):
+        self.group = group
+
+
+def test_bandwidth_model_disabled_by_default():
+    machine = tiny_machine()
+    model = MemorySystemModel(machine)
+    group = group_for(machine, profile(mem=1.0))
+    model.register(group, [0])
+    cpu = machine.cpu(0)
+    before = model.cpi_inflation(_Burst(group), cpu)
+    for __ in range(50):
+        model.on_burst_start(_Burst(group), cpu)
+    assert model.cpi_inflation(_Burst(group), cpu) == pytest.approx(before)
+
+
+def test_bandwidth_congestion_inflates_beyond_capacity():
+    machine = tiny_machine()
+    model = MemorySystemModel(
+        machine, MemoryConfig(bandwidth_capacity=2.0,
+                              bandwidth_weight=1.0))
+    group = group_for(machine, profile(mem=1.0, data=mib(1)))
+    model.register(group, [0])
+    cpu = machine.cpu(0)
+    burst = _Burst(group)
+    base = model.cpi_inflation(burst, cpu)
+    model.on_burst_start(burst, cpu)
+    model.on_burst_start(burst, cpu)
+    assert model.cpi_inflation(burst, cpu) == pytest.approx(base)  # at cap
+    model.on_burst_start(burst, cpu)  # load 3 > capacity 2
+    congested = model.cpi_inflation(burst, cpu)
+    assert congested > base
+    assert congested == pytest.approx(base + 1.0 * 1.0 * 0.5)
+    model.on_burst_complete(burst, cpu, 0.001)
+    assert model.cpi_inflation(burst, cpu) == pytest.approx(base)
+
+
+def test_bandwidth_term_scales_with_mem_intensity():
+    machine = tiny_machine()
+    model = MemorySystemModel(
+        machine, MemoryConfig(bandwidth_capacity=1.0))
+    light = group_for(machine, profile(name="light", mem=0.1))
+    heavy = group_for(machine, profile(name="heavy", mem=0.9))
+    model.register(light, [0])
+    model.register(heavy, [0])
+    model._running_mem_load = 3.0
+    assert (model.bandwidth_congestion_term(heavy.profile)
+            > model.bandwidth_congestion_term(light.profile))
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadProfile("bad", -1, 0, 0.5, 0.5)
+    with pytest.raises(ConfigurationError):
+        WorkloadProfile("bad", 0, 0, 1.5, 0.5)
+    with pytest.raises(ConfigurationError):
+        WorkloadProfile("bad", 0, 0, 0.5, 0.5, base_ipc=0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadProfile("bad", 0, 0, 0.5, 0.5, l3_mpki=-1.0)
+
+
+def test_profile_total_bytes():
+    prof = profile(code=100, data=200)
+    assert prof.total_bytes == 300

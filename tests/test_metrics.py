@@ -1,0 +1,233 @@
+"""Unit tests for latency, throughput, utilization, and stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import AnalysisError
+from repro._units import ms
+from repro.cpu import CpuBurst, CpuScheduler, FlatFrequencyModel, SmtModel, TaskGroup
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    UtilizationProbe,
+    confidence_interval,
+    geometric_mean,
+    harmonic_mean,
+)
+from repro.metrics.stats import speedup_summary
+from repro.sim import Simulator
+from repro.topology import tiny_machine
+
+
+# ---------------------------------------------------------------------------
+# LatencyRecorder
+# ---------------------------------------------------------------------------
+
+def test_latency_basic_stats():
+    recorder = LatencyRecorder()
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        recorder.record(value)
+    assert recorder.count == 4
+    assert recorder.mean() == pytest.approx(2.5)
+    assert recorder.p50() == pytest.approx(2.5)
+    assert recorder.max() == 4.0
+
+
+def test_latency_percentile_bounds():
+    recorder = LatencyRecorder()
+    recorder.record(1.0)
+    with pytest.raises(AnalysisError):
+        recorder.percentile(101)
+
+
+def test_latency_tags():
+    recorder = LatencyRecorder()
+    recorder.record(1.0, tag="home")
+    recorder.record(3.0, tag="login")
+    assert recorder.tags == ["home", "login"]
+    assert recorder.mean("home") == 1.0
+    assert recorder.mean() == 2.0
+
+
+def test_latency_empty_raises():
+    with pytest.raises(AnalysisError):
+        LatencyRecorder().mean()
+    recorder = LatencyRecorder()
+    recorder.record(1.0)
+    with pytest.raises(AnalysisError):
+        recorder.mean("missing")
+
+
+def test_latency_disabled_drops_samples():
+    recorder = LatencyRecorder()
+    recorder.enabled = False
+    recorder.record(1.0)
+    assert recorder.count == 0
+
+
+def test_latency_negative_rejected():
+    with pytest.raises(AnalysisError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_latency_reset():
+    recorder = LatencyRecorder()
+    recorder.record(1.0, tag="t")
+    recorder.reset()
+    assert recorder.count == 0
+    assert recorder.tags == []
+
+
+# ---------------------------------------------------------------------------
+# ThroughputMeter
+# ---------------------------------------------------------------------------
+
+def test_throughput_window_rate():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    meter.mark()  # before window: lifetime only
+    sim.call_in(1.0, meter.start_window)
+    for at in [1.5, 2.0, 2.5]:
+        sim.call_in(at, meter.mark)
+    sim.call_in(3.0, meter.stop_window)
+    sim.call_in(3.5, meter.mark)  # after window
+    sim.run()
+    assert meter.lifetime_count == 5
+    assert meter.window_count == 3
+    assert meter.window_duration == pytest.approx(2.0)
+    assert meter.rate() == pytest.approx(1.5)
+
+
+def test_throughput_window_misuse():
+    sim = Simulator()
+    meter = ThroughputMeter(sim)
+    with pytest.raises(AnalysisError):
+        meter.stop_window()
+    with pytest.raises(AnalysisError):
+        meter.rate()
+    meter.start_window()
+    meter.stop_window()
+    with pytest.raises(AnalysisError):
+        meter.stop_window()
+    with pytest.raises(AnalysisError):
+        meter.rate()  # zero-duration window
+
+
+# ---------------------------------------------------------------------------
+# UtilizationProbe
+# ---------------------------------------------------------------------------
+
+def test_utilization_probe_measures_busy_fraction():
+    sim = Simulator()
+    machine = tiny_machine()
+    scheduler = CpuScheduler(sim, machine, smt_model=SmtModel(2.0),
+                             frequency_model=FlatFrequencyModel())
+    group = TaskGroup("svc", machine.all_cpus())
+    probe = UtilizationProbe(scheduler, [group])
+    probe.start()
+    # Keep cpu busy 50% of a 2-second window: one 1s burst.
+    burst = CpuBurst(1.0, group, sim.event())
+    scheduler.submit(burst)
+    sim.run(until=2.0)
+    probe.stop()
+    assert probe.duration == pytest.approx(2.0)
+    assert probe.cpu_utilization(burst.cpu_index) == pytest.approx(0.5)
+    assert probe.machine_utilization() == pytest.approx(0.5 / 8)
+    assert probe.group_cpu_time(group) == pytest.approx(1.0)
+    assert probe.group_utilization()["svc"] == pytest.approx(0.5)
+
+
+def test_utilization_group_share_aggregates_by_name():
+    sim = Simulator()
+    machine = tiny_machine()
+    scheduler = CpuScheduler(sim, machine, smt_model=SmtModel(2.0),
+                             frequency_model=FlatFrequencyModel())
+    a1 = TaskGroup("a", machine.all_cpus())
+    a2 = TaskGroup("a", machine.all_cpus())
+    b = TaskGroup("b", machine.all_cpus())
+    probe = UtilizationProbe(scheduler, [a1, a2, b])
+    probe.start()
+    for group, demand in [(a1, 1.0), (a2, 1.0), (b, 2.0)]:
+        scheduler.submit(CpuBurst(demand, group, sim.event()))
+    sim.run()
+    probe.stop()
+    share = probe.group_share()
+    assert share["a"] == pytest.approx(0.5)
+    assert share["b"] == pytest.approx(0.5)
+
+
+def test_utilization_probe_misuse():
+    sim = Simulator()
+    machine = tiny_machine()
+    scheduler = CpuScheduler(sim, machine)
+    probe = UtilizationProbe(scheduler)
+    with pytest.raises(AnalysisError):
+        probe.stop()
+    probe.start()
+    group = TaskGroup("late", machine.all_cpus())
+    with pytest.raises(AnalysisError):
+        probe.track(group)
+
+
+# ---------------------------------------------------------------------------
+# stats
+# ---------------------------------------------------------------------------
+
+def test_harmonic_mean_known_value():
+    assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+
+def test_harmonic_leq_geometric():
+    values = [1.2, 0.8, 2.0, 1.5]
+    assert harmonic_mean(values) <= geometric_mean(values)
+
+
+def test_means_validate_input():
+    for fn in (harmonic_mean, geometric_mean):
+        with pytest.raises(AnalysisError):
+            fn([])
+        with pytest.raises(AnalysisError):
+            fn([1.0, -2.0])
+
+
+def test_confidence_interval_contains_mean():
+    summary = confidence_interval([10.0, 12.0, 11.0, 13.0, 9.0])
+    assert summary.ci_low < summary.mean < summary.ci_high
+    assert summary.n == 5
+    assert "±" in str(summary)
+
+
+def test_confidence_interval_single_sample():
+    summary = confidence_interval([5.0])
+    assert summary.mean == summary.ci_low == summary.ci_high == 5.0
+
+
+def test_confidence_interval_constant_samples():
+    summary = confidence_interval([2.0, 2.0, 2.0])
+    assert summary.ci_half_width == 0.0
+
+
+def test_confidence_interval_validation():
+    with pytest.raises(AnalysisError):
+        confidence_interval([])
+    with pytest.raises(AnalysisError):
+        confidence_interval([1.0], confidence=1.5)
+
+
+def test_speedup_summary_paired():
+    assert speedup_summary([1.0, 1.0], [1.2, 1.2]) == pytest.approx(1.2)
+    with pytest.raises(AnalysisError):
+        speedup_summary([1.0], [1.0, 2.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.01, max_value=100.0),
+                       min_size=1, max_size=20))
+def test_property_mean_inequality_chain(values):
+    import numpy as np
+    hmean = harmonic_mean(values)
+    gmean = geometric_mean(values)
+    amean = float(np.mean(values))
+    assert hmean <= gmean * (1 + 1e-9)
+    assert gmean <= amean * (1 + 1e-9)

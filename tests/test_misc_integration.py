@@ -1,0 +1,111 @@
+"""Cross-cutting small tests: reprs, counters, CLI-adjacent helpers."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro._units import GIB, KIB, MIB, SECOND, kib, mib, ms, us
+from repro.cpu import CpuScheduler, TaskGroup
+from repro.memory import MemorySystemModel, WorkloadProfile
+from repro.services import Deployment, ServiceSpec
+from repro.sim import Simulator
+from repro.topology import CpuSet, tiny_machine
+
+
+def test_unit_helpers():
+    assert SECOND == 1.0
+    assert ms(2.0) == pytest.approx(0.002)
+    assert us(5.0) == pytest.approx(5e-6)
+    assert mib(2) == 2 * MIB
+    assert kib(3) == 3 * KIB
+    assert GIB == 1024 * MIB
+
+
+def test_reprs_are_informative():
+    sim = Simulator()
+    assert "now=" in repr(sim)
+    machine = tiny_machine()
+    assert "lcpus" in repr(machine)
+    assert "CpuSet" in repr(CpuSet([1, 2]))
+    group = TaskGroup("g", CpuSet([0]))
+    assert "TaskGroup" in repr(group)
+    model = MemorySystemModel(machine)
+    assert "residencies" in repr(model)
+    handle = sim.call_in(1.0, lambda: None)
+    assert "at t=" in repr(handle)
+    handle.cancel()
+    assert "cancelled" in repr(handle)
+    event = sim.event()
+    assert "pending" in repr(event)
+    timeout = sim.timeout(0.5)
+    assert "Timeout" in repr(timeout)
+
+
+def test_nested_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run(until=2.0)
+        yield sim.timeout(1.0)
+
+    sim.process(nested())
+    with pytest.raises(SimulationError, match="already running"):
+        sim.run()
+
+
+def test_rpc_counts_messages():
+    deployment = Deployment(tiny_machine(), seed=0)
+    deployment.rpc.hop_latency = 0.0
+    profile = WorkloadProfile("svc", 1024, 1024, 0.1, 0.1)
+    spec = ServiceSpec("svc", profile, workers=1)
+
+    @spec.endpoint("op")
+    def op(ctx):
+        yield ctx.submit_demand(ms(0.1))
+        return None
+
+    deployment.add_instance(spec)
+    before = deployment.rpc.messages_sent
+    done = deployment.dispatch("svc", "op")
+    deployment.run()
+    assert done.ok
+    # One delivery + one response.
+    assert deployment.rpc.messages_sent == before + 2
+
+
+def test_request_repr_and_depth_root():
+    from repro.services.request import Request
+    sim = Simulator()
+    request = Request("svc", "op", sim.event())
+    assert "svc/op" in repr(request)
+    assert request.depth == 0
+
+
+def test_scheduler_repr_counts():
+    sim = Simulator()
+    machine = tiny_machine()
+    scheduler = CpuScheduler(sim, machine)
+    assert "0 running" in repr(scheduler)
+
+
+def test_instance_local_ids_are_deployment_scoped():
+    machine = tiny_machine()
+    profile = WorkloadProfile("svc", 1024, 1024, 0.1, 0.1)
+    spec = ServiceSpec("svc", profile, workers=1)
+    spec.add_endpoint("op", lambda ctx: iter(()))
+
+    first = Deployment(machine, seed=0)
+    second = Deployment(machine, seed=0)
+    a = [first.add_instance(spec).local_id for __ in range(3)]
+    b = [second.add_instance(spec).local_id for __ in range(3)]
+    assert a == b == [0, 1, 2]
+
+
+def test_store_drain_returns_items_in_order():
+    from repro.sim import Store
+    sim = Simulator()
+    store = Store(sim)
+    for value in ("a", "b", "c"):
+        store.put(value)
+    assert store.drain() == ["a", "b", "c"]
+    assert len(store) == 0
+    assert store.drain() == []

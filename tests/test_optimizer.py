@@ -1,0 +1,89 @@
+"""Tests for the greedy CCX-budget optimizer (synthetic evaluators)."""
+
+import pytest
+
+from repro._errors import PlacementError
+from repro.placement import optimize_ccx_budget
+from repro.topology import single_socket_rome
+
+COUNTS = {"webui": 4, "auth": 1, "db": 1}
+WEIGHTS = {"webui": 0.4, "auth": 0.3, "db": 0.3}
+
+
+def ccx_count(machine, allocation, service):
+    return len({machine.cpu(c).ccx.index
+                for replica in allocation.replicas(service)
+                for c in replica.affinity})
+
+
+def test_optimizer_validation():
+    machine = single_socket_rome()
+    evaluate = lambda allocation: 1.0
+    with pytest.raises(PlacementError):
+        optimize_ccx_budget(machine, COUNTS, WEIGHTS, evaluate,
+                            iterations=0)
+    with pytest.raises(PlacementError):
+        optimize_ccx_budget(machine, COUNTS, WEIGHTS, evaluate,
+                            shift_fraction=1.0)
+
+
+def test_optimizer_stops_when_no_improvement():
+    machine = single_socket_rome()
+    calls = []
+
+    def flat(allocation):
+        calls.append(allocation)
+        return 1.0  # nothing ever improves
+
+    best, history = optimize_ccx_budget(machine, COUNTS, WEIGHTS, flat,
+                                        iterations=5)
+    # Initial evaluation + one full sweep of rejected proposals.
+    accepted = [step for step in history if step.accepted]
+    assert len(accepted) == 1
+    assert history[-1].accepted is False
+    assert best.replica_counts() == {"webui": 4, "auth": 1, "db": 1}
+
+
+def test_optimizer_climbs_toward_preferred_budget():
+    machine = single_socket_rome()  # 16 CCXs
+
+    def prefer_big_webui(allocation):
+        return ccx_count(machine, allocation, "webui")
+
+    best, history = optimize_ccx_budget(
+        machine, COUNTS, WEIGHTS, prefer_big_webui, iterations=10)
+    start = optimize_ccx_budget(
+        machine, COUNTS, WEIGHTS, lambda a: 0.0, iterations=1)[0]
+    assert (ccx_count(machine, best, "webui")
+            > ccx_count(machine, start, "webui"))
+    assert history[-1].score >= history[0].score
+    assert all(b.score >= a.score for a, b in zip(history, history[1:])
+               if b.accepted)
+
+
+def test_optimizer_history_records_weights():
+    machine = single_socket_rome()
+    best, history = optimize_ccx_budget(
+        machine, COUNTS, WEIGHTS,
+        lambda allocation: ccx_count(machine, allocation, "db"),
+        iterations=3)
+    assert history[0].iteration == 0
+    for step in history:
+        assert set(step.weights) == set(WEIGHTS)
+        assert all(w > 0 for w in step.weights.values())
+
+
+def test_optimizer_result_is_valid_allocation():
+    machine = single_socket_rome()
+    best, __ = optimize_ccx_budget(
+        machine, COUNTS, WEIGHTS,
+        lambda allocation: ccx_count(machine, allocation, "auth"),
+        iterations=4)
+    # Every CCX belongs to exactly one service.
+    seen = {}
+    for service in COUNTS:
+        for replica in best.replicas(service):
+            for cpu in replica.affinity:
+                ccx = machine.cpu(cpu).ccx.index
+                assert seen.setdefault(ccx, service) == service
+    assert len(seen) == len(machine.ccxs)

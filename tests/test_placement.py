@@ -1,0 +1,275 @@
+"""Unit tests for allocations and placement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import PlacementError
+from repro.placement import (
+    Allocation,
+    ReplicaPlacement,
+    ccx_aware,
+    ccx_aware_auto,
+    node_spread,
+    socket_pack,
+    unpinned,
+)
+from repro.topology import CpuSet, dual_socket_rome, single_socket_rome, small_numa_machine, tiny_machine
+
+COUNTS = {"webui": 2, "auth": 1, "db": 1}
+WEIGHTS = {"webui": 0.6, "auth": 0.15, "db": 0.25}
+
+
+# ---------------------------------------------------------------------------
+# Allocation / ReplicaPlacement
+# ---------------------------------------------------------------------------
+
+def test_replica_placement_requires_affinity():
+    with pytest.raises(PlacementError):
+        ReplicaPlacement(CpuSet())
+
+
+def test_allocation_validation():
+    machine = tiny_machine()
+    with pytest.raises(PlacementError):
+        Allocation(machine, {"svc": []})
+    with pytest.raises(PlacementError):
+        Allocation(machine, {"svc": [ReplicaPlacement(CpuSet([99]))]})
+    with pytest.raises(PlacementError):
+        Allocation(machine,
+                   {"svc": [ReplicaPlacement(CpuSet([0]), home_node=5)]})
+    with pytest.raises(PlacementError):
+        Allocation(machine, {"svc": [ReplicaPlacement(CpuSet([7]))]},
+                   online=CpuSet([0, 1]))
+
+
+def test_allocation_accessors():
+    machine = tiny_machine()
+    allocation = Allocation(machine, {
+        "a": [ReplicaPlacement(CpuSet([0, 1]), home_node=0)],
+        "b": [ReplicaPlacement(CpuSet([2])),
+              ReplicaPlacement(CpuSet([3]))],
+    })
+    assert allocation.services == ["a", "b"]
+    assert allocation.replica_counts() == {"a": 1, "b": 2}
+    assert len(allocation.replicas("b")) == 2
+    with pytest.raises(PlacementError):
+        allocation.replicas("ghost")
+    placement = allocation.as_placement()
+    assert placement["a"] == [(CpuSet([0, 1]), 0)]
+    assert "a#0" in allocation.describe()
+    assert "b×2" in repr(allocation)
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+def test_policies_reject_bad_counts():
+    machine = tiny_machine()
+    for policy in (unpinned, node_spread, socket_pack):
+        with pytest.raises(PlacementError):
+            policy(machine, {})
+        with pytest.raises(PlacementError):
+            policy(machine, {"svc": 0})
+
+
+def test_unpinned_gives_everyone_everything():
+    machine = tiny_machine()
+    allocation = unpinned(machine, COUNTS)
+    for service in COUNTS:
+        for replica in allocation.replicas(service):
+            assert replica.affinity == machine.all_cpus()
+
+
+def test_unpinned_respects_online_subset():
+    machine = tiny_machine()
+    online = CpuSet([0, 1, 4, 5])
+    allocation = unpinned(machine, COUNTS, online=online)
+    assert allocation.replicas("webui")[0].affinity == online
+
+
+def test_node_spread_round_robins_nodes():
+    machine = small_numa_machine()  # 2 nodes
+    allocation = node_spread(machine, COUNTS)
+    nodes_used = [replica.home_node
+                  for service in sorted(COUNTS)
+                  for replica in allocation.replicas(service)]
+    assert set(nodes_used) == {0, 1}
+    for service in COUNTS:
+        for replica in allocation.replicas(service):
+            assert replica.affinity == machine.cpus_in_node(replica.home_node)
+
+
+def test_node_spread_on_single_node_equals_unpinned_mask():
+    machine = tiny_machine()
+    allocation = node_spread(machine, COUNTS)
+    for service in COUNTS:
+        for replica in allocation.replicas(service):
+            assert replica.affinity == machine.all_cpus()
+
+
+def test_socket_pack_confines_to_socket():
+    machine = dual_socket_rome()
+    allocation = socket_pack(machine, COUNTS, socket=1)
+    for service in COUNTS:
+        for replica in allocation.replicas(service):
+            assert replica.affinity.issubset(machine.cpus_in_socket(1))
+            assert replica.home_node == 1
+
+
+def test_socket_pack_rejects_offline_socket():
+    machine = dual_socket_rome()
+    online = machine.cpus_in_socket(0)
+    with pytest.raises(PlacementError):
+        socket_pack(machine, COUNTS, online=online, socket=1)
+
+
+def test_ccx_aware_validates_weights():
+    machine = single_socket_rome()
+    with pytest.raises(PlacementError, match="missing"):
+        ccx_aware(machine, COUNTS, {"webui": 1.0})
+    with pytest.raises(PlacementError, match="positive"):
+        ccx_aware(machine, COUNTS, {"webui": 1.0, "auth": 0.0, "db": 1.0})
+
+
+def test_ccx_aware_needs_enough_ccxs():
+    machine = tiny_machine()  # 2 CCXs
+    counts = {"a": 1, "b": 1, "c": 1}
+    weights = {"a": 1.0, "b": 1.0, "c": 1.0}
+    with pytest.raises(PlacementError):
+        ccx_aware(machine, counts, weights)
+
+
+def test_ccx_aware_partitions_are_disjoint_across_services():
+    machine = single_socket_rome()
+    allocation = ccx_aware(machine, COUNTS, WEIGHTS)
+    masks = []
+    for service in COUNTS:
+        service_mask = CpuSet()
+        for replica in allocation.replicas(service):
+            service_mask = service_mask | replica.affinity
+        masks.append(service_mask)
+    for i in range(len(masks)):
+        for j in range(i + 1, len(masks)):
+            assert masks[i].isdisjoint(masks[j])
+
+
+def test_ccx_aware_budget_tracks_weights():
+    machine = single_socket_rome()  # 16 CCXs
+    allocation = ccx_aware(machine, COUNTS, WEIGHTS)
+    ccxs_of = {}
+    for service in COUNTS:
+        ccxs = set()
+        for replica in allocation.replicas(service):
+            for cpu in replica.affinity:
+                ccxs.add(machine.cpu(cpu).ccx.index)
+        ccxs_of[service] = len(ccxs)
+    assert ccxs_of["webui"] > ccxs_of["db"] > 0
+    assert sum(ccxs_of.values()) == 16
+
+
+def test_ccx_aware_replica_masks_align_to_ccx_boundaries():
+    machine = single_socket_rome()
+    allocation = ccx_aware(machine, COUNTS, WEIGHTS)
+    for service in COUNTS:
+        for replica in allocation.replicas(service):
+            ccxs = {machine.cpu(c).ccx.index for c in replica.affinity}
+            expected = CpuSet()
+            for ccx in ccxs:
+                expected = expected | machine.cpus_in_ccx(ccx)
+            assert replica.affinity == expected
+
+
+def test_ccx_aware_more_replicas_than_ccxs_share_the_group_evenly():
+    machine = small_numa_machine()  # 4 CCXs, 4 cores each
+    counts = {"a": 3, "b": 1}
+    weights = {"a": 0.5, "b": 0.5}
+    allocation = ccx_aware(machine, counts, weights)
+    # "a" gets 2 CCXs; its 3 replicas share the identical group mask so
+    # round-robin load balancing stays fair.
+    replicas = allocation.replicas("a")
+    assert len(replicas) == 3
+    assert len({r.affinity for r in replicas}) == 1
+    assert len(replicas[0].affinity) == 16  # 2 CCXs × 4 cores × SMT2
+
+
+def test_ccx_aware_many_replicas_on_one_ccx_is_fine():
+    machine = tiny_machine()
+    counts = {"a": 5, "b": 1}  # 5 replicas share a's single CCX
+    weights = {"a": 0.5, "b": 0.5}
+    allocation = ccx_aware(machine, counts, weights)
+    assert len(allocation.replicas("a")) == 5
+
+
+def test_ccx_aware_masks_keep_thread_pairs():
+    machine = single_socket_rome()
+    counts = {"webui": 6, "db": 1}
+    weights = {"webui": 0.1, "db": 0.9}  # webui squeezed, replicas share
+    allocation = ccx_aware(machine, counts, weights)
+    for replica in allocation.replicas("webui"):
+        for cpu in replica.affinity:
+            sibling = machine.sibling(cpu)
+            assert sibling.index in replica.affinity
+
+
+def test_apportion_shortfall_beats_floored_fraction():
+    """A light service already over-served by its minimum-1 floor must
+    not win remainder CCXs over a heavy service still short of its
+    ideal share."""
+    machine = single_socket_rome()  # 16 CCXs
+    counts = {"heavy": 1, "mid": 1, "light": 1}
+    weights = {"heavy": 0.70, "mid": 0.24, "light": 0.06}
+    allocation = ccx_aware(machine, counts, weights)
+
+    def ccxs_of(service):
+        return {machine.cpu(c).ccx.index
+                for r in allocation.replicas(service)
+                for c in r.affinity}
+
+    assert len(ccxs_of("light")) == 1
+    assert len(ccxs_of("heavy")) >= 10
+    assert len(ccxs_of("mid")) >= 3
+
+
+def test_ccx_aware_auto_one_replica_per_ccx():
+    machine = single_socket_rome()
+    allocation = ccx_aware_auto(machine, WEIGHTS, fixed_counts={"db": 1})
+    counts = allocation.replica_counts()
+    assert counts["db"] == 1
+    assert counts["webui"] >= counts["auth"]
+    for replica in allocation.replicas("webui"):
+        ccxs = {machine.cpu(c).ccx.index for c in replica.affinity}
+        assert len(ccxs) == 1  # exactly one L3 domain per replica
+    # db spans its whole budget as one instance.
+    db_ccxs = {machine.cpu(c).ccx.index
+               for c in allocation.replicas("db")[0].affinity}
+    assert len(db_ccxs) >= 2
+
+
+def test_ccx_aware_auto_validation():
+    machine = single_socket_rome()
+    with pytest.raises(PlacementError):
+        ccx_aware_auto(machine, WEIGHTS, fixed_counts={"db": 0})
+    tiny = tiny_machine()
+    many = {f"s{i}": 1.0 for i in range(5)}
+    with pytest.raises(PlacementError):
+        ccx_aware_auto(tiny, many)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weights=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                        min_size=2, max_size=6))
+def test_property_apportionment_uses_every_ccx_exactly_once(weights):
+    machine = single_socket_rome()
+    services = {f"svc{i}": 1 for i in range(len(weights))}
+    weight_map = {f"svc{i}": w for i, w in enumerate(weights)}
+    allocation = ccx_aware(machine, services, weight_map)
+    seen: dict[int, str] = {}
+    for service in services:
+        for replica in allocation.replicas(service):
+            for cpu in replica.affinity:
+                ccx = machine.cpu(cpu).ccx.index
+                owner = seen.setdefault(ccx, service)
+                assert owner == service  # no CCX shared across services
+    assert len(seen) == len(machine.ccxs)

@@ -1,0 +1,212 @@
+"""Tests for the report generator, session helpers, machine
+serialization, and the calibration search."""
+
+import math
+
+import pytest
+
+from repro._errors import ConfigurationError, TopologyError, WorkloadError
+from repro.calibration import (
+    CalibrationResult,
+    bisect_to_target,
+    calibrate_headline,
+    scaled_memory_config,
+)
+from repro.experiments.common import ExperimentResult
+from repro.memory import MemoryConfig
+from repro.report import ascii_bars, build_report
+from repro.services import Deployment
+from repro.topology import tiny_machine
+from repro.topology.serialize import (
+    dump_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+)
+from repro.workload.sessions import (
+    constant_session,
+    scripted_session,
+    weighted_mix_session,
+)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+def sample_result():
+    return ExperimentResult("E0", "Sample", [{"x": 1, "y": 2.0}],
+                            notes=["a note"])
+
+
+def test_build_report_structure():
+    report = build_report([sample_result()], machine=tiny_machine())
+    assert report.startswith("# TeaStore")
+    assert "## Contents" in report
+    assert "### E0 — Sample" in report
+    assert "tiny-1n-8t" in report
+    assert "* a note" in report
+
+
+def test_build_report_requires_results():
+    with pytest.raises(ConfigurationError):
+        build_report([])
+
+
+def test_ascii_bars_renders_scaled():
+    chart = ascii_bars([("a", 10.0), ("bb", 5.0), ("c", 0.0)], width=10)
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert lines[2].count("#") == 0
+    assert lines[0].startswith(" a")  # labels right-aligned
+
+
+def test_ascii_bars_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_bars([])
+    with pytest.raises(ConfigurationError):
+        ascii_bars([("a", -1.0)])
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+
+def test_constant_session():
+    factory = constant_session("svc", "op", payload=1)
+    session = factory(0)
+    assert next(session) == ("svc", "op", 1)
+    assert next(session) == ("svc", "op", 1)
+
+
+def test_scripted_session_repeat_and_once():
+    steps = [("a", "x", None), ("b", "y", None)]
+    looped = scripted_session(steps)(0)
+    assert [next(looped) for __ in range(4)] == steps + steps
+    once = scripted_session(steps, repeat=False)(0)
+    assert list(once) == steps
+
+
+def test_scripted_session_validation():
+    with pytest.raises(WorkloadError):
+        scripted_session([])
+    with pytest.raises(WorkloadError):
+        scripted_session([("a", "x")])  # missing payload
+
+
+def test_weighted_mix_session_respects_weights():
+    deployment = Deployment(tiny_machine(), seed=0)
+    mix = {("a", "x", None): 1.0, ("b", "y", None): 0.0}
+    session = weighted_mix_session(deployment, mix)(0)
+    draws = {next(session) for __ in range(30)}
+    assert draws == {("a", "x", None)}
+
+
+def test_weighted_mix_session_validation():
+    deployment = Deployment(tiny_machine(), seed=0)
+    with pytest.raises(WorkloadError):
+        weighted_mix_session(deployment, {})
+    with pytest.raises(WorkloadError):
+        weighted_mix_session(deployment, {("a", "x", None): -1.0})
+
+
+def test_weighted_mix_is_reproducible_per_seed():
+    def draw(seed):
+        deployment = Deployment(tiny_machine(), seed=seed)
+        mix = {("a", "x", None): 0.5, ("b", "y", None): 0.5}
+        session = weighted_mix_session(deployment, mix)(3)
+        return [next(session)[0] for __ in range(10)]
+
+    assert draw(5) == draw(5)
+
+
+# ---------------------------------------------------------------------------
+# machine serialization
+# ---------------------------------------------------------------------------
+
+def test_machine_dict_roundtrip():
+    machine = tiny_machine()
+    rebuilt = machine_from_dict(machine_to_dict(machine))
+    assert rebuilt.spec == machine.spec
+    assert rebuilt.n_logical_cpus == machine.n_logical_cpus
+
+
+def test_machine_json_roundtrip(tmp_path):
+    machine = tiny_machine()
+    path = tmp_path / "machine.json"
+    dump_machine(machine, path)
+    assert load_machine(path).spec == machine.spec
+
+
+def test_machine_from_dict_validation():
+    with pytest.raises(TopologyError, match="unknown"):
+        machine_from_dict({"name": "x", "bogus": 1})
+    with pytest.raises(TopologyError, match="name"):
+        machine_from_dict({"sockets": 1})
+
+
+def test_load_machine_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    with pytest.raises(TopologyError):
+        load_machine(path)
+    path.write_text("[1, 2]")
+    with pytest.raises(TopologyError, match="object"):
+        load_machine(path)
+
+
+def test_custom_milan_like_machine():
+    machine = machine_from_dict({
+        "name": "milan-like", "sockets": 1, "ccds_per_socket": 8,
+        "ccxs_per_ccd": 1, "cores_per_ccx": 8, "threads_per_core": 2,
+        "l3_mib_per_ccx": 32.0})
+    assert machine.n_logical_cpus == 128
+    assert len(machine.ccxs) == 8  # Milan: one 8-core CCX per CCD
+
+
+# ---------------------------------------------------------------------------
+# calibration
+# ---------------------------------------------------------------------------
+
+def test_scaled_memory_config():
+    base = MemoryConfig(l3_miss_weight=0.5, frontend_miss_weight=0.6)
+    scaled = scaled_memory_config(2.0, base)
+    assert scaled.l3_miss_weight == pytest.approx(1.0)
+    assert scaled.frontend_miss_weight == pytest.approx(1.2)
+    assert scaled.numa_weight == base.numa_weight  # untouched
+    with pytest.raises(ConfigurationError):
+        scaled_memory_config(0.0)
+
+
+def test_bisect_converges_on_monotone_response():
+    measure = lambda scale: 0.1 * scale  # target 0.22 → scale 2.2
+    scale, achieved, evaluations = bisect_to_target(
+        measure, 0.22, lo=0.25, hi=3.0, iterations=12, tolerance=0.001)
+    assert achieved == pytest.approx(0.22, abs=0.002)
+    assert scale == pytest.approx(2.2, abs=0.02)
+    assert evaluations <= 14
+
+
+def test_bisect_rejects_out_of_bracket_target():
+    with pytest.raises(ConfigurationError, match="outside"):
+        bisect_to_target(lambda s: 0.01 * s, 5.0)
+
+
+def test_bisect_validation():
+    with pytest.raises(ConfigurationError):
+        bisect_to_target(lambda s: s, 1.0, lo=2.0, hi=1.0)
+    with pytest.raises(ConfigurationError):
+        bisect_to_target(lambda s: s, 1.0, iterations=0)
+
+
+def test_calibrate_headline_with_synthetic_measure():
+    # A saturating synthetic response mimicking the real system.
+    measure = lambda scale: 0.4 * (1 - math.exp(-scale))
+    result = calibrate_headline(target_uplift=0.22, measure=measure,
+                                iterations=12, tolerance=0.001)
+    assert isinstance(result, CalibrationResult)
+    assert result.error < 0.005
+    assert result.config.l3_miss_weight == pytest.approx(
+        0.5 * result.scale)
+    assert result.evaluations > 2

@@ -1,0 +1,91 @@
+"""Property tests: Resource and Store safety under random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+# A random program: each element is (action, delay).
+resource_programs = st.lists(
+    st.tuples(st.sampled_from(["acquire", "release"]),
+              st.floats(min_value=0.0, max_value=1.0)),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=resource_programs,
+       capacity=st.integers(min_value=1, max_value=4))
+def test_property_resource_never_exceeds_capacity(program, capacity):
+    sim = Simulator()
+    resource = Resource(sim, capacity)
+    holders = {"count": 0, "max_seen": 0}
+    pending_releases = {"owed": 0}
+
+    def on_grant(event):
+        holders["count"] += 1
+        holders["max_seen"] = max(holders["max_seen"], holders["count"])
+        if pending_releases["owed"] > 0:
+            pending_releases["owed"] -= 1
+            holders["count"] -= 1
+            resource.release()
+
+    time = 0.0
+    for action, delay in program:
+        time += delay
+        if action == "acquire":
+            sim.call_at(time, lambda: resource.acquire().add_callback(
+                on_grant))
+        else:
+            def release_one():
+                if holders["count"] > 0:
+                    holders["count"] -= 1
+                    resource.release()
+                else:
+                    # Release arrives before any grant: defer it.
+                    pending_releases["owed"] += 1
+            sim.call_at(time, release_one)
+    sim.run()
+    assert holders["max_seen"] <= capacity
+    assert resource.in_use <= capacity
+    assert resource.in_use >= 0
+
+
+store_programs = st.lists(
+    st.sampled_from(["put", "get"]), min_size=1, max_size=60)
+
+
+@settings(max_examples=100, deadline=None)
+@given(program=store_programs)
+def test_property_store_conserves_items(program):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+    puts = 0
+
+    for index, action in enumerate(program):
+        if action == "put":
+            puts += 1
+            sim.call_in(index * 0.01, lambda i=puts: store.put(i))
+        else:
+            sim.call_in(index * 0.01,
+                        lambda: store.get().add_callback(
+                            lambda e: received.append(e.value)))
+    sim.run()
+    # Items received + items still stored == items put; nothing invented,
+    # nothing lost (pending getters simply never fired).
+    assert len(received) + len(store) == puts
+    assert sorted(received + store.drain()) == list(range(1, puts + 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(capacity=st.integers(min_value=1, max_value=5),
+       n_items=st.integers(min_value=1, max_value=20))
+def test_property_bounded_store_never_overfills(capacity, n_items):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    accepted = 0
+    for i in range(n_items):
+        if store.try_put(i):
+            accepted += 1
+        assert len(store) <= capacity
+    assert accepted == min(capacity, n_items)

@@ -1,0 +1,105 @@
+"""Deeper property tests for the CPU scheduler under random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CpuBurst, CpuScheduler, FlatFrequencyModel, SmtModel, TaskGroup
+from repro.sim import Simulator
+from repro.topology import CpuSet, small_numa_machine, tiny_machine
+
+burst_plan = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-5, max_value=0.005),   # demand
+        st.floats(min_value=0.0, max_value=0.01),     # submit delay
+        st.integers(min_value=0, max_value=7),        # affinity seed
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=burst_plan)
+def test_property_random_affinities_all_complete_inside_masks(plan):
+    sim = Simulator()
+    machine = tiny_machine()
+    scheduler = CpuScheduler(sim, machine,
+                             smt_model=SmtModel(1.3),
+                             frequency_model=FlatFrequencyModel())
+    n = machine.n_logical_cpus
+    bursts = []
+    for demand, delay, affinity_seed in plan:
+        # Derive a non-empty deterministic mask from the seed.
+        members = [i for i in range(n) if (affinity_seed >> (i % 3)) & 1]
+        mask = CpuSet(members) if members else CpuSet.single(affinity_seed)
+        group = TaskGroup("g", mask)
+        burst = CpuBurst(demand, group, sim.event())
+        bursts.append((burst, mask))
+        sim.call_in(delay, lambda b=burst: scheduler.submit(b))
+    sim.run()
+    for burst, mask in bursts:
+        assert burst.finished_at is not None
+        assert burst.cpu_index in mask
+        assert burst.wall_time >= burst.demand * 0.999
+        assert burst.started_at >= burst.submitted_at
+    assert scheduler.queue_depth() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(demands=st.lists(st.floats(min_value=1e-4, max_value=0.003),
+                        min_size=5, max_size=40),
+       smt_yield=st.floats(min_value=1.0, max_value=2.0))
+def test_property_busy_time_bounded_by_makespan_times_cpus(demands,
+                                                           smt_yield):
+    sim = Simulator()
+    machine = small_numa_machine()
+    scheduler = CpuScheduler(sim, machine,
+                             smt_model=SmtModel(smt_yield),
+                             frequency_model=FlatFrequencyModel())
+    group = TaskGroup("g", machine.all_cpus())
+    for demand in demands:
+        scheduler.submit(CpuBurst(demand, group, sim.event()))
+    sim.run()
+    makespan = sim.now
+    total_busy = scheduler.total_busy_time()
+    assert total_busy <= makespan * machine.n_logical_cpus + 1e-9
+    # Executed demand can never exceed busy wall time (slowdowns only).
+    assert sum(demands) <= total_busy + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(demands=st.lists(st.floats(min_value=1e-4, max_value=0.002),
+                        min_size=2, max_size=25),
+       seed_mask=st.integers(min_value=1, max_value=255))
+def test_property_pinned_work_never_leaks(demands, seed_mask):
+    sim = Simulator()
+    machine = tiny_machine()
+    mask = CpuSet([i for i in range(8) if (seed_mask >> i) & 1])
+    scheduler = CpuScheduler(sim, machine,
+                             smt_model=SmtModel(1.3),
+                             frequency_model=FlatFrequencyModel())
+    group = TaskGroup("pinned", mask)
+    for demand in demands:
+        scheduler.submit(CpuBurst(demand, group, sim.event()))
+    sim.run()
+    outside = machine.all_cpus() - mask
+    assert sum(scheduler.busy_time(i) for i in outside) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(demands=st.lists(st.floats(min_value=1e-4, max_value=0.002),
+                        min_size=3, max_size=20))
+def test_property_deterministic_replay(demands):
+    def run_once():
+        sim = Simulator()
+        machine = tiny_machine()
+        scheduler = CpuScheduler(sim, machine)
+        group = TaskGroup("g", machine.all_cpus())
+        bursts = []
+        for demand in demands:
+            burst = CpuBurst(demand, group, sim.event())
+            scheduler.submit(burst)
+            bursts.append(burst)
+        sim.run()
+        return [(b.cpu_index, b.finished_at) for b in bursts]
+
+    assert run_once() == run_once()

@@ -1,0 +1,366 @@
+"""Unit + integration tests for the microservice substrate."""
+
+import pytest
+
+from repro._errors import ConfigurationError, ServiceOverloadError
+from repro._units import ms, us
+from repro.cpu import FlatFrequencyModel, SmtModel
+from repro.memory import WorkloadProfile
+from repro.services import Deployment, LoadBalancer, RpcFabric, ServiceSpec
+from repro.topology import tiny_machine
+
+
+def light_profile(name):
+    return WorkloadProfile(name=name, code_bytes=1024, data_bytes=1024,
+                           mem_intensity=0.3, frontend_intensity=0.3)
+
+
+def flat_deployment(machine=None, **kwargs):
+    """A deployment with flat clocks and no SMT penalty: hand-checkable."""
+    return Deployment(machine or tiny_machine(),
+                      smt_model=SmtModel(2.0),
+                      frequency_model=FlatFrequencyModel(),
+                      **kwargs)
+
+
+def echo_service(name="echo", workers=2, demand=ms(1.0), **spec_kwargs):
+    spec = ServiceSpec(name, light_profile(name), workers=workers,
+                       **spec_kwargs)
+
+    @spec.endpoint("run")
+    def run(ctx):
+        yield ctx.submit_demand(demand)
+        return ("echo", ctx.payload)
+
+    return spec
+
+
+def test_single_request_roundtrip():
+    deployment = flat_deployment(rpc=None)
+    deployment.rpc.hop_latency = us(25.0)
+    deployment.add_instance(echo_service())
+    done = deployment.dispatch("echo", "run", payload=42)
+    deployment.run()
+    assert done.triggered and done.ok
+    assert done.value == ("echo", 42)
+    # Latency = 2 network hops + 1ms CPU.
+    assert deployment.sim.now == pytest.approx(ms(1.0) + 2 * us(25.0))
+
+
+def test_zero_hop_latency_roundtrip():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    deployment.add_instance(echo_service())
+    done = deployment.dispatch("echo", "run")
+    deployment.run()
+    assert done.ok
+    assert deployment.sim.now == pytest.approx(ms(1.0))
+
+
+def test_worker_pool_limits_concurrency():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    # One worker → strictly serial service even with many CPUs.
+    deployment.add_instance(echo_service(workers=1))
+    events = [deployment.dispatch("echo", "run") for __ in range(3)]
+    deployment.run()
+    assert all(e.ok for e in events)
+    assert deployment.sim.now == pytest.approx(ms(3.0))
+
+
+def test_multiple_workers_run_concurrently():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    deployment.add_instance(echo_service(workers=4))
+    events = [deployment.dispatch("echo", "run") for __ in range(4)]
+    deployment.run()
+    assert all(e.ok for e in events)
+    # tiny machine has 4 physical cores → all four run in parallel.
+    assert deployment.sim.now == pytest.approx(ms(1.0))
+
+
+def test_downstream_call_chain():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    backend = ServiceSpec("backend", light_profile("backend"), workers=2)
+
+    @backend.endpoint("query")
+    def query(ctx):
+        yield ctx.submit_demand(ms(2.0))
+        return "rows"
+
+    frontend = ServiceSpec("frontend", light_profile("frontend"), workers=2)
+
+    @frontend.endpoint("page")
+    def page(ctx):
+        yield ctx.submit_demand(ms(1.0))
+        rows = yield ctx.call("backend", "query")
+        yield ctx.submit_demand(ms(0.5))
+        return ("page", rows)
+
+    deployment.add_instance(backend)
+    deployment.add_instance(frontend)
+    done = deployment.dispatch("frontend", "page")
+    deployment.run()
+    assert done.value == ("page", "rows")
+    assert deployment.sim.now == pytest.approx(ms(3.5))
+
+
+def test_parallel_downstream_calls_overlap():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    backend = ServiceSpec("backend", light_profile("backend"), workers=4)
+
+    @backend.endpoint("query")
+    def query(ctx):
+        yield ctx.submit_demand(ms(2.0))
+        return "x"
+
+    frontend = ServiceSpec("frontend", light_profile("frontend"), workers=2)
+
+    @frontend.endpoint("page")
+    def page(ctx):
+        first = ctx.call("backend", "query")
+        second = ctx.call("backend", "query")
+        yield ctx.gather(first, second)
+        return "done"
+
+    deployment.add_instance(backend)
+    deployment.add_instance(frontend)
+    done = deployment.dispatch("frontend", "page")
+    deployment.run()
+    assert done.ok
+    # Both 2ms backend calls overlap on different cores.
+    assert deployment.sim.now == pytest.approx(ms(2.0))
+
+
+def test_bounded_queue_sheds_load():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    deployment.add_instance(
+        echo_service(workers=1, queue_capacity=1, demand=ms(5.0)))
+    deployment.run(until=0.0)  # let worker processes boot
+    # Worker takes the 1st directly, the 2nd fills the queue, 3rd is shed.
+    accepted = [deployment.dispatch("echo", "run") for __ in range(2)]
+    shed = deployment.dispatch("echo", "run")
+    for event in accepted + [shed]:
+        event.defuse()
+    deployment.run()
+    assert accepted[0].ok and accepted[1].ok
+    assert shed.triggered and not shed.ok
+    assert isinstance(shed.value, ServiceOverloadError)
+    instance = deployment.registry.instances_of("echo")[0]
+    assert instance.rejected == 1
+    assert instance.completed == 2
+
+
+def test_handler_exception_propagates_to_caller():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    spec = ServiceSpec("flaky", light_profile("flaky"), workers=1)
+
+    @spec.endpoint("boom")
+    def boom(ctx):
+        yield ctx.submit_demand(ms(0.1))
+        raise RuntimeError("handler crashed")
+
+    deployment.add_instance(spec)
+    done = deployment.dispatch("flaky", "boom")
+    done.defuse()
+    deployment.run()
+    assert done.triggered and not done.ok
+    assert isinstance(done.value, RuntimeError)
+    instance = deployment.registry.instances_of("flaky")[0]
+    assert instance.failed == 1
+    # The worker survives and serves the next request.
+    spec2_done = deployment.dispatch("flaky", "boom")
+    spec2_done.defuse()
+    deployment.run()
+    assert instance.failed == 2
+
+
+def test_round_robin_spreads_across_replicas():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    spec = echo_service(workers=1)
+    a = deployment.add_instance(spec)
+    b = deployment.add_instance(spec)
+    for __ in range(4):
+        deployment.dispatch("echo", "run")
+    deployment.run()
+    assert a.completed == 2
+    assert b.completed == 2
+
+
+def test_least_outstanding_prefers_idle_replica():
+    deployment = flat_deployment(lb_policy="least_outstanding")
+    deployment.rpc.hop_latency = 0.0
+    spec = echo_service(workers=1, demand=ms(4.0))
+    a = deployment.add_instance(spec)
+    b = deployment.add_instance(spec)
+    deployment.dispatch("echo", "run")  # lands on a
+    deployment.run(until=ms(1.0))
+    deployment.dispatch("echo", "run")  # a is busy → b
+    deployment.run()
+    assert a.completed == 1
+    assert b.completed == 1
+
+
+def test_dispatch_unknown_service_raises():
+    deployment = flat_deployment()
+    with pytest.raises(ConfigurationError, match="no such service"):
+        deployment.dispatch("ghost", "run")
+
+
+def test_unknown_endpoint_reported_with_choices():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    deployment.add_instance(echo_service())
+    done = deployment.dispatch("echo", "missing")
+    done.defuse()
+    deployment.run()
+    assert not done.ok
+    assert "known" in str(done.value)
+
+
+def test_affinity_restricts_where_service_runs():
+    machine = tiny_machine()
+    deployment = flat_deployment(machine)
+    deployment.rpc.hop_latency = 0.0
+    pinned = deployment.add_instance(echo_service(),
+                                     affinity=machine.cpus_in_ccx(0))
+    assert pinned.affinity == machine.cpus_in_ccx(0)
+    assert pinned.home_node == 0
+    done = deployment.dispatch("echo", "run")
+    deployment.run()
+    assert done.ok
+    # All CPU time must land inside CCX 0's cpus.
+    busy_outside = sum(deployment.scheduler.busy_time(i)
+                      for i in machine.all_cpus() - machine.cpus_in_ccx(0))
+    assert busy_outside == 0.0
+
+
+def test_affinity_outside_online_raises():
+    machine = tiny_machine()
+    deployment = Deployment(machine, online=machine.cpus_in_ccx(0))
+    from repro.topology import CpuSet
+    with pytest.raises(ConfigurationError):
+        deployment.add_instance(echo_service(),
+                                affinity=machine.cpus_in_ccx(1))
+
+
+def test_remove_instance_cleans_up():
+    deployment = flat_deployment()
+    instance = deployment.add_instance(echo_service())
+    deployment.remove_instance(instance)
+    assert deployment.instances == []
+    assert deployment.registry.instances_of("echo") == []
+    with pytest.raises(ConfigurationError):
+        deployment.dispatch("echo", "run")
+
+
+def test_shared_state_factory():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    spec = ServiceSpec("counting", light_profile("counting"), workers=1,
+                       shared_factory=lambda instance: {"hits": 0})
+
+    @spec.endpoint("hit")
+    def hit(ctx):
+        yield ctx.submit_demand(ms(0.1))
+        ctx.shared["hits"] += 1
+        return ctx.shared["hits"]
+
+    deployment.add_instance(spec)
+    first = deployment.dispatch("counting", "hit")
+    deployment.run()
+    second = deployment.dispatch("counting", "hit")
+    deployment.run()
+    assert first.value == 1
+    assert second.value == 2
+
+
+def test_spec_validation():
+    profile = light_profile("x")
+    with pytest.raises(ConfigurationError):
+        ServiceSpec("x", profile, workers=0)
+    with pytest.raises(ConfigurationError):
+        ServiceSpec("x", profile, queue_capacity=0)
+    spec = ServiceSpec("x", profile)
+    spec.add_endpoint("a", lambda ctx: iter(()))
+    with pytest.raises(ConfigurationError):
+        spec.add_endpoint("a", lambda ctx: iter(()))
+    with pytest.raises(ConfigurationError):
+        spec.resolve("nope")
+
+
+def test_load_balancer_validation():
+    with pytest.raises(ConfigurationError):
+        LoadBalancer("svc", policy="random")
+    balancer = LoadBalancer("svc")
+    with pytest.raises(ConfigurationError):
+        balancer.pick()
+
+
+def test_rpc_validation():
+    from repro.sim import Simulator
+    with pytest.raises(ConfigurationError):
+        RpcFabric(Simulator(), hop_latency=-1.0)
+
+
+def test_foreign_rpc_fabric_rejected():
+    from repro.sim import Simulator
+    foreign = RpcFabric(Simulator())
+    with pytest.raises(ConfigurationError):
+        Deployment(tiny_machine(), rpc=foreign)
+
+
+def test_request_depth_tracks_call_chain():
+    deployment = flat_deployment()
+    deployment.rpc.hop_latency = 0.0
+    depths = []
+    backend = ServiceSpec("backend", light_profile("backend"), workers=1)
+
+    @backend.endpoint("q")
+    def q(ctx):
+        depths.append(ctx.request.depth)
+        yield ctx.submit_demand(ms(0.1))
+        return None
+
+    frontend = ServiceSpec("frontend", light_profile("frontend"), workers=1)
+
+    @frontend.endpoint("page")
+    def page(ctx):
+        depths.append(ctx.request.depth)
+        yield ctx.call("backend", "q")
+        return None
+
+    deployment.add_instance(backend)
+    deployment.add_instance(frontend)
+    deployment.dispatch("frontend", "page")
+    deployment.run()
+    assert depths == [0, 1]
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        deployment = Deployment(tiny_machine(), seed=seed)
+        deployment.rpc.hop_latency = 0.0
+        spec = ServiceSpec("svc", light_profile("svc"), workers=2)
+
+        @spec.endpoint("op")
+        def op(ctx):
+            yield ctx.compute(ms(1.0), cv=0.5)
+            return None
+
+        deployment.add_instance(spec)
+        finish_times = []
+        for __ in range(10):
+            done = deployment.dispatch("svc", "op")
+            done.add_callback(
+                lambda __, d=deployment: finish_times.append(d.sim.now))
+        deployment.run()
+        return finish_times
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

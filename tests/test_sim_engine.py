@@ -1,0 +1,341 @@
+"""Unit tests for the simulation event loop and processes."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_call_in_runs_callback_at_right_time():
+    sim = Simulator()
+    seen = []
+    sim.call_in(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(2.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.0]
+
+
+def test_call_at_in_the_past_raises():
+    sim = Simulator(start_time=3.0)
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_in(-1.0, lambda: None)
+
+
+def test_same_time_callbacks_fifo_order():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.call_in(1.0, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_handle_does_not_run():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_in(1.0, lambda: seen.append("x"))
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_in(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    sim.call_in(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    # The event at t=10 is still pending.
+    assert sim.peek() == 10.0
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator(start_time=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_peek_empty_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_step_without_work_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        sim.call_in(1.0, lambda: seen.append(("second", sim.now)))
+
+    sim.call_in(1.0, first)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 2.0)]
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+def test_process_timeout_sequencing():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield sim.timeout(2.0)
+        trace.append(sim.now)
+        yield sim.timeout(3.0)
+        trace.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert trace == [0.0, 2.0, 5.0]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.triggered and p.ok
+    assert p.value == 42
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_waits_on_plain_event():
+    sim = Simulator()
+    gate = sim.event()
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert got == [(3.0, "open")]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    trace = []
+
+    def ticker(name, period):
+        for __ in range(3):
+            yield sim.timeout(period)
+            trace.append((name, sim.now))
+
+    sim.process(ticker("a", 1.0))
+    sim.process(ticker("b", 1.5))
+    sim.run()
+    # At the t=3.0 tie, b's timeout was scheduled earlier (at t=1.5 vs
+    # t=2.0) so FIFO tie-breaking runs it first.
+    assert trace == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_waiter_can_catch_failed_event():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    sim.call_in(1.0, lambda: gate.fail(ValueError("nope")))
+    sim.run()
+    assert caught == ["nope"]
+
+
+def test_unhandled_failed_event_escalates():
+    sim = Simulator()
+    gate = sim.event()
+    sim.call_in(1.0, lambda: gate.fail(ValueError("unclaimed")))
+    with pytest.raises(ValueError, match="unclaimed"):
+        sim.run()
+
+
+def test_defused_failed_event_does_not_escalate():
+    sim = Simulator()
+    gate = sim.event()
+    gate.defuse()
+    sim.call_in(1.0, lambda: gate.fail(ValueError("claimed")))
+    sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    causes = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append((sim.now, interrupt.cause))
+
+    target = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        target.interrupt("wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert causes == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            trace.append(("interrupted", sim.now))
+        yield sim.timeout(1.0)
+        trace.append(("done", sim.now))
+
+    target = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        target.interrupt()
+
+    sim.process(interrupter())
+    sim.run()
+    assert trace == [("interrupted", 2.0), ("done", 3.0)]
+
+
+def test_yielding_non_event_raises_inside_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_waiting_on_another_process():
+    sim = Simulator()
+    trace = []
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        trace.append((sim.now, result))
+
+    sim.process(parent())
+    sim.run()
+    assert trace == [(2.0, "child-result")]
+
+
+def test_negative_timeout_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-0.5)

@@ -1,0 +1,178 @@
+"""Unit tests for event primitives: triggering, conditions, callbacks."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+def test_event_lifecycle_flags():
+    sim = Simulator()
+    event = sim.event()
+    assert not event.triggered and not event.processed
+    event.succeed(7)
+    assert event.triggered and not event.processed
+    sim.run()
+    assert event.processed
+    assert event.ok
+    assert event.value == 7
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        __ = event.value
+
+
+def test_double_succeed_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_then_succeed_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.defuse()
+    event.fail(ValueError("x"))
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callback_after_processing_runs_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("v")
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_callbacks_receive_event():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(3)
+    sim.run()
+    assert seen == [3]
+
+
+# ---------------------------------------------------------------------------
+# Condition events
+# ---------------------------------------------------------------------------
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    a = sim.timeout(1.0, value="a")
+    b = sim.timeout(3.0, value="b")
+    done_at = []
+
+    def proc():
+        values = yield AllOf(sim, [a, b])
+        done_at.append((sim.now, sorted(values.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done_at == [(3.0, ["a", "b"])]
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    a = sim.timeout(1.0, value="a")
+    b = sim.timeout(3.0, value="b")
+    done_at = []
+
+    def proc():
+        values = yield AnyOf(sim, [a, b])
+        done_at.append((sim.now, list(values.values())))
+
+    sim.process(proc())
+    sim.run()
+    assert done_at == [(1.0, ["a"])]
+
+
+def test_and_operator_builds_allof():
+    sim = Simulator()
+    a = sim.timeout(1.0)
+    b = sim.timeout(2.0)
+    condition = a & b
+    assert isinstance(condition, AllOf)
+    sim.run()
+    assert condition.triggered
+
+
+def test_or_operator_builds_anyof():
+    sim = Simulator()
+    a = sim.timeout(1.0)
+    b = sim.timeout(2.0)
+    condition = a | b
+    assert isinstance(condition, AnyOf)
+    sim.run()
+    assert condition.triggered
+
+
+def test_empty_allof_succeeds_immediately():
+    sim = Simulator()
+    condition = AllOf(sim, [])
+    sim.run()
+    assert condition.triggered and condition.ok
+    assert condition.value == {}
+
+
+def test_allof_fails_if_component_fails():
+    sim = Simulator()
+    a = sim.timeout(1.0)
+    b = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield AllOf(sim, [a, b])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.call_in(2.0, lambda: b.fail(ValueError("component died")))
+    sim.run()
+    assert caught == ["component died"]
+
+
+def test_anyof_value_contains_only_succeeded():
+    sim = Simulator()
+    a = sim.timeout(1.0, value="fast")
+    b = sim.timeout(9.0, value="slow")
+    condition = AnyOf(sim, [a, b])
+    sim.run(until=2.0)
+    assert condition.triggered
+    assert list(condition.value.values()) == ["fast"]
+
+
+def test_condition_rejects_foreign_events():
+    sim1 = Simulator()
+    sim2 = Simulator()
+    a = sim1.event()
+    b = sim2.event()
+    with pytest.raises(SimulationError):
+        AllOf(sim1, [a, b])
+
+
+def test_late_failure_after_anyof_resolution_is_defused():
+    sim = Simulator()
+    a = sim.timeout(1.0, value="fast")
+    b = sim.event()
+    AnyOf(sim, [a, b])
+    sim.call_in(5.0, lambda: b.fail(ValueError("late")))
+    # Must not escalate: the condition already resolved and claims it.
+    sim.run()

@@ -1,0 +1,102 @@
+"""Unit tests and property tests for named random streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_name_reproduces():
+    a = RandomStreams(seed=7).stream("users")
+    b = RandomStreams(seed=7).stream("users")
+    assert a.random(10).tolist() == b.random(10).tolist()
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.stream("users").random(10)
+    b = streams.stream("services").random(10)
+    assert a.tolist() != b.tolist()
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    reference = RandomStreams(seed=3).stream("b").random(5).tolist()
+    streams = RandomStreams(seed=3)
+    streams.stream("a").random(1000)  # burn a lot of stream "a"
+    assert streams.stream("b").random(5).tolist() == reference
+
+
+def test_exponential_positive():
+    streams = RandomStreams(seed=1)
+    draws = [streams.exponential("t", 2.0) for __ in range(100)]
+    assert all(d > 0 for d in draws)
+    assert abs(np.mean(draws) - 2.0) < 0.6
+
+
+def test_lognormal_mean_cv_zero_cv_is_deterministic():
+    streams = RandomStreams(seed=1)
+    assert streams.lognormal_mean_cv("t", 3.0, 0.0) == 3.0
+
+
+def test_lognormal_mean_cv_matches_requested_mean():
+    streams = RandomStreams(seed=1)
+    draws = [streams.lognormal_mean_cv("t", 5.0, 0.5) for __ in range(4000)]
+    assert abs(np.mean(draws) - 5.0) < 0.25
+
+
+def test_lognormal_rejects_bad_parameters():
+    streams = RandomStreams(seed=1)
+    with pytest.raises(ValueError):
+        streams.lognormal_mean_cv("t", -1.0, 0.5)
+    with pytest.raises(ValueError):
+        streams.lognormal_mean_cv("t", 1.0, -0.5)
+
+
+def test_choice_index_respects_zero_weights():
+    streams = RandomStreams(seed=1)
+    draws = {streams.choice_index("c", [0.0, 1.0, 0.0]) for __ in range(50)}
+    assert draws == {1}
+
+
+def test_choice_index_rejects_all_zero():
+    streams = RandomStreams(seed=1)
+    with pytest.raises(ValueError):
+        streams.choice_index("c", [0.0, 0.0])
+
+
+def test_fork_produces_independent_streams():
+    root = RandomStreams(seed=9)
+    child = root.fork("child")
+    a = root.stream("x").random(5).tolist()
+    b = child.stream("x").random(5).tolist()
+    assert a != b
+
+
+def test_fork_is_reproducible():
+    a = RandomStreams(seed=9).fork("child").stream("x").random(5).tolist()
+    b = RandomStreams(seed=9).fork("child").stream("x").random(5).tolist()
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       name=st.text(min_size=1, max_size=20))
+def test_property_stream_reproducibility(seed, name):
+    a = RandomStreams(seed=seed).stream(name).random(3).tolist()
+    b = RandomStreams(seed=seed).stream(name).random(3).tolist()
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(mean=st.floats(min_value=0.01, max_value=100.0),
+       cv=st.floats(min_value=0.0, max_value=3.0))
+def test_property_lognormal_always_positive(mean, cv):
+    streams = RandomStreams(seed=0)
+    assert streams.lognormal_mean_cv("t", mean, cv) > 0

@@ -1,0 +1,200 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro._errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_acquire_within_capacity_is_immediate():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    a = res.acquire()
+    b = res.acquire()
+    assert a.triggered and b.triggered
+    assert res.in_use == 2
+    assert res.available == 0
+    sim.run()
+
+
+def test_acquire_beyond_capacity_queues():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.acquire()
+    second = res.acquire()
+    assert first.triggered
+    assert not second.triggered
+    assert res.queue_length == 1
+    sim.run()
+
+
+def test_release_grants_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    waiters = [res.acquire() for __ in range(3)]
+    order = []
+    for i, w in enumerate(waiters):
+        w.add_callback(lambda __, i=i: order.append(i))
+    for __ in range(3):
+        res.release()
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_release_without_acquire_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_in_process_models_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    trace = []
+
+    def worker(name, hold):
+        yield res.acquire()
+        trace.append((name, "in", sim.now))
+        yield sim.timeout(hold)
+        trace.append((name, "out", sim.now))
+        res.release()
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    assert trace == [
+        ("a", "in", 0.0), ("a", "out", 2.0),
+        ("b", "in", 2.0), ("b", "out", 3.0),
+    ]
+
+
+def test_release_transfers_slot_keeps_in_use_constant():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    res.acquire()  # queued
+    res.release()
+    assert res.in_use == 1
+    sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    assert got.triggered
+    sim.run()
+    assert got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.call_in(2.0, lambda: store.put("late"))
+    sim.run()
+    assert got == [(2.0, "late")]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(4):
+        store.put(i)
+    order = []
+
+    def consumer():
+        for __ in range(4):
+            item = yield store.get()
+            order.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    assert first.triggered
+    assert not second.triggered
+    assert store.putters_waiting == 1
+    got = store.get()
+    sim.run()
+    assert got.value == "a"
+    assert second.triggered
+    assert len(store) == 1  # "b" admitted after the get
+
+
+def test_try_put_respects_capacity():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put("a") is True
+    assert store.try_put("b") is False
+    sim.run()
+
+
+def test_try_put_hands_directly_to_waiting_getter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    sim.process(consumer())
+    sim.run()  # consumer is now blocked
+    assert store.getters_waiting == 1
+    assert store.try_put("direct") is True
+    sim.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Store(sim, capacity=0)
+
+
+def test_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.call_in(1.0, lambda: store.put("x"))
+    sim.call_in(2.0, lambda: store.put("y"))
+    sim.run()
+    assert got == [("first", "x"), ("second", "y")]

@@ -1,0 +1,116 @@
+"""Unit + property tests for CpuSet."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import TopologyError
+from repro.topology import CpuSet
+
+cpu_id_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=40)
+
+
+def test_empty_set():
+    cpus = CpuSet()
+    assert len(cpus) == 0
+    assert not cpus
+    assert cpus.to_string() == ""
+
+
+def test_from_string_singletons_and_ranges():
+    cpus = CpuSet.from_string("0-3,8,10-11")
+    assert cpus.ids == (0, 1, 2, 3, 8, 10, 11)
+
+
+def test_from_string_whitespace_tolerant():
+    assert CpuSet.from_string(" 1 , 3-4 ").ids == (1, 3, 4)
+
+
+def test_from_string_empty_is_empty_set():
+    assert len(CpuSet.from_string("")) == 0
+
+
+def test_from_string_rejects_reversed_range():
+    with pytest.raises(TopologyError):
+        CpuSet.from_string("5-3")
+
+
+def test_from_string_rejects_garbage():
+    with pytest.raises(TopologyError):
+        CpuSet.from_string("1,abc")
+    with pytest.raises(TopologyError):
+        CpuSet.from_string("1,,2")
+
+
+def test_negative_ids_rejected():
+    with pytest.raises(TopologyError):
+        CpuSet([-1])
+
+
+def test_to_string_collapses_ranges():
+    assert CpuSet([0, 1, 2, 5, 7, 8]).to_string() == "0-2,5,7-8"
+
+
+def test_single():
+    assert CpuSet.single(5).ids == (5,)
+
+
+def test_range_constructor_half_open():
+    assert CpuSet.range(2, 5).ids == (2, 3, 4)
+
+
+def test_set_algebra():
+    a = CpuSet([0, 1, 2])
+    b = CpuSet([2, 3])
+    assert (a | b).ids == (0, 1, 2, 3)
+    assert (a & b).ids == (2,)
+    assert (a - b).ids == (0, 1)
+
+
+def test_membership_and_iteration_sorted():
+    cpus = CpuSet([5, 1, 3])
+    assert 3 in cpus
+    assert 4 not in cpus
+    assert list(cpus) == [1, 3, 5]
+
+
+def test_subset_and_disjoint():
+    assert CpuSet([1, 2]).issubset(CpuSet([1, 2, 3]))
+    assert not CpuSet([1, 4]).issubset(CpuSet([1, 2, 3]))
+    assert CpuSet([1]).isdisjoint(CpuSet([2]))
+    assert not CpuSet([1]).isdisjoint(CpuSet([1]))
+
+
+def test_first():
+    assert CpuSet([9, 4, 7]).first() == 4
+    with pytest.raises(TopologyError):
+        CpuSet().first()
+
+
+def test_equality_and_hash():
+    assert CpuSet([1, 2]) == CpuSet([2, 1])
+    assert hash(CpuSet([1, 2])) == hash(CpuSet([2, 1]))
+    assert CpuSet([1]) != CpuSet([2])
+    assert CpuSet([1]).__eq__(42) is NotImplemented
+
+
+@settings(max_examples=200, deadline=None)
+@given(ids=cpu_id_sets)
+def test_property_string_roundtrip(ids):
+    cpus = CpuSet(ids)
+    assert CpuSet.from_string(cpus.to_string()) == cpus
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=cpu_id_sets, b=cpu_id_sets)
+def test_property_algebra_matches_set_semantics(a, b):
+    ca, cb = CpuSet(a), CpuSet(b)
+    assert set((ca | cb).ids) == a | b
+    assert set((ca & cb).ids) == a & b
+    assert set((ca - cb).ids) == a - b
+
+
+@settings(max_examples=100, deadline=None)
+@given(ids=cpu_id_sets)
+def test_property_iteration_is_sorted(ids):
+    assert list(CpuSet(ids)) == sorted(ids)

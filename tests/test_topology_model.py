@@ -1,0 +1,203 @@
+"""Unit + property tests for the Machine topology model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._errors import TopologyError
+from repro.topology import (
+    CpuSet,
+    Machine,
+    MachineSpec,
+    dual_socket_rome,
+    machine_from_preset,
+    single_socket_rome,
+    small_numa_machine,
+    tiny_machine,
+)
+from repro.topology.model import (
+    DISTANCE_CROSS_SOCKET,
+    DISTANCE_LOCAL,
+    DISTANCE_SAME_SOCKET,
+)
+
+
+def test_paper_platform_has_128_logical_cpus_per_socket():
+    machine = single_socket_rome()
+    assert machine.spec.logical_cpus_per_socket == 128
+    assert machine.n_logical_cpus == 128
+    assert len(machine.cores) == 64
+    assert len(machine.ccxs) == 16
+    assert len(machine.ccds) == 8
+
+
+def test_dual_socket_counts():
+    machine = dual_socket_rome()
+    assert machine.n_logical_cpus == 256
+    assert len(machine.nodes) == 2
+    assert len(machine.sockets) == 2
+
+
+def test_linux_like_numbering_first_threads_then_siblings():
+    machine = tiny_machine()  # 4 cores, 8 lcpus
+    for index in range(4):
+        assert machine.cpu(index).thread == 0
+    for index in range(4, 8):
+        assert machine.cpu(index).thread == 1
+    assert machine.first_threads() == CpuSet.range(0, 4)
+
+
+def test_sibling_symmetry():
+    machine = tiny_machine()
+    for cpu in machine.cpus:
+        sibling = machine.sibling(cpu.index)
+        assert sibling is not None
+        assert sibling.core is cpu.core
+        assert machine.sibling(sibling.index).index == cpu.index
+
+
+def test_sibling_none_without_smt():
+    machine = Machine(MachineSpec(name="no-smt", ccds_per_socket=1,
+                                  ccxs_per_ccd=1, cores_per_ccx=2,
+                                  threads_per_core=1))
+    assert machine.sibling(0) is None
+
+
+def test_cpu_out_of_range_raises():
+    machine = tiny_machine()
+    with pytest.raises(TopologyError):
+        machine.cpu(8)
+    with pytest.raises(TopologyError):
+        machine.cpu(-1)
+
+
+def test_ccx_grouping_contains_both_threads():
+    machine = tiny_machine()
+    ccx0 = machine.cpus_in_ccx(0)
+    # CCX 0 has cores 0,1 → lcpus 0,1 and their siblings 4,5.
+    assert ccx0 == CpuSet([0, 1, 4, 5])
+
+
+def test_groupings_partition_the_machine():
+    machine = small_numa_machine()
+    for groups, count in [
+        ([machine.cpus_in_ccx(i) for i in range(len(machine.ccxs))],
+         len(machine.ccxs)),
+        ([machine.cpus_in_node(i) for i in range(len(machine.nodes))],
+         len(machine.nodes)),
+        ([machine.cpus_in_socket(i) for i in range(len(machine.sockets))],
+         len(machine.sockets)),
+    ]:
+        assert len(groups) == count
+        union = CpuSet()
+        total = 0
+        for group in groups:
+            assert union.isdisjoint(group)
+            union = union | group
+            total += len(group)
+        assert union == machine.all_cpus()
+        assert total == machine.n_logical_cpus
+
+
+def test_cpus_in_core_has_thread_pair():
+    machine = tiny_machine()
+    assert machine.cpus_in_core(0) == CpuSet([0, 4])
+
+
+def test_distance_matrix():
+    machine = dual_socket_rome()
+    assert machine.distance(0, 0) == DISTANCE_LOCAL
+    assert machine.distance(0, 1) == DISTANCE_CROSS_SOCKET
+
+
+def test_distance_same_socket_nps4():
+    machine = machine_from_preset("rome-1s-nps4")
+    assert len(machine.nodes) == 4
+    assert machine.distance(0, 1) == DISTANCE_SAME_SOCKET
+    assert machine.distance(2, 2) == DISTANCE_LOCAL
+
+
+def test_nps4_divides_ccds_evenly():
+    machine = machine_from_preset("rome-1s-nps4")
+    per_node = [sum(1 for ccd in machine.ccds if ccd.node.index == n)
+                for n in range(4)]
+    assert per_node == [2, 2, 2, 2]
+
+
+def test_spec_validation():
+    with pytest.raises(TopologyError):
+        MachineSpec(name="bad", sockets=0)
+    with pytest.raises(TopologyError):
+        MachineSpec(name="bad", threads_per_core=3)
+    with pytest.raises(TopologyError):
+        MachineSpec(name="bad", ccds_per_socket=3, numa_nodes_per_socket=2)
+    with pytest.raises(TopologyError):
+        MachineSpec(name="bad", base_freq_ghz=3.0, max_boost_ghz=2.0)
+
+
+def test_unknown_preset_raises_with_choices():
+    with pytest.raises(TopologyError, match="rome-1s"):
+        machine_from_preset("nope")
+
+
+def test_describe_mentions_key_facts():
+    text = single_socket_rome().describe()
+    assert "128" in text
+    assert "L3" in text
+    assert "CCX" in text
+
+
+def test_cache_specs_l3_matches_spec():
+    machine = single_socket_rome()
+    l3 = [c for c in machine.cache_specs() if c.name == "L3"][0]
+    assert l3.size_bytes == machine.l3_bytes_per_ccx()
+    assert l3.shared_by == "ccx"
+
+
+def test_cache_spec_str_is_readable():
+    specs = {c.name: str(c) for c in tiny_machine().cache_specs()}
+    assert "MiB" in specs["L3"]
+    assert "KiB" in specs["L1i"]
+
+
+machine_shapes = st.tuples(
+    st.integers(1, 2),   # sockets
+    st.integers(1, 4),   # ccds_per_socket
+    st.integers(1, 2),   # ccxs_per_ccd
+    st.integers(1, 4),   # cores_per_ccx
+    st.sampled_from([1, 2]),  # threads_per_core
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=machine_shapes)
+def test_property_every_cpu_reachable_and_consistent(shape):
+    sockets, ccds, ccxs, cores, threads = shape
+    machine = Machine(MachineSpec(
+        name="prop", sockets=sockets, ccds_per_socket=ccds,
+        ccxs_per_ccd=ccxs, cores_per_ccx=cores, threads_per_core=threads))
+    assert machine.n_logical_cpus == sockets * ccds * ccxs * cores * threads
+    for cpu in machine.cpus:
+        assert machine.cpu(cpu.index) is cpu
+        assert cpu.index in machine.cpus_in_ccx(cpu.ccx.index)
+        assert cpu.index in machine.cpus_in_node(cpu.node.index)
+        assert cpu.index in machine.cpus_in_socket(cpu.socket.index)
+        sibling = machine.sibling(cpu.index)
+        if threads == 1:
+            assert sibling is None
+        else:
+            assert sibling is not None and sibling.core is cpu.core
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=machine_shapes)
+def test_property_distance_symmetric(shape):
+    sockets, ccds, ccxs, cores, threads = shape
+    machine = Machine(MachineSpec(
+        name="prop", sockets=sockets, ccds_per_socket=ccds,
+        ccxs_per_ccd=ccxs, cores_per_ccx=cores, threads_per_core=threads))
+    for a in range(len(machine.nodes)):
+        for b in range(len(machine.nodes)):
+            assert machine.distance(a, b) == machine.distance(b, a)
+            if a == b:
+                assert machine.distance(a, b) == DISTANCE_LOCAL

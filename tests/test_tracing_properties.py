@@ -1,0 +1,75 @@
+"""Property tests for the tracing interval algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracing.collector import _merge, _subtract, _union_length
+
+intervals = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=100),
+              st.floats(min_value=0, max_value=100)).map(
+        lambda pair: (min(pair), max(pair))),
+    max_size=15,
+).map(lambda xs: [(s, e) for s, e in xs if e > s])
+
+
+@settings(max_examples=200, deadline=None)
+@given(xs=intervals)
+def test_merge_produces_disjoint_sorted(xs):
+    merged = _merge(xs)
+    for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        assert e1 < s2
+    for start, end in merged:
+        assert start < end
+
+
+@settings(max_examples=200, deadline=None)
+@given(xs=intervals)
+def test_union_length_invariant_under_merge(xs):
+    assert abs(_union_length(xs) - _union_length(_merge(xs))) < 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(xs=intervals)
+def test_union_length_bounded_by_span(xs):
+    if not xs:
+        return
+    lo = min(s for s, __ in xs)
+    hi = max(e for __, e in xs)
+    assert _union_length(xs) <= (hi - lo) + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(base_start=st.floats(min_value=0, max_value=50),
+       length=st.floats(min_value=0.1, max_value=50),
+       holes=intervals)
+def test_subtract_partitions_the_base(base_start, length, holes):
+    """|base| == |base - holes| + |base ∩ holes|."""
+    base = (base_start, base_start + length)
+    remainder = _subtract(base, holes)
+    clipped = [(max(s, base[0]), min(e, base[1])) for s, e in holes]
+    clipped = [(s, e) for s, e in clipped if e > s]
+    assert abs((length - _union_length(remainder))
+               - _union_length(clipped)) < 1e-6
+    # Remainder intervals lie inside the base and avoid every hole.
+    for start, end in remainder:
+        assert base[0] - 1e-9 <= start < end <= base[1] + 1e-9
+        midpoint = (start + end) / 2
+        for hole_start, hole_end in clipped:
+            assert not hole_start < midpoint < hole_end
+
+
+@settings(max_examples=100, deadline=None)
+@given(holes=intervals)
+def test_subtract_with_covering_hole_is_empty(holes):
+    base = (10.0, 20.0)
+    assert _subtract(base, [(0.0, 100.0)] + holes) == []
+
+
+def test_subtract_edge_cases():
+    assert _subtract((0.0, 10.0), []) == [(0.0, 10.0)]
+    assert _subtract((0.0, 10.0), [(2.0, 3.0)]) == [(0.0, 2.0), (3.0, 10.0)]
+    assert _subtract((0.0, 10.0), [(0.0, 5.0)]) == [(5.0, 10.0)]
+    assert _subtract((0.0, 10.0), [(5.0, 10.0)]) == [(0.0, 5.0)]
+    assert _subtract((0.0, 10.0), [(-5.0, 0.0)]) == [(0.0, 10.0)]
+    assert _subtract((0.0, 10.0), [(10.0, 15.0)]) == [(0.0, 10.0)]

@@ -1,0 +1,167 @@
+"""Tests for the SVG chart writers and the experiment-figure mapping."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.experiments.figures import figure_for, write_figures
+from repro.viz import bar_chart, grouped_bar_chart, line_chart
+
+
+def parse_svg(svg: str) -> ElementTree.Element:
+    return ElementTree.fromstring(svg)
+
+
+# ---------------------------------------------------------------------------
+# viz primitives
+# ---------------------------------------------------------------------------
+
+def test_line_chart_is_valid_xml_with_series():
+    svg = line_chart({"a": [(1, 10.0), (2, 20.0)],
+                      "b": [(1, 5.0), (2, 2.0)]},
+                     title="T", x_label="x", y_label="y")
+    root = parse_svg(svg)
+    assert root.tag.endswith("svg")
+    polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+    assert len(polylines) == 2
+    circles = [e for e in root.iter() if e.tag.endswith("circle")]
+    assert len(circles) == 4
+    assert "T" in svg and "x" in svg and "y" in svg
+
+
+def test_line_chart_escapes_labels():
+    svg = line_chart({"a<b>": [(0, 1.0)]}, title="t & u")
+    assert "a&lt;b&gt;" in svg
+    assert "t &amp; u" in svg
+    parse_svg(svg)
+
+
+def test_line_chart_validation():
+    with pytest.raises(ConfigurationError):
+        line_chart({}, title="empty")
+    with pytest.raises(ConfigurationError):
+        line_chart({"a": []}, title="empty")
+
+
+def test_bar_chart_one_rect_per_value():
+    svg = bar_chart(["a", "b", "c"], [1.0, 2.0, 3.0], title="bars")
+    root = parse_svg(svg)
+    rects = [e for e in root.iter() if e.tag.endswith("rect")]
+    # background + 3 bars
+    assert len(rects) == 4
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        bar_chart([], [], title="x")
+    with pytest.raises(ConfigurationError):
+        bar_chart(["a"], [1.0, 2.0], title="x")
+
+
+def test_grouped_bar_chart_shape():
+    svg = grouped_bar_chart(["g1", "g2"],
+                            {"s1": [1.0, 2.0], "s2": [3.0, 4.0]},
+                            title="grouped")
+    root = parse_svg(svg)
+    rects = [e for e in root.iter() if e.tag.endswith("rect")]
+    # background + 4 bars + 2 legend swatches
+    assert len(rects) == 7
+
+
+def test_grouped_bar_chart_validation():
+    with pytest.raises(ConfigurationError):
+        grouped_bar_chart([], {}, title="x")
+    with pytest.raises(ConfigurationError):
+        grouped_bar_chart(["g"], {"s": [1.0, 2.0]}, title="x")
+
+
+# ---------------------------------------------------------------------------
+# experiment mapping
+# ---------------------------------------------------------------------------
+
+def e2_result():
+    return ExperimentResult("E2", "load", [
+        {"users": 10, "throughput_rps": 100.0, "latency_mean_ms": 5.0,
+         "latency_p95_ms": 8.0, "latency_p99_ms": 9.0,
+         "machine_util": 0.2},
+        {"users": 20, "throughput_rps": 180.0, "latency_mean_ms": 6.0,
+         "latency_p95_ms": 9.0, "latency_p99_ms": 11.0,
+         "machine_util": 0.4},
+    ])
+
+
+def test_figure_for_known_experiment():
+    svg = figure_for(e2_result())
+    assert svg is not None
+    parse_svg(svg)
+
+
+def test_figure_for_unknown_experiment_is_none():
+    result = ExperimentResult("E1", "platform", [{"attribute": "x",
+                                                  "value": 1}])
+    assert figure_for(result) is None
+
+
+def test_write_figures(tmp_path):
+    results = [e2_result(),
+               ExperimentResult("E1", "platform",
+                                [{"attribute": "x", "value": 1}])]
+    written = write_figures(results, tmp_path)
+    assert [p.name for p in written] == ["e2.svg"]
+    assert (tmp_path / "e2.svg").read_text().startswith("<svg")
+
+
+def test_property_charts_always_valid_xml():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1e6),
+                           min_size=1, max_size=10))
+    def check(values):
+        labels = [f"l{i}" for i in range(len(values))]
+        parse_svg(bar_chart(labels, values, title="t"))
+        points = [(float(i), v) for i, v in enumerate(values)]
+        parse_svg(line_chart({"s": points}, title="t"))
+
+    check()
+
+
+def test_every_registered_builder_renders_from_fast_shapes():
+    """Each builder must handle its experiment's real row schema."""
+    from repro.experiments.figures import _BUILDERS
+    samples = {
+        "E2": e2_result(),
+        "E3": ExperimentResult("E3", "t", [
+            {"logical_cpus": 8, "throughput_rps": 10.0}]),
+        "E4": ExperimentResult("E4", "t", [
+            {"config": "off", "throughput_rps": 10.0}]),
+        "E5": ExperimentResult("E5", "t", [
+            {"service": "webui", "cpu_share_pct": 40.0}]),
+        "E6": ExperimentResult("E6", "t", [
+            {"service": "webui", "ccxs": 1, "throughput_rps": 10.0},
+            {"service": "webui", "ccxs": 2, "throughput_rps": 18.0}]),
+        "E7": ExperimentResult("E7", "t", [
+            {"policy": "unpinned", "throughput_rps": 10.0}]),
+        "E8": ExperimentResult("E8", "t", [
+            {"config": "base", "throughput_rps": 10.0}]),
+        "E9": ExperimentResult("E9", "t", [
+            {"workload": "webui", "ipc": 0.5, "l1i_mpki": 40.0}]),
+        "E10": ExperimentResult("E10", "t", [
+            {"config": "local", "throughput_rps": 10.0}]),
+        "E12": ExperimentResult("E12", "t", [
+            {"config": "alone", "store_rps": 10.0}]),
+        "A2": ExperimentResult("A2", "t", [
+            {"logical_cpus": 16, "boost_gain_pct": 50.0}]),
+        "A3": ExperimentResult("A3", "t", [
+            {"smt_yield": 1.3, "throughput_rps": 10.0}]),
+        "A4": ExperimentResult("A4", "t", [
+            {"bandwidth_capacity": "unlimited", "throughput_rps": 10.0}]),
+    }
+    assert set(samples) == set(_BUILDERS)
+    for experiment_id, sample in samples.items():
+        svg = figure_for(sample)
+        assert svg is not None, experiment_id
+        parse_svg(svg)
