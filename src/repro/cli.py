@@ -7,6 +7,8 @@ Examples::
     repro run e8                   # the headline result, paper scale
     repro run e2 --fast            # quick small-machine version
     repro run all --fast --seed 7  # everything, quickly
+    repro sweep e2 --jobs 8        # the same table, in parallel
+    repro sweep all --fast         # everything, parallel + cached
 """
 
 from __future__ import annotations
@@ -84,6 +86,42 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write a markdown report to FILE")
     run.add_argument("--figures", metavar="DIR", default=None,
                      help="also write SVG figures to DIR")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run experiments as parallel, cached, resumable sweeps")
+    sweep.add_argument("experiment",
+                       choices=sorted(EXPERIMENTS) + ["all"],
+                       help="experiment id, or 'all'")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: all CPUs)")
+    sweep.add_argument("--fast", action="store_true",
+                       help="small machine, short windows")
+    sweep.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                       help="override the machine preset")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--users", type=int, default=None)
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    sweep.add_argument("--rerun", action="store_true",
+                       help="execute every point even on cache hits "
+                            "(and refresh the entries)")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory "
+                            "(default: .repro-cache)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point completion timeout")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+    sweep.add_argument("--log", metavar="FILE", default=None,
+                       help="JSONL run log "
+                            "(default: <cache-dir>/last-sweep.jsonl)")
+    sweep.add_argument("--bench", metavar="FILE",
+                       default="BENCH_sweep.json",
+                       help="sweep-perf artifact ('' disables)")
+    sweep.add_argument("--markdown", metavar="FILE", default=None,
+                       help="also write a markdown report to FILE")
     return parser
 
 
@@ -123,6 +161,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             print(machine.describe())
         return 0
 
+    if args.command == "sweep":
+        return _run_sweeps(args)
+
     experiment_ids = (sorted(EXPERIMENTS) if args.experiment == "all"
                       else [args.experiment])
     results = []
@@ -144,6 +185,69 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         from repro.experiments.figures import write_figures
         written = write_figures(results, args.figures)
         print(f"{len(written)} figures written to {args.figures}")
+    return 0
+
+
+def _run_sweeps(args: argparse.Namespace) -> int:
+    """The ``repro sweep`` verb: parallel, cached, resumable runs."""
+    import os
+    import pathlib
+
+    from repro.orchestrator import (
+        ProgressReporter,
+        ResultCache,
+        SweepInterrupted,
+        SweepTimeout,
+        run_sweep,
+        write_bench_artifact,
+    )
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        print(f"--jobs must be >= 1 (got {jobs})", file=sys.stderr)
+        return 2
+    cache_dir = pathlib.Path(args.cache_dir or ".repro-cache")
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    log_path = args.log or str(cache_dir / "last-sweep.jsonl")
+    pathlib.Path(log_path).parent.mkdir(parents=True, exist_ok=True)
+    experiment_ids = (sorted(EXPERIMENTS) if args.experiment == "all"
+                      else [args.experiment])
+
+    results = []
+    stats = []
+    with open(log_path, "w", encoding="utf-8") as log_handle:
+        for experiment_id in experiment_ids:
+            settings = _settings_for(args, experiment_id)
+            progress = ProgressReporter(experiment_id, log=log_handle,
+                                        quiet=args.quiet)
+            try:
+                outcome = run_sweep(experiment_id, settings, jobs=jobs,
+                                    cache=cache, rerun=args.rerun,
+                                    point_timeout=args.timeout,
+                                    progress=progress)
+            except SweepInterrupted as interrupted:
+                print(interrupted, file=sys.stderr)
+                return 130
+            except SweepTimeout as timed_out:
+                print(f"sweep {experiment_id} timed out: {timed_out}",
+                      file=sys.stderr)
+                return 1
+            results.append(outcome.result)
+            stats.append(outcome.stats)
+            print(outcome.result.render())
+            print()
+
+    if args.bench:
+        write_bench_artifact(args.bench, stats, jobs)
+        print(f"sweep bench artifact written to {args.bench}")
+    if args.markdown is not None:
+        from repro.report import build_report
+        settings = _settings_for(args, experiment_ids[0])
+        report = build_report(results, machine=settings.machine(),
+                              sweep_stats=[s.to_dict() for s in stats])
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"markdown report written to {args.markdown}")
     return 0
 
 

@@ -21,6 +21,13 @@ output next to the paper's claims.
 | E11 | :mod:`~repro.experiments.e11_latency_breakdown` | traced latency decomposition (extension) |
 | E12 | :mod:`~repro.experiments.e12_colocation` | batch-neighbor co-location (extension) |
 | A1..A4 | :mod:`~repro.experiments.ablations` | design-choice ablations |
+
+Each module also registers a *sweep provider* with
+:mod:`repro.orchestrator.plan` — a ``sweep_points(settings)`` /
+``run_point(point)`` / ``assemble(settings, payloads)`` triple that
+decomposes the experiment into independent points.  ``run()`` is a thin
+sequential composition of the same triple, so ``repro sweep`` (parallel,
+cached) reproduces ``repro run`` byte-for-byte.
 """
 
 from repro.experiments.common import ExperimentResult, ExperimentSettings

@@ -24,7 +24,13 @@ from repro.experiments.common import (
     Row,
     run_store,
 )
+from repro.orchestrator import plan
 from repro.topology.cpuset import CpuSet
+
+A1_TITLE = "Code sharing between same-service replicas on/off"
+A2_TITLE = "Frequency-boost model on/off"
+A3_TITLE = "SMT-yield sensitivity"
+A4_TITLE = "Memory-bandwidth contention model (optional extension)"
 
 
 def run_code_sharing(settings: ExperimentSettings | None = None
@@ -37,25 +43,45 @@ def run_code_sharing(settings: ExperimentSettings | None = None
     mechanism the CCX-packing policy exploits.
     """
     settings = settings or ExperimentSettings()
-    machine = settings.machine()
-    rows: list[Row] = []
-    results = {}
-    for name, share in (("code sharing on (real)", True),
-                        ("code sharing off (ablated)", False)):
-        config = dataclasses.replace(settings.memory_config,
-                                     share_code=share)
-        ablated = dataclasses.replace(settings, memory_config=config)
-        result, __, __ = run_store(ablated, machine=machine)
-        results[name] = result
-        rows.append({
-            "config": name,
-            "throughput_rps": result.throughput,
-            "latency_p99_ms": result.latency_p99 * 1e3,
-        })
-    gain = (results["code sharing on (real)"].throughput
-            / results["code sharing off (ablated)"].throughput - 1.0)
+    points = a1_sweep_points(settings)
+    return a1_assemble(settings, [a1_run_point(point) for point in points])
+
+
+def a1_sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """Two points: sharing on (real) and off (ablated)."""
+    return [plan.SweepPoint(
+        "a1", index, "code-sharing", f"share_code={share}", settings,
+        params=(("config", name), ("share_code", share)))
+        for index, (name, share) in enumerate(
+            (("code sharing on (real)", True),
+             ("code sharing off (ablated)", False)))]
+
+
+def a1_run_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one code-sharing setting."""
+    settings = point.settings
+    config = dataclasses.replace(settings.memory_config,
+                                 share_code=point.param("share_code"))
+    ablated = dataclasses.replace(settings, memory_config=config)
+    result, __, __ = run_store(ablated, machine=settings.machine())
+    return {
+        "config": point.param("config"),
+        "throughput_rps": result.throughput,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+    }
+
+
+def a1_assemble(settings: ExperimentSettings,
+                payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """The two rows plus the sharing-gain note."""
+    rows: list[Row] = [dict(payload) for payload in payloads]
+    by_config = {t.cast(str, row["config"]): row for row in rows}
+    gain = (t.cast(float,
+                   by_config["code sharing on (real)"]["throughput_rps"])
+            / t.cast(float, by_config["code sharing off (ablated)"]
+                     ["throughput_rps"]) - 1.0)
     return ExperimentResult(
-        "A1", "Code sharing between same-service replicas on/off",
+        "A1", A1_TITLE,
         rows,
         notes=[f"sharing text pages is worth {100 * gain:+.1f}% "
                f"throughput on the tuned baseline"])
@@ -66,29 +92,65 @@ def run_frequency_ablation(settings: ExperimentSettings | None = None,
                            ) -> ExperimentResult:
     """A2: boost model on/off across partial-occupancy core counts."""
     settings = settings or ExperimentSettings()
+    points = a2_sweep_points(settings, cpu_counts)
+    return a2_assemble(settings, [a2_run_point(point) for point in points])
+
+
+def a2_sweep_points(settings: ExperimentSettings,
+                    cpu_counts: t.Sequence[int] | None = None
+                    ) -> list[plan.SweepPoint]:
+    """Two points (boost, flat) per online-CPU count."""
     machine = settings.machine()
     if cpu_counts is None:
         n = machine.n_logical_cpus
         cpu_counts = (n // 8, n // 2, n)
-    rows: list[Row] = []
+    points: list[plan.SweepPoint] = []
     for count in cpu_counts:
-        online = CpuSet.range(0, count)
         users = max(64, int(settings.users * count / machine.n_logical_cpus))
-        boosted, __, __ = run_store(settings, machine=machine,
-                                    online=online, users=users)
-        flat, __, __ = run_store(settings, machine=machine, online=online,
-                                 users=users,
-                                 frequency_model=FlatFrequencyModel())
+        for model in ("boost", "flat"):
+            points.append(plan.SweepPoint(
+                "a2", len(points), "frequency",
+                f"cpus={count},{model}", settings,
+                params=(("cpus", int(count)), ("users", users),
+                        ("model", model))))
+    return points
+
+
+def a2_run_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one (CPU count, frequency model) combination."""
+    settings = point.settings
+    online = CpuSet.range(0, point.param("cpus"))
+    frequency_model = (FlatFrequencyModel()
+                       if point.param("model") == "flat" else None)
+    result, __, __ = run_store(settings, online=online,
+                               users=point.param("users"),
+                               frequency_model=frequency_model)
+    return {"logical_cpus": point.param("cpus"),
+            "model": point.param("model"),
+            "throughput_rps": result.throughput}
+
+
+def a2_assemble(settings: ExperimentSettings,
+                payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Pair the boost/flat halves per CPU count, in point order."""
+    by_count: dict[int, dict[str, float]] = {}
+    for payload in payloads:
+        count = t.cast(int, payload["logical_cpus"])
+        by_count.setdefault(count, {})[
+            t.cast(str, payload["model"])] = t.cast(
+                float, payload["throughput_rps"])
+    rows: list[Row] = []
+    for count, pair in by_count.items():
         rows.append({
             "logical_cpus": count,
-            "throughput_boost_rps": boosted.throughput,
-            "throughput_flat_rps": flat.throughput,
-            "boost_gain_pct": 100.0 * (boosted.throughput
-                                       / flat.throughput - 1.0),
+            "throughput_boost_rps": pair["boost"],
+            "throughput_flat_rps": pair["flat"],
+            "boost_gain_pct": 100.0 * (pair["boost"]
+                                       / pair["flat"] - 1.0),
         })
     low = rows[0]
     return ExperimentResult(
-        "A2", "Frequency-boost model on/off", rows,
+        "A2", A2_TITLE, rows,
         notes=[f"boost matters most at partial occupancy "
                f"(+{t.cast(float, low['boost_gain_pct']):.1f}% at "
                f"{low['logical_cpus']} lcpus)"])
@@ -106,26 +168,51 @@ def run_bandwidth_ablation(settings: ExperimentSettings | None = None,
     hitting the memory-hungry services (ImageProvider, DB) hardest.
     """
     settings = settings or ExperimentSettings()
-    machine = settings.machine()
+    points = a4_sweep_points(settings, capacities)
+    return a4_assemble(settings, [a4_run_point(point) for point in points])
+
+
+def a4_sweep_points(settings: ExperimentSettings,
+                    capacities: t.Sequence[float | None] = (
+                        None, 48.0, 24.0, 12.0)
+                    ) -> list[plan.SweepPoint]:
+    """One point per modelled bandwidth capacity (``None`` = off)."""
+    return [plan.SweepPoint(
+        "a4", index, "bandwidth", f"capacity={capacity}", settings,
+        params=(("capacity", capacity),))
+        for index, capacity in enumerate(capacities)]
+
+
+def a4_run_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one bandwidth-capacity setting."""
+    settings = point.settings
+    capacity = point.param("capacity")
+    config = dataclasses.replace(settings.memory_config,
+                                 bandwidth_capacity=capacity)
+    bounded = dataclasses.replace(settings, memory_config=config)
+    result, __, __ = run_store(bounded, machine=settings.machine())
+    return {"capacity": capacity,
+            "throughput_rps": result.throughput,
+            "latency_p99_ms": result.latency_p99 * 1e3}
+
+
+def a4_assemble(settings: ExperimentSettings,
+                payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Relative-throughput rows against the unbounded leading point."""
+    base = t.cast(float, payloads[0]["throughput_rps"])
     rows: list[Row] = []
-    base = None
-    for capacity in capacities:
-        config = dataclasses.replace(settings.memory_config,
-                                     bandwidth_capacity=capacity)
-        bounded = dataclasses.replace(settings, memory_config=config)
-        result, __, __ = run_store(bounded, machine=machine)
-        if base is None:
-            base = result.throughput
+    for payload in payloads:
+        capacity = payload["capacity"]
         rows.append({
             "bandwidth_capacity": ("unlimited" if capacity is None
                                    else capacity),
-            "throughput_rps": result.throughput,
-            "latency_p99_ms": result.latency_p99 * 1e3,
-            "relative": result.throughput / base,
+            "throughput_rps": payload["throughput_rps"],
+            "latency_p99_ms": payload["latency_p99_ms"],
+            "relative": t.cast(float, payload["throughput_rps"]) / base,
         })
     loss = 1.0 - t.cast(float, rows[-1]["relative"])
     return ExperimentResult(
-        "A4", "Memory-bandwidth contention model (optional extension)",
+        "A4", A4_TITLE,
         rows,
         notes=[f"tightest channel budget costs {100 * loss:.1f}% "
                f"throughput vs the unbounded model"])
@@ -137,20 +224,50 @@ def run_smt_yield_ablation(settings: ExperimentSettings | None = None,
                            ) -> ExperimentResult:
     """A3: sensitivity of saturated throughput to the SMT-yield constant."""
     settings = settings or ExperimentSettings()
-    machine = settings.machine()
-    rows: list[Row] = []
-    base = None
-    for smt_yield in smt_yields:
-        result, __, __ = run_store(settings, machine=machine,
-                                   smt_model=SmtModel(smt_yield))
-        if base is None:
-            base = result.throughput
-        rows.append({
-            "smt_yield": smt_yield,
-            "throughput_rps": result.throughput,
-            "relative": result.throughput / base,
-        })
+    points = a3_sweep_points(settings, smt_yields)
+    return a3_assemble(settings, [a3_run_point(point) for point in points])
+
+
+def a3_sweep_points(settings: ExperimentSettings,
+                    smt_yields: t.Sequence[float] = (1.0, 1.15,
+                                                     1.3, 1.45)
+                    ) -> list[plan.SweepPoint]:
+    """One point per modelled SMT yield."""
+    return [plan.SweepPoint(
+        "a3", index, "smt-yield", f"yield={smt_yield}", settings,
+        params=(("smt_yield", float(smt_yield)),))
+        for index, smt_yield in enumerate(smt_yields)]
+
+
+def a3_run_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one SMT-yield constant."""
+    settings = point.settings
+    result, __, __ = run_store(settings, machine=settings.machine(),
+                               smt_model=SmtModel(point.param("smt_yield")))
+    return {"smt_yield": point.param("smt_yield"),
+            "throughput_rps": result.throughput}
+
+
+def a3_assemble(settings: ExperimentSettings,
+                payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Relative-throughput rows against the leading yield point."""
+    base = t.cast(float, payloads[0]["throughput_rps"])
+    rows: list[Row] = [{
+        "smt_yield": payload["smt_yield"],
+        "throughput_rps": payload["throughput_rps"],
+        "relative": t.cast(float, payload["throughput_rps"]) / base,
+    } for payload in payloads]
     return ExperimentResult(
-        "A3", "SMT-yield sensitivity", rows,
+        "A3", A3_TITLE, rows,
         notes=["throughput responds sub-linearly to the SMT yield "
                "constant (not all work co-runs)"])
+
+
+plan.register_sweep("a1", A1_TITLE, points=a1_sweep_points,
+                    run_point=a1_run_point, assemble=a1_assemble)
+plan.register_sweep("a2", A2_TITLE, points=a2_sweep_points,
+                    run_point=a2_run_point, assemble=a2_assemble)
+plan.register_sweep("a3", A3_TITLE, points=a3_sweep_points,
+                    run_point=a3_run_point, assemble=a3_assemble)
+plan.register_sweep("a4", A4_TITLE, points=a4_sweep_points,
+                    run_point=a4_run_point, assemble=a4_assemble)

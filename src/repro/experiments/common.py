@@ -51,6 +51,24 @@ class ExperimentSettings:
         values.update(overrides)
         return cls(**values)
 
+    def to_dict(self) -> dict[str, t.Any]:
+        """Canonical JSON-native form (nested ``memory_config`` dict).
+
+        This — not ``hash()``, which is salted per process for the str
+        fields — is what the sweep cache keys on; two equal settings
+        always serialize identically.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ExperimentSettings":
+        """Inverse of :meth:`to_dict`."""
+        values = dict(data)
+        memory = values.pop("memory_config", None)
+        if memory is not None:
+            values["memory_config"] = MemoryConfig(**memory)
+        return cls(**values)
+
     def machine(self) -> Machine:
         """The machine this experiment runs on."""
         return machine_from_preset(self.preset)

@@ -19,50 +19,82 @@ from repro.experiments.common import (
     default_counts,
     run_store,
 )
+from repro.orchestrator import plan
 from repro.placement.allocation import Allocation, ReplicaPlacement
 from repro.placement.policies import node_spread, socket_pack
 
 TITLE = "NUMA locality: local vs remote memory placement"
 
+#: Configurations in table order: (display name, allocation kind).
+CONFIGS = (("socket0 + local memory", "local"),
+           ("socket0 + remote memory", "remote"),
+           ("node-spread + local", "spread"))
+
 
 def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
     """Three rows: socket0+local, socket0+remote memory, node-spread."""
     settings = settings or ExperimentSettings(preset="rome-2s")
+    return assemble_sweep(settings, [run_sweep_point(point)
+                                     for point in sweep_points(settings)])
+
+
+def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """One independent point per memory-placement configuration."""
     machine = settings.machine()
     if len(machine.nodes) < 2:
         raise ValueError("E10 requires a machine with >= 2 NUMA nodes "
                          f"(got preset {settings.preset!r})")
+    return [plan.SweepPoint("e10", index, kind, name, settings,
+                            params=(("config", name), ("placement", kind)))
+            for index, (name, kind) in enumerate(CONFIGS)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one memory-placement configuration."""
+    settings = point.settings
+    machine = settings.machine()
     counts = default_counts(settings)
     remote_node = machine.nodes[-1].index
-
+    placement = point.param("placement")
     local = socket_pack(machine, counts, socket=0)
-    remote = Allocation(machine, {
-        service: [ReplicaPlacement(replica.affinity, home_node=remote_node)
-                  for replica in local.replicas(service)]
-        for service in local.services
-    })
-    spread = node_spread(machine, counts)
-
-    rows: list[Row] = []
-    results = {}
+    if placement == "local":
+        allocation = local
+    elif placement == "remote":
+        allocation = Allocation(machine, {
+            service: [ReplicaPlacement(replica.affinity,
+                                       home_node=remote_node)
+                      for replica in local.replicas(service)]
+            for service in local.services
+        })
+    else:
+        allocation = node_spread(machine, counts)
     # Load only what one socket can serve, identically in all configs, so
     # the comparison isolates memory locality.
     users = settings.users // 2
-    for name, allocation in (("socket0 + local memory", local),
-                             ("socket0 + remote memory", remote),
-                             ("node-spread + local", spread)):
-        result, __, __ = run_store(settings, machine=machine,
-                                   allocation=allocation, users=users)
-        results[name] = result
-        rows.append({
-            "config": name,
-            "throughput_rps": result.throughput,
-            "latency_mean_ms": result.latency_mean * 1e3,
-            "latency_p99_ms": result.latency_p99 * 1e3,
-        })
-    penalty = (1.0 - results["socket0 + remote memory"].throughput
-               / results["socket0 + local memory"].throughput)
+    result, __, __ = run_store(settings, machine=machine,
+                               allocation=allocation, users=users)
+    return {
+        "config": point.param("config"),
+        "throughput_rps": result.throughput,
+        "latency_mean_ms": result.latency_mean * 1e3,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Compute the remote-memory penalty across the ordered rows."""
+    rows: list[Row] = [dict(payload) for payload in payloads]
+    by_config = {t.cast(str, row["config"]): row for row in rows}
+    penalty = (1.0 - t.cast(float, by_config["socket0 + remote memory"]
+                            ["throughput_rps"])
+               / t.cast(float, by_config["socket0 + local memory"]
+                        ["throughput_rps"]))
     return ExperimentResult(
         "E10", TITLE, rows,
         notes=[f"remote memory costs {100 * penalty:.1f}% throughput on "
                f"identical compute"])
+
+
+plan.register_sweep("e10", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     Row,
 )
+from repro.orchestrator import plan
 from repro.services.deployment import Deployment
 from repro.teastore.store import build_teastore
 from repro.tracing.collector import TraceCollector
@@ -33,6 +34,23 @@ def run(settings: ExperimentSettings | None = None,
         endpoints: t.Sequence[str] = DEFAULT_ENDPOINTS) -> ExperimentResult:
     """One row per (endpoint, service) with exclusive-latency shares."""
     settings = settings or ExperimentSettings()
+    points = sweep_points(settings, endpoints)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 endpoints: t.Sequence[str] = DEFAULT_ENDPOINTS
+                 ) -> list[plan.SweepPoint]:
+    """One point: all endpoints decompose from a single traced run."""
+    return [plan.SweepPoint(
+        "e11", 0, "trace", "buy-profile", settings,
+        params=(("endpoints", tuple(endpoints)),))]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Trace one buy-profile run and decompose every endpoint."""
+    settings = point.settings
     machine = settings.machine()
     deployment = Deployment(machine, seed=settings.seed,
                             memory_config=settings.memory_config)
@@ -52,7 +70,7 @@ def run(settings: ExperimentSettings | None = None,
     deployment.run(until=deployment.sim.now + settings.duration)
 
     rows: list[Row] = []
-    for endpoint in endpoints:
+    for endpoint in point.param("endpoints"):
         breakdown = tracer.breakdown(endpoint)
         total = sum(breakdown.values())
         for service, value in sorted(breakdown.items(),
@@ -63,13 +81,28 @@ def run(settings: ExperimentSettings | None = None,
                 "exclusive_ms": value * 1e3,
                 "share_pct": 100.0 * value / total if total > 0 else 0.0,
             })
-    mean_latency = tracer.mean_root_latency()
+    return {"rows": rows,
+            "spans": len(tracer),
+            "roots": len(tracer.roots),
+            "mean_latency": tracer.mean_root_latency()}
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Reattach the tracing summary notes."""
+    [payload] = payloads
+    rows = [dict(row) for row in payload["rows"]]
     return ExperimentResult(
         "E11", TITLE, rows,
         notes=[
-            f"{len(tracer)} spans over {len(tracer.roots)} user requests "
+            f"{payload['spans']} spans over {payload['roots']} "
+            f"user requests "
             f"(buy profile), mean page latency "
-            f"{mean_latency * 1e3:.1f} ms",
+            f"{t.cast(float, payload['mean_latency']) * 1e3:.1f} ms",
             "exclusive time = hop latency minus waits on its own "
             "downstream calls",
         ])
+
+
+plan.register_sweep("e11", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

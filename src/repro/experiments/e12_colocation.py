@@ -26,6 +26,7 @@ from repro.experiments.common import (
     Row,
     default_counts,
 )
+from repro.orchestrator import plan
 from repro.placement.policies import ccx_aware, unpinned
 from repro.services.deployment import Deployment
 from repro.spec.kernels import batch_kernel_profiles
@@ -42,10 +43,25 @@ STORE_WEIGHTS = {"webui": 0.37, "auth": 0.08, "persistence": 0.14,
                  "image": 0.15, "recommender": 0.07, "db": 0.19}
 
 
+#: Configurations in table order: (display name, neighbor mode).
+CONFIGS = (("store alone", "none"),
+           ("shared, both unpinned", "shared"),
+           ("partitioned (CCX-aware)", "partitioned"))
+
+
 def run(settings: ExperimentSettings | None = None,
         neighbor_concurrency: int | None = None) -> ExperimentResult:
     """Three rows: alone, shared-unpinned, partitioned."""
     settings = settings or ExperimentSettings()
+    points = sweep_points(settings, neighbor_concurrency)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 neighbor_concurrency: int | None = None
+                 ) -> list[plan.SweepPoint]:
+    """One independent point per co-location configuration."""
     machine = settings.machine()
     n_ccxs = len(machine.ccxs)
     if n_ccxs < 8:
@@ -54,6 +70,18 @@ def run(settings: ExperimentSettings | None = None,
     if neighbor_concurrency is None:
         # Enough batch threads to keep its partition (or more) busy.
         neighbor_concurrency = machine.n_logical_cpus // 4
+    return [plan.SweepPoint(
+        "e12", index, mode, name, settings,
+        params=(("config", name), ("mode", mode),
+                ("concurrency", int(neighbor_concurrency))))
+            for index, (name, mode) in enumerate(CONFIGS)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure the store next to one neighbor configuration."""
+    settings = point.settings
+    machine = settings.machine()
+    n_ccxs = len(machine.ccxs)
     neighbor_share = n_ccxs // 4
     store_ccxs = CpuSet()
     for ccx in range(n_ccxs - neighbor_share):
@@ -61,47 +89,61 @@ def run(settings: ExperimentSettings | None = None,
     neighbor_ccxs = machine.all_cpus() - store_ccxs
 
     counts = default_counts(settings)
-    configurations: list[tuple[str, t.Any, CpuSet | None]] = [
-        ("store alone", unpinned(machine, counts), None),
-        ("shared, both unpinned", unpinned(machine, counts),
-         machine.all_cpus()),
-        ("partitioned (CCX-aware)",
-         ccx_aware(machine, counts, STORE_WEIGHTS, online=store_ccxs),
-         neighbor_ccxs),
-    ]
+    mode = point.param("mode")
+    neighbor_affinity: CpuSet | None
+    if mode == "none":
+        allocation = unpinned(machine, counts)
+        neighbor_affinity = None
+    elif mode == "shared":
+        allocation = unpinned(machine, counts)
+        neighbor_affinity = machine.all_cpus()
+    else:
+        allocation = ccx_aware(machine, counts, STORE_WEIGHTS,
+                               online=store_ccxs)
+        neighbor_affinity = neighbor_ccxs
 
+    deployment = Deployment(machine, seed=settings.seed,
+                            memory_config=settings.memory_config)
+    store = build_teastore(deployment, settings.store_config(),
+                           placement=allocation.as_placement())
+    neighbor = None
+    if neighbor_affinity is not None:
+        neighbor = BatchKernelWorkload(
+            deployment, batch_kernel_profiles()["stream-like"],
+            affinity=neighbor_affinity,
+            concurrency=point.param("concurrency"))
+        neighbor.start()
+    workload = ClosedLoopWorkload(
+        deployment, store.browse_session_factory(),
+        n_users=settings.users, think_time=settings.think_time)
+    workload.start()
+    deployment.run(until=deployment.sim.now + settings.warmup)
+    if neighbor is not None:
+        neighbor.start_window()
+    result = run_experiment(deployment, workload,
+                            warmup=0.0, duration=settings.duration)
+    return {
+        "config": point.param("config"),
+        "store_rps": result.throughput,
+        "store_p99_ms": result.latency_p99 * 1e3,
+        "neighbor_bursts_per_s": (neighbor.bursts_per_second()
+                                  if neighbor is not None else 0.0),
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Compute the vs-alone ratios against the leading reference row."""
+    reference = t.cast(float, payloads[0]["store_rps"])
     rows: list[Row] = []
-    reference: float | None = None
-    for name, allocation, neighbor_affinity in configurations:
-        deployment = Deployment(machine, seed=settings.seed,
-                                memory_config=settings.memory_config)
-        store = build_teastore(deployment, settings.store_config(),
-                               placement=allocation.as_placement())
-        neighbor = None
-        if neighbor_affinity is not None:
-            neighbor = BatchKernelWorkload(
-                deployment, batch_kernel_profiles()["stream-like"],
-                affinity=neighbor_affinity,
-                concurrency=neighbor_concurrency)
-            neighbor.start()
-        workload = ClosedLoopWorkload(
-            deployment, store.browse_session_factory(),
-            n_users=settings.users, think_time=settings.think_time)
-        workload.start()
-        deployment.run(until=deployment.sim.now + settings.warmup)
-        if neighbor is not None:
-            neighbor.start_window()
-        result = run_experiment(deployment, workload,
-                                warmup=0.0, duration=settings.duration)
-        if reference is None:
-            reference = result.throughput
+    for payload in payloads:
         rows.append({
-            "config": name,
-            "store_rps": result.throughput,
-            "store_p99_ms": result.latency_p99 * 1e3,
-            "store_vs_alone": result.throughput / reference,
-            "neighbor_bursts_per_s": (neighbor.bursts_per_second()
-                                      if neighbor is not None else 0.0),
+            "config": payload["config"],
+            "store_rps": payload["store_rps"],
+            "store_p99_ms": payload["store_p99_ms"],
+            "store_vs_alone": (t.cast(float, payload["store_rps"])
+                               / reference),
+            "neighbor_bursts_per_s": payload["neighbor_bursts_per_s"],
         })
     shared = t.cast(float, rows[1]["store_vs_alone"])
     partitioned = t.cast(float, rows[2]["store_vs_alone"])
@@ -113,3 +155,7 @@ def run(settings: ExperimentSettings | None = None,
             f"{100 * (1 - partitioned):.1f}% while the neighbor keeps "
             f"running",
         ])
+
+
+plan.register_sweep("e12", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

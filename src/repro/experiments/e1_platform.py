@@ -7,7 +7,10 @@ so every other experiment's geometry is auditable.
 
 from __future__ import annotations
 
+import typing as t
+
 from repro.experiments.common import ExperimentResult, ExperimentSettings, Row
+from repro.orchestrator import plan
 
 TITLE = "Platform configuration"
 
@@ -15,7 +18,18 @@ TITLE = "Platform configuration"
 def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
     """One row per topology level of the configured machine."""
     settings = settings or ExperimentSettings()
-    machine = settings.machine()
+    return assemble_sweep(settings, [run_sweep_point(point)
+                                     for point in sweep_points(settings)])
+
+
+def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """A single (cheap) point: the topology table needs no simulation."""
+    return [plan.SweepPoint("e1", 0, "platform", "topology", settings)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Describe the machine; rows travel verbatim in the payload."""
+    machine = point.settings.machine()
     spec = machine.spec
     rows: list[Row] = [
         {"attribute": "machine", "value": spec.name},
@@ -33,5 +47,16 @@ def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
     ]
     rows.extend({"attribute": f"cache_{c.name.lower()}", "value": str(c)}
                 for c in machine.cache_specs())
-    return ExperimentResult("E1", TITLE, rows,
-                            notes=[machine.describe().splitlines()[0]])
+    return {"rows": rows, "note": machine.describe().splitlines()[0]}
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Reconstruct the table from the single payload."""
+    [payload] = payloads
+    return ExperimentResult("E1", TITLE, list(payload["rows"]),
+                            notes=[payload["note"]])
+
+
+plan.register_sweep("e1", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

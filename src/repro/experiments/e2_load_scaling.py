@@ -15,6 +15,7 @@ from repro.experiments.common import (
     Row,
     run_store,
 )
+from repro.orchestrator import plan
 
 TITLE = "Throughput & latency vs concurrent users (tuned baseline)"
 
@@ -26,24 +27,44 @@ def run(settings: ExperimentSettings | None = None,
         user_counts: t.Sequence[int] | None = None) -> ExperimentResult:
     """One row per user-population point."""
     settings = settings or ExperimentSettings()
+    points = sweep_points(settings, user_counts)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 user_counts: t.Sequence[int] | None = None
+                 ) -> list[plan.SweepPoint]:
+    """One independent point per user-population level."""
     if user_counts is None:
         user_counts = (DEFAULT_USER_COUNTS
                        if settings.preset.startswith("rome")
                        else (25, 50, 100, 200, 400))
-    machine = settings.machine()
-    rows: list[Row] = []
-    peak = 0.0
-    for users in user_counts:
-        result, __, __ = run_store(settings, machine=machine, users=users)
-        peak = max(peak, result.throughput)
-        rows.append({
-            "users": users,
-            "throughput_rps": result.throughput,
-            "latency_mean_ms": result.latency_mean * 1e3,
-            "latency_p95_ms": result.latency_p95 * 1e3,
-            "latency_p99_ms": result.latency_p99 * 1e3,
-            "machine_util": result.machine_utilization,
-        })
+    return [plan.SweepPoint("e2", index, "load", f"users={users}",
+                            settings, params=(("users", int(users)),))
+            for index, users in enumerate(user_counts)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one population level; the payload is the finished row."""
+    users = point.param("users")
+    result, __, __ = run_store(point.settings, users=users)
+    return {
+        "users": users,
+        "throughput_rps": result.throughput,
+        "latency_mean_ms": result.latency_mean * 1e3,
+        "latency_p95_ms": result.latency_p95 * 1e3,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Fold the ordered rows back into the load curve and its note."""
+    rows: list[Row] = [dict(payload) for payload in payloads]
+    peak = max((t.cast(float, row["throughput_rps"]) for row in rows),
+               default=0.0)
     saturation = next((row["users"] for row in rows
                        if t.cast(float, row["throughput_rps"]) > 0.95 * peak),
                       rows[-1]["users"])
@@ -51,3 +72,7 @@ def run(settings: ExperimentSettings | None = None,
         "E2", TITLE, rows,
         notes=[f"throughput saturates near {saturation} users "
                f"at ~{peak:.0f} req/s"])
+
+
+plan.register_sweep("e2", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     Row,
     run_store,
 )
+from repro.orchestrator import plan
 from repro.topology.cpuset import CpuSet
 
 TITLE = "Throughput vs logical CPUs enabled (tuned baseline)"
@@ -30,6 +31,15 @@ def run(settings: ExperimentSettings | None = None,
         cpu_counts: t.Sequence[int] | None = None) -> ExperimentResult:
     """One row per online-CPU count, plus a USL fit over the sweep."""
     settings = settings or ExperimentSettings()
+    points = sweep_points(settings, cpu_counts)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 cpu_counts: t.Sequence[int] | None = None
+                 ) -> list[plan.SweepPoint]:
+    """One independent point per online-CPU count (load pre-scaled)."""
     machine = settings.machine()
     if cpu_counts is None:
         if machine.n_logical_cpus >= 128:
@@ -41,22 +51,36 @@ def run(settings: ExperimentSettings | None = None,
         if not 1 <= count <= machine.n_logical_cpus:
             raise ConfigurationError(
                 f"cpu count {count} outside 1..{machine.n_logical_cpus}")
-
-    rows: list[Row] = []
-    for count in cpu_counts:
-        online = CpuSet.range(0, count)
+    points = []
+    for index, count in enumerate(cpu_counts):
         # Scale offered load with machine size so every point saturates.
         users = max(64, int(settings.users * count
                             / machine.n_logical_cpus))
-        result, __, __ = run_store(settings, machine=machine,
-                                   online=online, users=users)
-        rows.append({
-            "logical_cpus": count,
-            "users": users,
-            "throughput_rps": result.throughput,
-            "latency_p99_ms": result.latency_p99 * 1e3,
-            "machine_util": result.machine_utilization,
-        })
+        points.append(plan.SweepPoint(
+            "e3", index, "cores", f"cpus={count}", settings,
+            params=(("cpus", int(count)), ("users", users))))
+    return points
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one online-CPU count."""
+    count = point.param("cpus")
+    users = point.param("users")
+    online = CpuSet.range(0, count)
+    result, __, __ = run_store(point.settings, online=online, users=users)
+    return {
+        "logical_cpus": count,
+        "users": users,
+        "throughput_rps": result.throughput,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Derive speedup/efficiency columns and the USL fit in order."""
+    rows: list[Row] = [dict(payload) for payload in payloads]
     base = rows[0]
     for row in rows:
         row["speedup"] = (t.cast(float, row["throughput_rps"])
@@ -70,3 +94,7 @@ def run(settings: ExperimentSettings | None = None,
                       [t.cast(float, r["throughput_rps"]) for r in rows])
         notes.append(f"USL fit: {fit}")
     return ExperimentResult("E3", TITLE, rows, notes=notes)
+
+
+plan.register_sweep("e3", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

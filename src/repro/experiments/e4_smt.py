@@ -17,6 +17,7 @@ from repro.experiments.common import (
     Row,
     run_store,
 )
+from repro.orchestrator import plan
 
 TITLE = "SMT on/off and SMT-yield sensitivity"
 
@@ -25,34 +26,77 @@ def run(settings: ExperimentSettings | None = None,
         smt_yields: t.Sequence[float] = (1.3,)) -> ExperimentResult:
     """Rows: SMT-off, then SMT-on per modelled yield."""
     settings = settings or ExperimentSettings()
-    machine = settings.machine()
-    first_threads = machine.first_threads()
+    points = sweep_points(settings, smt_yields)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
 
-    rows: list[Row] = []
-    off_result, __, __ = run_store(settings, machine=machine,
+
+def sweep_points(settings: ExperimentSettings,
+                 smt_yields: t.Sequence[float] = (1.3,)
+                 ) -> list[plan.SweepPoint]:
+    """The SMT-off reference plus one point per modelled yield."""
+    points = [plan.SweepPoint("e4", 0, "smt-off", "smt-off", settings)]
+    points.extend(
+        plan.SweepPoint("e4", index + 1, "smt-on",
+                        f"smt-yield={smt_yield:.2f}", settings,
+                        params=(("smt_yield", float(smt_yield)),))
+        for index, smt_yield in enumerate(smt_yields))
+    return points
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one SMT configuration."""
+    settings = point.settings
+    machine = settings.machine()
+    if point.kind == "smt-off":
+        first_threads = machine.first_threads()
+        result, __, __ = run_store(settings, machine=machine,
                                    online=first_threads)
-    rows.append({
-        "config": f"SMT off ({len(first_threads)} lcpus)",
-        "throughput_rps": off_result.throughput,
-        "latency_p99_ms": off_result.latency_p99 * 1e3,
-        "machine_util": off_result.machine_utilization,
-        "uplift_vs_smt_off": 1.0,
-    })
-    for smt_yield in smt_yields:
-        on_result, __, __ = run_store(
+        lcpus = len(first_threads)
+    else:
+        result, __, __ = run_store(
             settings, machine=machine,
-            smt_model=SmtModel(smt_yield))
+            smt_model=SmtModel(point.param("smt_yield")))
+        lcpus = machine.n_logical_cpus
+    payload: plan.Payload = {
+        "lcpus": lcpus,
+        "throughput_rps": result.throughput,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+    }
+    if point.kind == "smt-on":
+        payload["smt_yield"] = point.param("smt_yield")
+    return payload
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Label the configurations and compute uplifts vs SMT-off."""
+    off, *on = payloads
+    rows: list[Row] = [{
+        "config": f"SMT off ({off['lcpus']} lcpus)",
+        "throughput_rps": off["throughput_rps"],
+        "latency_p99_ms": off["latency_p99_ms"],
+        "machine_util": off["machine_util"],
+        "uplift_vs_smt_off": 1.0,
+    }]
+    for payload in on:
+        smt_yield = payload["smt_yield"]
         rows.append({
             "config": f"SMT on, yield {smt_yield:.2f} "
-                      f"({machine.n_logical_cpus} lcpus)",
-            "throughput_rps": on_result.throughput,
-            "latency_p99_ms": on_result.latency_p99 * 1e3,
-            "machine_util": on_result.machine_utilization,
-            "uplift_vs_smt_off": (on_result.throughput
-                                  / off_result.throughput),
+                      f"({payload['lcpus']} lcpus)",
+            "throughput_rps": payload["throughput_rps"],
+            "latency_p99_ms": payload["latency_p99_ms"],
+            "machine_util": payload["machine_util"],
+            "uplift_vs_smt_off": (t.cast(float, payload["throughput_rps"])
+                                  / t.cast(float, off["throughput_rps"])),
         })
     best = max(t.cast(float, row["uplift_vs_smt_off"]) for row in rows)
     return ExperimentResult(
         "E4", TITLE, rows,
         notes=[f"SMT provides up to {100 * (best - 1):.1f}% more "
                f"throughput from the same cores"])
+
+
+plan.register_sweep("e4", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

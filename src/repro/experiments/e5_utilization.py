@@ -8,6 +8,8 @@ and Recommender are light.
 
 from __future__ import annotations
 
+import typing as t
+
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSettings,
@@ -15,6 +17,7 @@ from repro.experiments.common import (
     percent,
     run_store,
 )
+from repro.orchestrator import plan
 
 TITLE = "Per-service CPU utilization breakdown (tuned baseline)"
 
@@ -22,7 +25,18 @@ TITLE = "Per-service CPU utilization breakdown (tuned baseline)"
 def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
     """One row per service, ordered by CPU share."""
     settings = settings or ExperimentSettings()
-    result, __, __ = run_store(settings)
+    return assemble_sweep(settings, [run_sweep_point(point)
+                                     for point in sweep_points(settings)])
+
+
+def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """One point: the breakdown comes from a single profiled run."""
+    return [plan.SweepPoint("e5", 0, "profile", "tuned-baseline", settings)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Profile the tuned baseline; rows travel pre-sorted by share."""
+    result, __, __ = run_store(point.settings)
     rows: list[Row] = []
     for service, share in sorted(result.service_share.items(),
                                  key=lambda kv: kv[1], reverse=True):
@@ -31,14 +45,29 @@ def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
             "cpu_share_pct": percent(share),
             "cpu_seconds_per_s": result.service_utilization[service],
         })
+    return {"rows": rows,
+            "throughput": result.throughput,
+            "machine_utilization": result.machine_utilization}
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Reattach the summary notes to the sorted rows."""
+    [payload] = payloads
+    rows = [dict(row) for row in payload["rows"]]
     heaviest = rows[0]["service"]
     lightest = rows[-1]["service"]
     return ExperimentResult(
         "E5", TITLE, rows,
         notes=[
-            f"system throughput {result.throughput:.0f} req/s at "
-            f"{percent(result.machine_utilization):.0f}% machine "
+            f"system throughput {payload['throughput']:.0f} req/s at "
+            f"{percent(t.cast(float, payload['machine_utilization'])):.0f}"
+            f"% machine "
             f"utilization",
             f"{heaviest} is the heaviest consumer; {lightest} the "
             f"lightest — services must be sized individually",
         ])
+
+
+plan.register_sweep("e5", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

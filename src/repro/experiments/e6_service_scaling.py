@@ -28,6 +28,7 @@ from repro.experiments.common import (
     default_counts,
     run_store,
 )
+from repro.orchestrator import plan
 from repro.placement.allocation import Allocation, ReplicaPlacement
 from repro.placement.policies import ccx_aware
 from repro.placement.scaling import ScalingCurve
@@ -57,9 +58,22 @@ def run(settings: ExperimentSettings | None = None,
         ) -> ExperimentResult:
     """One row per (service, CCX-count) point, USL fits in the notes."""
     settings = settings or ExperimentSettings()
+    points = sweep_points(settings, sweeps)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 sweeps: t.Mapping[str, t.Sequence[int]] | None = None
+                 ) -> list[plan.SweepPoint]:
+    """One independent point per (service, CCX-count) pair.
+
+    Validation (fit of the ladders next to the fixed others-budget,
+    known service names) happens here, before any simulation work is
+    scheduled.
+    """
     sweeps = sweeps or DEFAULT_SWEEPS
     machine = settings.machine()
-    counts = default_counts(settings)
     # The non-target services keep one fixed CCX budget for the whole
     # experiment: as much as possible while still fitting the largest
     # sweep point, and never fewer than one CCX per service.
@@ -71,24 +85,49 @@ def run(settings: ExperimentSettings | None = None,
             f"sweep up to {max_point} CCXs does not fit next to "
             f"{others_budget} CCXs for the other services "
             f"({total_ccxs} total)")
-    rows: list[Row] = []
-    notes: list[str] = []
+    points: list[plan.SweepPoint] = []
     for service, ladder in sweeps.items():
         if service not in SERVICE_NAMES:
             raise ConfigurationError(f"unknown service {service!r}")
-        throughputs: list[float] = []
         for n_ccxs in ladder:
-            allocation = _target_allocation(machine, service, n_ccxs,
-                                            counts, others_budget)
-            result, __, __ = run_store(settings, machine=machine,
-                                       allocation=allocation)
-            throughputs.append(result.throughput)
-            rows.append({
-                "service": service,
-                "ccxs": n_ccxs,
-                "throughput_rps": result.throughput,
-                "latency_p99_ms": result.latency_p99 * 1e3,
-            })
+            points.append(plan.SweepPoint(
+                "e6", len(points), "ccx-sweep",
+                f"{service}@{n_ccxs}ccx", settings,
+                params=(("service", service), ("ccxs", int(n_ccxs)),
+                        ("others_budget", others_budget))))
+    return points
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one (service, CCX-count) allocation."""
+    settings = point.settings
+    machine = settings.machine()
+    counts = default_counts(settings)
+    allocation = _target_allocation(machine, point.param("service"),
+                                    point.param("ccxs"), counts,
+                                    point.param("others_budget"))
+    result, __, __ = run_store(settings, machine=machine,
+                               allocation=allocation)
+    return {
+        "service": point.param("service"),
+        "ccxs": point.param("ccxs"),
+        "throughput_rps": result.throughput,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Regroup rows per service and refit the scaling curves."""
+    rows: list[Row] = [dict(payload) for payload in payloads]
+    ladders: dict[str, list[Row]] = {}
+    for row in rows:
+        ladders.setdefault(t.cast(str, row["service"]), []).append(row)
+    notes: list[str] = []
+    for service, service_rows in ladders.items():
+        ladder = [t.cast(int, row["ccxs"]) for row in service_rows]
+        throughputs = [t.cast(float, row["throughput_rps"])
+                       for row in service_rows]
         curve = ScalingCurve(service, tuple(ladder), tuple(throughputs))
         notes.append(f"{service}: gains stop at "
                      f"{curve.saturation_point()} CCXs "
@@ -97,6 +136,10 @@ def run(settings: ExperimentSettings | None = None,
             fit = fit_usl(list(ladder), throughputs)
             notes.append(f"{service}: {fit}")
     return ExperimentResult("E6", TITLE, rows, notes=notes)
+
+
+plan.register_sweep("e6", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)
 
 
 def _target_allocation(machine: Machine, target: str, n_ccxs: int,

@@ -17,10 +17,14 @@ from repro.experiments.common import (
     default_counts,
     run_store,
 )
+from repro.orchestrator import plan
 from repro.placement.policies import ccx_aware, node_spread, unpinned
 from repro.placement.scaling import weights_from_utilization
 
 TITLE = "Placement policies at fixed replica counts"
+
+#: Policies in table order; the first is the comparison baseline.
+POLICY_ORDER = ("unpinned", "node_spread", "ccx_aware")
 
 
 def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
@@ -62,3 +66,65 @@ def _row(policy: str, result, baseline) -> Row:
         "uplift_pct": 100.0 * (result.throughput
                                / baseline.throughput - 1.0),
     }
+
+
+def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """One independent point per placement policy.
+
+    The ``ccx_aware`` point re-profiles the unpinned baseline inside its
+    own process to derive the CPU weights — redundant work, but it keeps
+    every point self-contained, and determinism makes the re-measured
+    baseline identical to the baseline point's own run.
+    """
+    return [plan.SweepPoint("e7", index, "policy", policy, settings,
+                            params=(("policy", policy),))
+            for index, policy in enumerate(POLICY_ORDER)]
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one placement policy."""
+    settings = point.settings
+    machine = settings.machine()
+    counts = default_counts(settings)
+    policy = point.param("policy")
+    if policy == "unpinned":
+        allocation = unpinned(machine, counts)
+    elif policy == "node_spread":
+        allocation = node_spread(machine, counts)
+    elif policy == "ccx_aware":
+        baseline, __, __ = run_store(settings, machine=machine,
+                                     allocation=unpinned(machine, counts))
+        weights = weights_from_utilization(baseline.service_utilization)
+        allocation = ccx_aware(machine, counts, weights)
+    else:
+        raise ValueError(f"unknown placement policy {policy!r}")
+    result, __, __ = run_store(settings, machine=machine,
+                               allocation=allocation)
+    return {
+        "policy": policy,
+        "throughput_rps": result.throughput,
+        "latency_mean_ms": result.latency_mean * 1e3,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Compute uplifts against the leading unpinned baseline."""
+    baseline_rps = t.cast(float, payloads[0]["throughput_rps"])
+    rows: list[Row] = []
+    for payload in payloads:
+        row = dict(payload)
+        row["uplift_pct"] = 100.0 * (t.cast(float, row["throughput_rps"])
+                                     / baseline_rps - 1.0)
+        rows.append(row)
+    best = max(rows, key=lambda r: t.cast(float, r["throughput_rps"]))
+    return ExperimentResult(
+        "E7", TITLE, rows,
+        notes=[f"best policy: {best['policy']} "
+               f"(+{t.cast(float, best['uplift_pct']):.1f}% vs unpinned)"])
+
+
+plan.register_sweep("e7", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

@@ -40,6 +40,10 @@ class MemoryConfig:
     #: CPI penalty weight for bandwidth congestion beyond capacity.
     bandwidth_weight: float = 0.6
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-native form (sweep-cache key material)."""
+        return dataclasses.asdict(self)
+
     def __post_init__(self) -> None:
         if not 0.0 < self.code_share < 1.0:
             raise ConfigurationError(

@@ -1,0 +1,55 @@
+"""The ``BENCH_sweep.json`` artifact: a sweep-performance trajectory.
+
+Every ``repro sweep`` invocation records wall time, worker count, cache
+hits, and throughput (points/second) per experiment plus totals, so
+future PRs have a perf baseline to compare orchestrator changes
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.executor import SweepStats
+
+#: Artifact schema version; bump on layout changes.
+BENCH_VERSION = 1
+
+
+def bench_payload(stats: "t.Sequence[SweepStats]",
+                  jobs: int) -> dict[str, t.Any]:
+    """The artifact as a JSON-native dict."""
+    per_experiment = [s.to_dict() for s in stats]
+    total_points = sum(s.points for s in stats)
+    total_wall = sum(s.wall_seconds for s in stats)
+    return {
+        "artifact": "repro-sweep-bench",
+        "version": BENCH_VERSION,
+        "jobs": jobs,
+        "experiments": per_experiment,
+        "totals": {
+            "experiments": len(per_experiment),
+            "points": total_points,
+            "cache_hits": sum(s.cache_hits for s in stats),
+            "executed": sum(s.executed for s in stats),
+            "wall_seconds": total_wall,
+            "points_per_second": (total_points / total_wall
+                                  if total_wall > 0 else 0.0),
+        },
+    }
+
+
+def write_bench_artifact(path: str | pathlib.Path,
+                         stats: "t.Sequence[SweepStats]",
+                         jobs: int) -> dict[str, t.Any]:
+    """Write the artifact to ``path`` and return its payload."""
+    payload = bench_payload(stats, jobs)
+    target = pathlib.Path(path)
+    if target.parent != pathlib.Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    return payload

@@ -1,0 +1,137 @@
+"""Content-addressed on-disk cache for sweep-point payloads.
+
+Each entry is addressed by the SHA-256 of the canonically serialized
+point identity (experiment, kind, sorted params, full settings dict)
+plus a fingerprint of the package's source code, so editing any model
+file invalidates every dependent result without bookkeeping.
+
+Storage is one JSONL file per experiment under the cache root
+(``.repro-cache/e2.jsonl`` …), one ``{"key": …, "payload": …}`` object
+per line.  Lines that fail to parse — a truncated write, a corrupted
+disk block — are skipped on load and the point is simply recomputed;
+corruption can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import pathlib
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.plan import Payload, SweepPoint
+
+#: Bump when the entry format or key recipe changes.
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_json(obj: t.Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, ASCII only."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def canonical_payload(payload: "Payload") -> "Payload":
+    """Normalize a payload through a JSON round trip.
+
+    Freshly computed and cache-replayed payloads then compare — and
+    assemble — identically: tuples become lists, dict order is
+    preserved, floats survive exactly (``json`` uses shortest
+    round-trip ``repr``).
+    """
+    return json.loads(json.dumps(payload))
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """SHA-256 fingerprint of every ``repro`` source file.
+
+    Computed once per process; any change to the package's code yields
+    a new fingerprint and therefore fresh cache keys.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Append-only JSONL store addressed by sweep-point content.
+
+    All writes happen in the orchestrating process (workers only
+    compute), so a plain append needs no locking.
+    """
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_CACHE_DIR,
+                 fingerprint: str | None = None) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or code_version()
+        self._entries: dict[str, dict[str, "Payload"]] = {}
+
+    def key_for(self, point: "SweepPoint") -> str:
+        """The content address of one sweep point."""
+        material = {"cache_version": CACHE_VERSION,
+                    "code": self.fingerprint}
+        material.update(point.identity())
+        return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+    def get(self, point: "SweepPoint") -> "Payload | None":
+        """The cached payload for ``point``, or ``None`` on a miss."""
+        return self._experiment_entries(point.experiment).get(
+            self.key_for(point))
+
+    def put(self, point: "SweepPoint", payload: "Payload") -> str:
+        """Store ``payload`` under the point's content address."""
+        key = self.key_for(point)
+        entries = self._experiment_entries(point.experiment)
+        if entries.get(key) != payload:
+            entries[key] = canonical_payload(payload)
+            self.root.mkdir(parents=True, exist_ok=True)
+            line = json.dumps({"key": key, "payload": payload})
+            with self._file(point.experiment).open(
+                    "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return key
+
+    def entry_count(self, experiment: str) -> int:
+        """How many valid entries one experiment's file holds."""
+        return len(self._experiment_entries(experiment))
+
+    def _file(self, experiment: str) -> pathlib.Path:
+        return self.root / f"{experiment.lower()}.jsonl"
+
+    def _experiment_entries(self, experiment: str) -> dict[str, "Payload"]:
+        experiment = experiment.lower()
+        if experiment not in self._entries:
+            self._entries[experiment] = self._load(self._file(experiment))
+        return self._entries[experiment]
+
+    @staticmethod
+    def _load(path: pathlib.Path) -> dict[str, "Payload"]:
+        entries: dict[str, "Payload"] = {}
+        if not path.exists():
+            return entries
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # corrupted line: recompute, don't crash
+                if (not isinstance(record, dict)
+                        or not isinstance(record.get("key"), str)
+                        or not isinstance(record.get("payload"), dict)):
+                    continue
+                entries[record["key"]] = record["payload"]
+        return entries

@@ -1,0 +1,134 @@
+"""Sweep progress telemetry: human lines and a JSONL run log.
+
+One :class:`ProgressReporter` instance covers one experiment's sweep.
+It prints compact human-readable progress lines (done/total, cache
+hits, per-point wall time, ETA) and mirrors every event — start, one
+per point, finish — as machine-readable JSON lines, so dashboards and
+future PRs can consume the run history without screen-scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.orchestrator.plan import SweepPoint
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact wall-time rendering: ``4.2s``, ``3m12s``, ``1h02m``."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Per-experiment progress sink used by the executor.
+
+    ``stream=None`` silences the human lines; ``log`` may be a path or
+    an open file object (shared across experiments by the CLI).
+    """
+
+    def __init__(self, experiment: str, *,
+                 stream: t.TextIO | None = None,
+                 log: "str | t.TextIO | None" = None,
+                 quiet: bool = False) -> None:
+        self.experiment = experiment
+        self._stream = (None if quiet
+                        else stream if stream is not None
+                        else sys.stderr)
+        self._log_handle: t.TextIO | None = None
+        self._owns_log = False
+        if isinstance(log, str):
+            self._log_handle = open(log, "a", encoding="utf-8")
+            self._owns_log = True
+        elif log is not None:
+            self._log_handle = log
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self._executed_walls: list[float] = []
+        self._started = 0.0
+
+    def begin(self, total: int) -> None:
+        """Called by the executor once the plan size is known."""
+        self.total = total
+        self.done = 0
+        self.cache_hits = 0
+        self._executed_walls = []
+        self._started = time.monotonic()
+        self._event({"event": "sweep_start", "total": total})
+
+    def point_done(self, point: "SweepPoint", *, cached: bool,
+                   wall_seconds: float) -> None:
+        """Record one completed point (cache hit or fresh execution)."""
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self._executed_walls.append(wall_seconds)
+        self._event({
+            "event": "point_done",
+            "index": point.index,
+            "kind": point.kind,
+            "label": point.label,
+            "cached": cached,
+            "wall_seconds": round(wall_seconds, 6),
+            "done": self.done,
+            "total": self.total,
+        })
+        self._line(self._progress_line(point, cached, wall_seconds))
+
+    def finish(self, *, wall_seconds: float, executed: int) -> None:
+        """Close out the sweep with a summary line and event."""
+        self._event({
+            "event": "sweep_end",
+            "points": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": executed,
+            "wall_seconds": round(wall_seconds, 6),
+        })
+        self._line(
+            f"[{self.experiment}] sweep complete: {self.total} points, "
+            f"{self.cache_hits} cached, {executed} executed in "
+            f"{format_seconds(wall_seconds)}")
+        if self._owns_log and self._log_handle is not None:
+            self._log_handle.close()
+            self._log_handle = None
+
+    def eta_seconds(self) -> float | None:
+        """Projected remaining wall time, from executed-point averages."""
+        remaining = self.total - self.done
+        if remaining <= 0 or not self._executed_walls:
+            return 0.0 if remaining <= 0 else None
+        average = sum(self._executed_walls) / len(self._executed_walls)
+        return average * remaining
+
+    def _progress_line(self, point: "SweepPoint", cached: bool,
+                       wall_seconds: float) -> str:
+        source = "cached" if cached else f"{format_seconds(wall_seconds)}"
+        eta = self.eta_seconds()
+        eta_text = ("" if eta is None
+                    else f"  eta {format_seconds(eta)}" if eta > 0 else "")
+        return (f"[{self.experiment}] {self.done}/{self.total} "
+                f"({self.cache_hits} cached){eta_text}  "
+                f"{point.label}: {source}")
+
+    def _line(self, text: str) -> None:
+        if self._stream is not None:
+            print(text, file=self._stream, flush=True)
+
+    def _event(self, event: dict[str, t.Any]) -> None:
+        if self._log_handle is None:
+            return
+        record = {"experiment": self.experiment, "time": time.time()}
+        record.update(event)
+        self._log_handle.write(json.dumps(record) + "\n")
+        self._log_handle.flush()

@@ -19,8 +19,15 @@ from repro.topology.model import Machine
 def build_report(results: t.Sequence[ExperimentResult],
                  machine: Machine | None = None,
                  title: str = "TeaStore scale-up study — reproduction "
-                              "report") -> str:
-    """One markdown document covering all ``results``."""
+                              "report",
+                 sweep_stats: t.Sequence[t.Mapping[str, t.Any]] | None = None
+                 ) -> str:
+    """One markdown document covering all ``results``.
+
+    ``sweep_stats`` (dicts shaped like
+    :meth:`repro.orchestrator.executor.SweepStats.to_dict`) appends a
+    sweep-telemetry section when the results came from ``repro sweep``.
+    """
     if not results:
         raise ConfigurationError("cannot build a report with no results")
     lines = [f"# {title}", ""]
@@ -37,7 +44,29 @@ def build_report(results: t.Sequence[ExperimentResult],
     lines.append("")
     for result in results:
         lines.append(result.to_markdown())
+    if sweep_stats:
+        lines.append(sweep_section(sweep_stats))
     return "\n".join(lines)
+
+
+def sweep_section(sweep_stats: t.Sequence[t.Mapping[str, t.Any]]) -> str:
+    """A markdown table of per-experiment sweep telemetry."""
+    lines = ["## Sweep telemetry", ""]
+    lines.append("| experiment | points | cache hits | executed "
+                 "| wall (s) | points/s |")
+    lines.append("|---|---|---|---|---|---|")
+    for stats in sweep_stats:
+        lines.append(
+            f"| {stats['experiment']} | {stats['points']} "
+            f"| {stats['cache_hits']} | {stats['executed']} "
+            f"| {stats['wall_seconds']:.2f} "
+            f"| {stats['points_per_second']:.2f} |")
+    total_points = sum(s["points"] for s in sweep_stats)
+    total_wall = sum(s["wall_seconds"] for s in sweep_stats)
+    lines.append("")
+    lines.append(f"* {total_points} points in {total_wall:.2f} s "
+                 f"across {len(sweep_stats)} experiments")
+    return "\n".join(lines) + "\n"
 
 
 def _slug(text: str) -> str:

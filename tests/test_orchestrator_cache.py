@@ -1,0 +1,167 @@
+"""Cache semantics: content addressing, persistence, corruption."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.orchestrator import plan
+from repro.orchestrator.cache import (
+    ResultCache,
+    canonical_json,
+    canonical_payload,
+    code_version,
+)
+from repro.orchestrator.executor import run_sweep
+
+
+def tiny():
+    return ExperimentSettings.fast(preset="tiny", users=48,
+                                   warmup=0.1, duration=0.3)
+
+
+def point(settings=None, **overrides):
+    values = dict(experiment="tx", index=0, kind="unit", label="p0",
+                  settings=settings or tiny(),
+                  params=(("users", 32),))
+    values.update(overrides)
+    return plan.SweepPoint(**values)
+
+
+def test_settings_to_dict_roundtrip():
+    settings = tiny()
+    data = settings.to_dict()
+    assert isinstance(data["memory_config"], dict)
+    assert ExperimentSettings.from_dict(data) == settings
+    # The canonical form must be JSON-native end to end.
+    assert json.loads(canonical_json(data)) == data
+
+
+def test_key_stable_across_instances(tmp_path):
+    a = ResultCache(tmp_path, fingerprint="f")
+    b = ResultCache(tmp_path, fingerprint="f")
+    assert a.key_for(point()) == b.key_for(point())
+
+
+def test_key_changes_with_settings_field_and_seed():
+    cache = ResultCache(fingerprint="f")
+    base = cache.key_for(point())
+    reseeded = dataclasses.replace(tiny(), seed=99)
+    assert cache.key_for(point(settings=reseeded)) != base
+    longer = dataclasses.replace(tiny(), duration=0.4)
+    assert cache.key_for(point(settings=longer)) != base
+    assert cache.key_for(point(params=(("users", 33),))) != base
+
+
+def test_key_changes_with_fingerprint():
+    settings = tiny()
+    old = ResultCache(fingerprint="before").key_for(point(settings))
+    new = ResultCache(fingerprint="after").key_for(point(settings))
+    assert old != new
+
+
+def test_key_ignores_index_and_label():
+    cache = ResultCache(fingerprint="f")
+    assert (cache.key_for(point(index=0, label="first"))
+            == cache.key_for(point(index=7, label="renamed")))
+
+
+def test_code_version_is_a_digest():
+    assert len(code_version()) == 64
+    assert code_version() == code_version()
+
+
+def test_put_then_get_hits_across_instances(tmp_path):
+    payload = {"throughput": 1.25, "nested": {"z": 1, "a": 2}}
+    writer = ResultCache(tmp_path, fingerprint="f")
+    writer.put(point(), payload)
+    reader = ResultCache(tmp_path, fingerprint="f")
+    assert reader.get(point()) == canonical_payload(payload)
+    assert reader.entry_count("tx") == 1
+    # A different point misses.
+    assert reader.get(point(params=(("users", 64),))) is None
+
+
+def test_corrupted_lines_are_skipped(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f")
+    cache.put(point(), {"v": 1})
+    cache.put(point(params=(("users", 64),)), {"v": 2})
+    path = tmp_path / "tx.jsonl"
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    path.write_text("\n".join([
+        lines[0],
+        lines[1][: len(lines[1]) // 2],  # truncated write
+        "not json at all {",
+        json.dumps(["wrong", "shape"]),
+        json.dumps({"key": 5, "payload": {"v": 9}}),  # non-str key
+        "",
+    ]) + "\n")
+    survivor = ResultCache(tmp_path, fingerprint="f")
+    assert survivor.entry_count("tx") == 1
+    assert survivor.get(point()) == {"v": 1}
+    assert survivor.get(point(params=(("users", 64),))) is None
+
+
+def test_rerun_bypasses_cache_and_refreshes(tmp_path):
+    calls = []
+
+    def points(settings):
+        return [plan.SweepPoint("t0", 0, "unit", "only", settings)]
+
+    def run_point(p):
+        calls.append(p.label)
+        return {"n": len(calls)}
+
+    def assemble(settings, payloads):
+        from repro.experiments.common import ExperimentResult
+        return ExperimentResult("T0", "toy", [dict(p) for p in payloads])
+
+    plan.register_sweep("t0", "toy", points=points,
+                        run_point=run_point, assemble=assemble)
+    try:
+        cache = ResultCache(tmp_path, fingerprint="f")
+        settings = tiny()
+        first = run_sweep("t0", settings, cache=cache)
+        assert first.stats.executed == 1 and calls == ["only"]
+        replay = run_sweep("t0", settings, cache=cache)
+        assert replay.stats.cache_hits == 1 and calls == ["only"]
+        forced = run_sweep("t0", settings, cache=cache, rerun=True)
+        assert forced.stats.executed == 1 and len(calls) == 2
+        # --rerun refreshed the entry: the next replay serves n=2.
+        assert run_sweep("t0", settings,
+                         cache=cache).result.rows == [{"n": 2}]
+    finally:
+        plan._REGISTRY.pop("t0", None)
+
+
+def test_no_cache_runs_every_time():
+    calls = []
+
+    def points(settings):
+        return [plan.SweepPoint("t1", 0, "unit", "only", settings)]
+
+    def run_point(p):
+        calls.append(1)
+        return {"n": len(calls)}
+
+    def assemble(settings, payloads):
+        from repro.experiments.common import ExperimentResult
+        return ExperimentResult("T1", "toy", [dict(p) for p in payloads])
+
+    plan.register_sweep("t1", "toy", points=points,
+                        run_point=run_point, assemble=assemble)
+    try:
+        settings = tiny()
+        run_sweep("t1", settings, cache=None)
+        run_sweep("t1", settings, cache=None)
+        assert len(calls) == 2
+    finally:
+        plan._REGISTRY.pop("t1", None)
+
+
+def test_unknown_experiment_raises():
+    from repro._errors import ConfigurationError
+    with pytest.raises(ConfigurationError, match="no sweep provider"):
+        plan.provider_for("e99")

@@ -1,0 +1,63 @@
+"""Cross-process determinism: a point computes the same payload and
+cache key in-process and inside a worker process.
+
+This is the property the parallel sweep stands on — Python's salted
+string hashes mean ``hash()`` would fail it, which is why cache keys go
+through canonical serialization instead.
+"""
+
+import concurrent.futures
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import ablations, e1_platform, e2_load_scaling
+from repro.orchestrator.cache import ResultCache, canonical_json
+from repro.orchestrator.executor import execute_point
+
+
+def tiny():
+    return ExperimentSettings.fast(preset="tiny", users=48,
+                                   warmup=0.1, duration=0.3)
+
+
+def sample_points():
+    """One representative point each from three experiments."""
+    settings = tiny()
+    return [
+        e1_platform.sweep_points(settings)[0],
+        e2_load_scaling.sweep_points(settings, user_counts=[32])[0],
+        ablations.a3_sweep_points(settings, smt_yields=(1.3,))[0],
+    ]
+
+
+def _worker_payload_and_key(point):
+    """Executed inside the pool: compute payload + key over there."""
+    key = ResultCache(fingerprint="fixed").key_for(point)
+    return execute_point(point), key
+
+
+def test_points_match_across_process_boundary():
+    points = sample_points()
+    local_cache = ResultCache(fingerprint="fixed")
+    with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+        remote = list(pool.map(_worker_payload_and_key, points))
+    for point, (remote_payload, remote_key) in zip(points, remote):
+        local_payload = execute_point(point)
+        assert local_payload == remote_payload, point.experiment
+        assert canonical_json(local_payload) == canonical_json(
+            remote_payload), point.experiment
+        assert local_cache.key_for(point) == remote_key, point.experiment
+
+
+def test_identity_survives_json_round_trip():
+    import json
+    for point in sample_points():
+        identity = point.identity()
+        round_tripped = json.loads(canonical_json(identity))
+        assert canonical_json(round_tripped) == canonical_json(identity)
+
+
+def test_same_settings_same_plan():
+    a = e2_load_scaling.sweep_points(tiny())
+    b = e2_load_scaling.sweep_points(tiny())
+    assert [p.identity() for p in a] == [p.identity() for p in b]
+    assert [p.label for p in a] == [p.label for p in b]
