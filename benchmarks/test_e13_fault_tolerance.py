@@ -1,0 +1,28 @@
+"""E13 benchmark: fault tolerance under degraded replicas."""
+
+from conftest import run_once
+
+from repro.experiments import e13_fault_tolerance
+
+
+def test_e13_fault_tolerance(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: e13_fault_tolerance.run(settings))
+    archive(result)
+    cells = {(row["scenario"], row["resilience"]): row
+             for row in result.rows}
+    # Healthy cells are unaffected by which resilience mode is armed.
+    for mode in ("none", "timeout", "full"):
+        assert cells[("healthy", mode)]["error_rate_pct"] == 0.0
+    # The headline claim: under an active fault, full resilience beats
+    # no resilience on tail latency — strictly, same schedule and seed.
+    for scenario in ("slow", "pause"):
+        unprotected = cells[(scenario, "none")]["p99_ms"]
+        protected = cells[(scenario, "full")]["p99_ms"]
+        assert protected < unprotected, scenario
+    # Retries stay inside the budget (amplification cap 1 + 0.25).
+    for row in result.rows:
+        assert row["retry_amp"] <= 1.25 + 1e-9
+    # Breakers actually engaged somewhere in the faulted cells.
+    assert any(row["breaker_opens"] > 0 for row in result.rows
+               if row["resilience"] == "full")

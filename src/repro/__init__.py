@@ -33,10 +33,12 @@ Quickstart::
 from repro._errors import (
     AnalysisError,
     ConfigurationError,
+    DeadlineExceededError,
     PlacementError,
     ReproError,
     SchedulingError,
     ServiceOverloadError,
+    ServiceUnavailableError,
     SimulationError,
     TopologyError,
     WorkloadError,
@@ -55,7 +57,7 @@ from repro.placement import (
     unpinned,
     weights_from_utilization,
 )
-from repro.services import Deployment, ServiceSpec
+from repro.services import Deployment, ResilienceConfig, ServiceSpec
 from repro.sim import Simulator
 from repro.teastore import TeaStore, TeaStoreConfig, browse_profile, build_teastore
 from repro.topology import (
@@ -69,7 +71,13 @@ from repro.topology import (
     small_numa_machine,
     tiny_machine,
 )
-from repro.workload import ClosedLoopWorkload, OpenLoopWorkload, RunResult, run_experiment
+from repro.workload import (
+    ClosedLoopWorkload,
+    FaultInjector,
+    OpenLoopWorkload,
+    RunResult,
+    run_experiment,
+)
 
 __version__ = "1.0.0"
 
@@ -80,7 +88,9 @@ __all__ = [
     "ConfigurationError",
     "CounterBank",
     "CpuSet",
+    "DeadlineExceededError",
     "Deployment",
+    "FaultInjector",
     "LatencyRecorder",
     "Machine",
     "MachineSpec",
@@ -90,10 +100,12 @@ __all__ = [
     "PlacementError",
     "ReplicaPlacement",
     "ReproError",
+    "ResilienceConfig",
     "RunResult",
     "SchedulingError",
     "ServiceOverloadError",
     "ServiceSpec",
+    "ServiceUnavailableError",
     "SimulationError",
     "Simulator",
     "TeaStore",

@@ -53,5 +53,14 @@ class ServiceUnavailableError(ReproError):
     """A request hit a replica that has been shut down or crashed."""
 
 
+class DeadlineExceededError(ReproError):
+    """A call's deadline elapsed before the response arrived.
+
+    Raised caller-side by the resilient dispatch path when the per-call
+    timeout fires, and instance-side when a request is dequeued (or
+    arrives off the wire) after its deadline already passed.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when a statistical fit or analysis cannot be computed."""

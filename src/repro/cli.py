@@ -32,6 +32,7 @@ from repro.experiments import (
     e10_numa,
     e11_latency_breakdown,
     e12_colocation,
+    e13_fault_tolerance,
 )
 from repro.topology.presets import PRESETS
 
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, tuple[str, t.Callable]] = {
     "e10": (e10_numa.TITLE, e10_numa.run),
     "e11": (e11_latency_breakdown.TITLE, e11_latency_breakdown.run),
     "e12": (e12_colocation.TITLE, e12_colocation.run),
+    "e13": (e13_fault_tolerance.TITLE, e13_fault_tolerance.run),
     "a1": ("Ablation: CCX code sharing", ablations.run_code_sharing),
     "a2": ("Ablation: frequency boost", ablations.run_frequency_ablation),
     "a3": ("Ablation: SMT yield", ablations.run_smt_yield_ablation),

@@ -20,6 +20,7 @@ output next to the paper's claims.
 | E10 | :mod:`~repro.experiments.e10_numa` | NUMA locality effects |
 | E11 | :mod:`~repro.experiments.e11_latency_breakdown` | traced latency decomposition (extension) |
 | E12 | :mod:`~repro.experiments.e12_colocation` | batch-neighbor co-location (extension) |
+| E13 | :mod:`~repro.experiments.e13_fault_tolerance` | fault-tolerance matrix (extension) |
 | A1..A4 | :mod:`~repro.experiments.ablations` | design-choice ablations |
 
 Each module also registers a *sweep provider* with

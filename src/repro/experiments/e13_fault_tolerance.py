@@ -1,0 +1,202 @@
+"""E13 — Fault tolerance under degraded replicas (extension).
+
+The paper's +22%/−18% headline assumes every replica is healthy.  Related
+characterization work (DeathStarBench; the architectural-implications
+studies) shows that what actually dominates production tail latency is
+inter-service amplification when replicas die, stall, or slow down.  This
+experiment opens that workload dimension: a matrix of fault scenarios ×
+resilience configurations, each measured with the standard browse load.
+
+Fault scenarios (one schedule each, times placed inside the measurement
+window):
+
+* **healthy** — no faults (reference);
+* **crash** — one Persistence replica killed, restored later in the
+  window;
+* **slow** — one Persistence replica inflates its CPU demand 16× for
+  most of the window (thermal throttle / noisy neighbor);
+* **pause** — the only Recommender replica stalls completely for part of
+  the window (GC pause / SIGSTOP).
+
+Resilience configurations:
+
+* **none** — the plain dispatch path (the pre-resilience simulator);
+* **timeout** — per-call deadlines plus graceful degradation only;
+* **full** — deadlines, budgeted retries with backoff+jitter, circuit
+  breakers, and degradation.
+
+Reported per cell: throughput, p99 latency, error rate, degraded-call
+count, retry amplification, and breaker trips.  The table quantifies the
+resilience claim directly: under the same fault schedule and seed,
+``full`` must beat ``none`` on p99 whenever a fault is active.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+)
+from repro.orchestrator import plan
+from repro.services.deployment import Deployment
+from repro.services.resilience import ResilienceConfig
+from repro.teastore.store import build_teastore
+from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.faults import FaultInjector
+from repro.workload.runner import run_experiment
+
+TITLE = "Fault tolerance under degraded replicas"
+
+#: Fault scenarios in table order.
+SCENARIOS = ("healthy", "crash", "slow", "pause")
+
+#: Resilience configurations in table order.
+MODES = ("none", "timeout", "full")
+
+#: Per-call deadline (seconds) used by the resilient modes — several
+#: multiples of the healthy p99, so it only fires on genuinely stuck
+#: calls.
+CALL_TIMEOUT = 0.25
+
+
+def resilience_config(mode: str) -> ResilienceConfig | None:
+    """The :class:`ResilienceConfig` for one mode name (None = plain)."""
+    if mode == "none":
+        return None
+    if mode == "timeout":
+        return ResilienceConfig(timeout=CALL_TIMEOUT, degradation=True)
+    if mode == "full":
+        return ResilienceConfig(
+            timeout=CALL_TIMEOUT, retries=2,
+            backoff_base=0.01, backoff_factor=2.0, jitter=0.1,
+            retry_budget=0.25,
+            breaker_enabled=True, breaker_failure_threshold=5,
+            breaker_recovery_time=0.25, breaker_half_open_max=1,
+            degradation=True)
+    raise ValueError(f"unknown resilience mode {mode!r}; "
+                     f"choose from {MODES}")
+
+
+def fault_schedule(scenario: str,
+                   settings: ExperimentSettings
+                   ) -> list[dict[str, t.Any]]:
+    """The JSON-native fault schedule for one scenario.
+
+    Fault times are placed relative to the measurement window (which
+    starts after ``settings.warmup``), so the same scenario scales from
+    ``--fast`` to paper-scale settings.
+    """
+    start = settings.warmup
+    window = settings.duration
+    if scenario == "healthy":
+        return []
+    if scenario == "crash":
+        return [{"kind": "kill", "time": start + 0.10 * window,
+                 "service": "persistence", "replica": 0,
+                 "restore_after": 0.50 * window}]
+    if scenario == "slow":
+        return [{"kind": "slow", "time": start + 0.05 * window,
+                 "service": "persistence", "replica": 0,
+                 "factor": 16.0, "duration": 0.80 * window}]
+    if scenario == "pause":
+        return [{"kind": "pause", "time": start + 0.10 * window,
+                 "service": "recommender", "replica": 0,
+                 "duration": 0.45 * window}]
+    raise ValueError(f"unknown fault scenario {scenario!r}; "
+                     f"choose from {SCENARIOS}")
+
+
+def run(settings: ExperimentSettings | None = None) -> ExperimentResult:
+    """The full scenario × resilience matrix, sequentially."""
+    settings = settings or ExperimentSettings()
+    points = sweep_points(settings)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
+    """One independent point per (scenario, resilience mode) cell."""
+    points = []
+    index = 0
+    for scenario in SCENARIOS:
+        for mode in MODES:
+            points.append(plan.SweepPoint(
+                "e13", index, scenario, f"{scenario}/{mode}", settings,
+                params=(("scenario", scenario), ("resilience", mode))))
+            index += 1
+    return points
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one (scenario, resilience) cell."""
+    settings = point.settings
+    scenario = point.param("scenario")
+    mode = point.param("resilience")
+    deployment = Deployment(settings.machine(), seed=settings.seed,
+                            memory_config=settings.memory_config,
+                            resilience=resilience_config(mode))
+    store = build_teastore(deployment, settings.store_config())
+    injector = FaultInjector(deployment)
+    injector.apply(fault_schedule(scenario, settings))
+    workload = ClosedLoopWorkload(
+        deployment, store.browse_session_factory(),
+        n_users=settings.users, think_time=settings.think_time)
+    result = run_experiment(deployment, workload,
+                            warmup=settings.warmup,
+                            duration=settings.duration)
+    stats = deployment.resilience_stats
+    served = result.completed + result.errors
+    return {
+        "scenario": scenario,
+        "resilience": mode,
+        "throughput_rps": result.throughput,
+        "p99_ms": result.latency_p99 * 1e3,
+        "error_rate": (result.errors / served) if served else 0.0,
+        "degraded": stats.degraded,
+        "retry_amplification": stats.retry_amplification(),
+        "timeouts": stats.timeouts,
+        "breaker_opens": sum(b.opened_count
+                             for b in deployment.breakers),
+        "faults": len(injector.events),
+    }
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Fold the cells back into the matrix table plus p99 comparisons."""
+    rows: list[Row] = []
+    for payload in payloads:
+        rows.append({
+            "scenario": payload["scenario"],
+            "resilience": payload["resilience"],
+            "throughput_rps": payload["throughput_rps"],
+            "p99_ms": payload["p99_ms"],
+            "error_rate_pct": 100.0 * t.cast(float, payload["error_rate"]),
+            "degraded": payload["degraded"],
+            "retry_amp": payload["retry_amplification"],
+            "breaker_opens": payload["breaker_opens"],
+        })
+    notes = []
+    p99 = {(t.cast(str, p["scenario"]), t.cast(str, p["resilience"])):
+           t.cast(float, p["p99_ms"]) for p in payloads}
+    for scenario in SCENARIOS:
+        if scenario == "healthy":
+            continue
+        base = p99[(scenario, "none")]
+        full = p99[(scenario, "full")]
+        if base > 0:
+            notes.append(
+                f"{scenario}: p99 {base:.1f} ms unprotected -> "
+                f"{full:.1f} ms with full resilience "
+                f"({100.0 * (base - full) / base:+.1f}% tail reduction)")
+    amp = max(t.cast(float, p["retry_amplification"]) for p in payloads)
+    notes.append(f"retry amplification peaked at {amp:.3f}x "
+                 f"(budget caps it at 1.25x)")
+    return ExperimentResult("E13", TITLE, rows, notes=notes)
+
+
+plan.register_sweep("e13", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

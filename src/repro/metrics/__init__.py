@@ -15,6 +15,7 @@
 
 from repro.metrics.hwcounters import CounterBank, CounterTotals
 from repro.metrics.latency import LatencyRecorder
+from repro.metrics.resilience import ResilienceStats
 from repro.metrics.stats import (
     confidence_interval,
     geometric_mean,
@@ -28,6 +29,7 @@ __all__ = [
     "CounterBank",
     "CounterTotals",
     "LatencyRecorder",
+    "ResilienceStats",
     "ThroughputMeter",
     "UtilizationProbe",
     "confidence_interval",

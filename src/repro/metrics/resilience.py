@@ -1,0 +1,76 @@
+"""Counters for the resilience layer (retries, timeouts, degradation).
+
+One :class:`ResilienceStats` lives on each deployment whose resilient
+dispatch path is active.  Its invariants are what the property-based
+tests (and experiment E13) check:
+
+* conservation — once the simulation drains, every logical call resolved
+  exactly once: ``successes + degraded + errors == calls``;
+* bounded amplification — ``retries <= retry_budget * calls`` at every
+  instant, because the budget gate compares against these live counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass
+class ResilienceStats:
+    """Deployment-wide counters maintained by the resilient dispatch path."""
+
+    #: Logical calls (one per ``dispatch``, however many attempts).
+    calls: int = 0
+    #: Physical attempts (first tries + retries).
+    attempts: int = 0
+    #: Retry attempts only (``attempts - calls`` for resolved calls).
+    retries: int = 0
+    #: Calls that resolved with a real response.
+    successes: int = 0
+    #: Calls that resolved with a registered fallback payload.
+    degraded: int = 0
+    #: Calls that resolved with a failure after exhausting attempts.
+    errors: int = 0
+    #: Attempts that hit their deadline (caller-side timeout).
+    timeouts: int = 0
+    #: Attempts that failed with an exception (shed, crashed, expired).
+    failures: int = 0
+    #: Retries denied by the retry budget alone.
+    budget_denied: int = 0
+    #: Attempts rejected instantly because every replica's breaker was
+    #: open (the fail-fast path; no request was dispatched).
+    breaker_rejected: int = 0
+
+    def resolved(self) -> int:
+        """Calls that have reached a terminal outcome."""
+        return self.successes + self.degraded + self.errors
+
+    def retry_amplification(self) -> float:
+        """Physical attempts per logical call (1.0 = no retries)."""
+        if self.calls == 0:
+            return 1.0
+        return self.attempts / self.calls
+
+    def error_rate(self) -> float:
+        """Fraction of calls that resolved as errors."""
+        resolved = self.resolved()
+        if resolved == 0:
+            return 0.0
+        return self.errors / resolved
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """JSON-native view for payloads and reports."""
+        return {
+            "calls": self.calls,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "successes": self.successes,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+            "budget_denied": self.budget_denied,
+            "breaker_rejected": self.breaker_rejected,
+            "retry_amplification": self.retry_amplification(),
+        }

@@ -108,6 +108,7 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.experiments.e10_numa",
     "repro.experiments.e11_latency_breakdown",
     "repro.experiments.e12_colocation",
+    "repro.experiments.e13_fault_tolerance",
     "repro.experiments.ablations",
 )
 

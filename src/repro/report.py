@@ -44,9 +44,48 @@ def build_report(results: t.Sequence[ExperimentResult],
     lines.append("")
     for result in results:
         lines.append(result.to_markdown())
+    for result in results:
+        if result.experiment.lower() == "e13" and result.rows:
+            lines.append(fault_tolerance_section(result))
+            break
     if sweep_stats:
         lines.append(sweep_section(sweep_stats))
     return "\n".join(lines)
+
+
+def fault_tolerance_section(result: ExperimentResult) -> str:
+    """A per-scenario digest of the E13 matrix: how much tail latency
+    and how many errors each resilience mode bought back."""
+    cells = {(t.cast(str, row["scenario"]),
+              t.cast(str, row["resilience"])): row for row in result.rows}
+    scenarios = []
+    for row in result.rows:
+        scenario = t.cast(str, row["scenario"])
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+    lines = ["## Fault-tolerance digest", ""]
+    lines.append("| scenario | p99 none (ms) | p99 full (ms) "
+                 "| tail reduction | errors none | errors full "
+                 "| degraded (full) |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for scenario in scenarios:
+        none = cells.get((scenario, "none"))
+        full = cells.get((scenario, "full"))
+        if none is None or full is None:
+            continue
+        base = t.cast(float, none["p99_ms"])
+        tail = t.cast(float, full["p99_ms"])
+        reduction = (f"{100.0 * (base - tail) / base:+.1f}%"
+                     if base > 0 else "n/a")
+        lines.append(
+            f"| {scenario} | {base:.1f} | {tail:.1f} | {reduction} "
+            f"| {t.cast(float, none['error_rate_pct']):.2f}% "
+            f"| {t.cast(float, full['error_rate_pct']):.2f}% "
+            f"| {full['degraded']} |")
+    lines.append("")
+    lines.append("* tail reduction is p99(none) vs p99(full) under the "
+                 "identical fault schedule and seed")
+    return "\n".join(lines) + "\n"
 
 
 def sweep_section(sweep_stats: t.Sequence[t.Mapping[str, t.Any]]) -> str:

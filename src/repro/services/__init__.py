@@ -14,7 +14,12 @@ The framework TeaStore-like applications are assembled from:
 * :class:`~repro.services.rpc.RpcFabric` — loopback-latency message
   passing between services.
 * :class:`~repro.services.loadbalancer.LoadBalancer` — replica selection
-  (round-robin or least-outstanding).
+  (round-robin or least-outstanding), skipping dead replicas and open
+  circuit breakers.
+* :mod:`~repro.services.resilience` — caller-side resilience policies:
+  :class:`~repro.services.resilience.ResilienceConfig` (deadlines,
+  retries, budgets, degradation) and the per-replica
+  :class:`~repro.services.resilience.CircuitBreaker`.
 * :class:`~repro.services.registry.ServiceRegistry` — name → balancer.
 * :class:`~repro.services.deployment.Deployment` — wires machine,
   scheduler, memory model, RPC and registry into one system under test.
@@ -25,14 +30,22 @@ from repro.services.instance import ServiceContext, ServiceInstance
 from repro.services.loadbalancer import LoadBalancer
 from repro.services.registry import ServiceRegistry
 from repro.services.request import Request
+from repro.services.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.services.rpc import RpcFabric
 from repro.services.spec import Endpoint, ServiceSpec
 
 __all__ = [
+    "CircuitBreaker",
     "Deployment",
     "Endpoint",
     "LoadBalancer",
     "Request",
+    "ResilienceConfig",
+    "RetryPolicy",
     "RpcFabric",
     "ServiceContext",
     "ServiceInstance",

@@ -4,15 +4,25 @@ from __future__ import annotations
 
 import typing as t
 
-from repro._errors import ConfigurationError
+from repro._errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceUnavailableError,
+)
 from repro.cpu.frequency import FrequencyModel
 from repro.cpu.scheduler import CpuScheduler
 from repro.cpu.smt import SmtModel
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystemModel
+from repro.metrics.resilience import ResilienceStats
 from repro.services.instance import ServiceInstance
 from repro.services.registry import ServiceRegistry
 from repro.services.request import Request
+from repro.services.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.services.rpc import RpcFabric
 from repro.services.spec import ServiceSpec
 from repro.sim.engine import Simulator
@@ -20,6 +30,9 @@ from repro.sim.events import Event
 from repro.sim.rand import RandomStreams
 from repro.topology.cpuset import CpuSet
 from repro.topology.model import Machine
+
+#: Sentinel distinguishing "no fallback registered" from ``None``.
+_NO_FALLBACK = object()
 
 
 class Deployment:
@@ -39,7 +52,8 @@ class Deployment:
                  memory_config: MemoryConfig | None = None,
                  counter_sink: t.Any | None = None,
                  rpc: RpcFabric | None = None,
-                 lb_policy: str = "round_robin"):
+                 lb_policy: str = "round_robin",
+                 resilience: ResilienceConfig | None = None):
         self.sim = Simulator()
         self.machine = machine
         self.streams = RandomStreams(seed)
@@ -56,6 +70,21 @@ class Deployment:
                 "rpc fabric must be built on the deployment's simulator")
         self.registry = ServiceRegistry(default_policy=lb_policy)
         self.instances: list[ServiceInstance] = []
+        #: Active resilience policy, or ``None`` when the config is
+        #: absent/inert — the plain dispatch path is then used verbatim.
+        self.resilience = (resilience if resilience is not None
+                           and resilience.active else None)
+        #: Counters kept by the resilient dispatch path (always present
+        #: so callers can read it unconditionally).
+        self.resilience_stats = ResilienceStats()
+        self._retry_policy = (RetryPolicy(self.resilience, self.streams)
+                              if self.resilience is not None else None)
+        #: Service name → spec, recorded at first placement so fallbacks
+        #: resolve even when every replica of a service is dead.
+        self.specs: dict[str, ServiceSpec] = {}
+        #: Every breaker ever attached (kills don't remove them), for
+        #: whole-run telemetry such as E13's trip counts.
+        self.breakers: list[CircuitBreaker] = []
         #: Optional :class:`repro.tracing.TraceCollector`; when set, every
         #: completed request is recorded as a span.
         self.tracer = None
@@ -87,6 +116,10 @@ class Deployment:
             home_node = self.machine.cpu(effective.first()).node.index
         instance = ServiceInstance(self, spec, effective, home_node,
                                    local_id=len(self.instances))
+        self.specs.setdefault(spec.name, spec)
+        if self.resilience is not None and self.resilience.breaker_enabled:
+            instance.breaker = CircuitBreaker.from_config(self.resilience)
+            self.breakers.append(instance.breaker)
         self.registry.register(instance)
         self.memory_model.register_for_affinity(instance.group)
         self.instances.append(instance)
@@ -107,14 +140,145 @@ class Deployment:
     # ------------------------------------------------------------------
     def dispatch(self, service_name: str, endpoint: str,
                  payload: object = None,
-                 parent: Request | None = None) -> Event:
-        """Route one request to a replica; returns its completion event."""
-        done = self.sim.event()
-        request = Request(service_name, endpoint, done, payload=payload,
-                          parent=parent, created_at=self.sim.now)
-        instance = self.registry.lookup(service_name)
-        self.rpc.deliver(request, instance)
-        return done
+                 parent: Request | None = None, *,
+                 protected: bool = True) -> Event:
+        """Route one request to a replica; returns its completion event.
+
+        With an active resilience config the call goes through the
+        resilient path: a per-call deadline spanning all attempts,
+        caller-side retries under the retry budget, circuit-breaker
+        consultation, and (when the target spec registered one) a
+        degradation fallback.  Without one, this is a single
+        fire-and-forget delivery, exactly as before.
+
+        ``protected=False`` forces the plain path even when resilience
+        is configured.  Load generators use it: the resilience layer
+        protects *inter-service* RPCs, while the client edge stays
+        outside the fabric — exactly like browsers hitting a datacenter
+        — so measured end-to-end latency reflects what the internal
+        policies deliver rather than client-side request-killing.
+        """
+        if self.resilience is None or not protected:
+            done = self.sim.event()
+            request = Request(service_name, endpoint, done, payload=payload,
+                              parent=parent, created_at=self.sim.now)
+            instance = self.registry.lookup(service_name, now=self.sim.now)
+            self.rpc.deliver(request, instance)
+            return done
+        if not self.registry.has_service(service_name):
+            raise ConfigurationError(
+                f"no such service: {service_name!r}; "
+                f"known: {self.registry.service_names}")
+        outer = self.sim.event()
+        self.sim.process(self._resilient_call(
+            service_name, endpoint, payload, parent, outer))
+        return outer
+
+    def _fallback_for(self, service_name: str, endpoint: str) -> object:
+        """The registered fallback payload, or the no-fallback sentinel."""
+        spec = self.specs.get(service_name)
+        if spec is None or not spec.has_fallback(endpoint):
+            return _NO_FALLBACK
+        return spec.fallback_for(endpoint)
+
+    def _resilient_call(self, service_name: str, endpoint: str,
+                        payload: object, parent: Request | None,
+                        outer: Event) -> t.Generator:
+        """One logical call: attempts, backoff, breakers, degradation.
+
+        ``outer`` resolves exactly once — with the response, with a
+        fallback payload (degraded), or with the last attempt's failure.
+
+        The deadline spans the *whole logical call* (gRPC semantics),
+        not each attempt: an attempt that burns the budget waiting is
+        terminal, while fast failures — shed at a dead replica, every
+        breaker open, the service deregistered — leave the budget intact
+        and are worth retrying.  This is what keeps retry storms from
+        multiplying the very timeouts they are meant to mask.
+        """
+        config = t.cast(ResilienceConfig, self.resilience)
+        policy = t.cast(RetryPolicy, self._retry_policy)
+        stats = self.resilience_stats
+        stats.calls += 1
+        deadline = (self.sim.now + config.timeout
+                    if config.timeout is not None else None)
+        attempt = 0
+        last_error: Exception = ConfigurationError(
+            f"call to {service_name}/{endpoint} never attempted")
+        while True:
+            attempt += 1
+            stats.attempts += 1
+            done = self.sim.event()
+            request = Request(service_name, endpoint, done, payload=payload,
+                              parent=parent, created_at=self.sim.now,
+                              attempt=attempt, deadline=deadline)
+            instance: ServiceInstance | None = None
+            failure: Exception | None = None
+            try:
+                instance = self.registry.lookup(service_name,
+                                                now=self.sim.now)
+            except ConfigurationError as exc:
+                # The service is known but every replica is gone.
+                failure = exc
+                stats.failures += 1
+            except ServiceUnavailableError as exc:
+                # Every accepting replica is circuit-open: fail fast.
+                failure = exc
+                stats.breaker_rejected += 1
+            if instance is not None:
+                if instance.breaker is not None:
+                    instance.breaker.note_dispatch(self.sim.now)
+                self.rpc.deliver(request, instance)
+                value: object = None
+                if deadline is None:
+                    try:
+                        value = yield done
+                    except Exception as exc:
+                        failure = exc
+                        stats.failures += 1
+                else:
+                    race = done | self.sim.timeout(deadline - self.sim.now)
+                    try:
+                        winners = t.cast(dict, (yield race))
+                    except Exception as exc:
+                        failure = exc
+                        stats.failures += 1
+                    else:
+                        if done in winners:
+                            value = winners[done]
+                        else:
+                            stats.timeouts += 1
+                            failure = DeadlineExceededError(
+                                f"{service_name}/{endpoint} missed its "
+                                f"{config.timeout}s deadline "
+                                f"(attempt {attempt})")
+                if failure is None:
+                    stats.successes += 1
+                    if instance.breaker is not None:
+                        instance.breaker.record_success(self.sim.now)
+                    outer.succeed(value)
+                    return
+                if instance.breaker is not None:
+                    instance.breaker.record_failure(self.sim.now)
+            last_error = t.cast(Exception, failure)
+            if deadline is not None and self.sim.now >= deadline:
+                break  # budget burned; the deadline covers all attempts
+            if not policy.should_retry(attempt, stats):
+                break
+            delay = policy.backoff(service_name, attempt)
+            if deadline is not None and self.sim.now + delay >= deadline:
+                break  # backing off would outlive the deadline
+            stats.retries += 1
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        if config.degradation:
+            fallback = self._fallback_for(service_name, endpoint)
+            if fallback is not _NO_FALLBACK:
+                stats.degraded += 1
+                outer.succeed(fallback)
+                return
+        stats.errors += 1
+        outer.fail(last_error)
 
     def run(self, until: float | None = None) -> None:
         """Advance the simulation."""

@@ -5,7 +5,11 @@ from __future__ import annotations
 import itertools
 import typing as t
 
-from repro._errors import ServiceOverloadError, ServiceUnavailableError
+from repro._errors import (
+    DeadlineExceededError,
+    ServiceOverloadError,
+    ServiceUnavailableError,
+)
 from repro.cpu.burst import CpuBurst, TaskGroup
 from repro.services.request import Request
 from repro.services.spec import ServiceSpec
@@ -15,6 +19,7 @@ from repro.topology.cpuset import CpuSet
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.services.deployment import Deployment
+    from repro.services.resilience import CircuitBreaker
 
 _instance_ids = itertools.count()
 
@@ -46,7 +51,19 @@ class ServiceInstance:
         self.completed = 0
         self.rejected = 0
         self.failed = 0
+        #: Requests dropped because their deadline passed before a worker
+        #: (or the fabric) got to them.
+        self.expired = 0
         self.accepting = True
+        #: Optional per-replica circuit breaker, attached by the
+        #: deployment when its resilience config enables breakers.
+        self.breaker: "CircuitBreaker | None" = None
+        #: Fault-injection hook: every CPU demand submitted through the
+        #: context is multiplied by this (a "slow replica" inflates it).
+        self.demand_factor = 1.0
+        #: Fault-injection hook: while set, workers stall on this event
+        #: before processing any newly dequeued request.
+        self._pause: Event | None = None
         self._workers = [deployment.sim.process(self._worker_loop())
                          for __ in range(spec.workers)]
 
@@ -99,11 +116,37 @@ class ServiceInstance:
                 f"{self.spec.name}#{self.instance_id} crashed with "
                 f"request queued"))
 
+    def pause(self, resume: Event) -> None:
+        """Stall request processing until ``resume`` triggers.
+
+        Workers finish their in-flight handler but park on ``resume``
+        before touching the next dequeued request — the simulated
+        equivalent of a stop-the-world stall (GC pause, SIGSTOP, IO
+        freeze).  Queued requests keep aging toward their deadlines.
+        """
+        self._pause = resume
+
+    def unpause(self) -> None:
+        """Clear the pause gate (call before triggering its event)."""
+        self._pause = None
+
     def _worker_loop(self) -> t.Generator:
         sim = self.deployment.sim
         while True:
             request = t.cast(Request, (yield self.queue.get()))
+            if self._pause is not None:
+                yield self._pause
             request.started_at = sim.now
+            if request.deadline is not None and sim.now >= request.deadline:
+                # The caller already gave up; don't burn CPU on it.
+                self.expired += 1
+                self.outstanding -= 1
+                self.deployment.rpc.respond_failure(
+                    request.done, DeadlineExceededError(
+                        f"{self.spec.name}#{self.instance_id} dequeued "
+                        f"request past its deadline "
+                        f"(t={request.deadline:.6f})"))
+                continue
             context = ServiceContext(self, request)
             try:
                 endpoint = self.spec.resolve(request.endpoint)
@@ -170,9 +213,14 @@ class ServiceContext:
         return self.submit_demand(demand)
 
     def submit_demand(self, demand: float) -> Event:
-        """Execute an exact CPU demand (no sampling)."""
+        """Execute an exact CPU demand (no sampling).
+
+        The replica's ``demand_factor`` scales the demand — 1.0 in
+        healthy operation, >1 while a slow-replica fault is active.
+        """
         deployment = self.instance.deployment
-        burst = CpuBurst(demand, self.group, deployment.sim.event())
+        burst = CpuBurst(demand * self.instance.demand_factor,
+                         self.group, deployment.sim.event())
         deployment.scheduler.submit(burst)
         return burst.done
 

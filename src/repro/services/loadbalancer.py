@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import typing as t
 
-from repro._errors import ConfigurationError
+from repro._errors import ConfigurationError, ServiceUnavailableError
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.services.instance import ServiceInstance
@@ -41,27 +41,60 @@ class LoadBalancer:
         self._instances.append(instance)
 
     def remove(self, instance: "ServiceInstance") -> None:
-        """Deregister one replica (it must be present)."""
+        """Deregister one replica (it must be present).
+
+        The round-robin cursor is re-anchored so the rotation continues
+        from the same successor replica: a mid-window kill neither
+        resets fairness to replica 0 nor lets the cursor land on the
+        slot the dead replica vacated (which is how a just-killed
+        replica used to be re-picked during a pick-heavy window).
+        """
         try:
-            self._instances.remove(instance)
+            index = self._instances.index(instance)
         except ValueError:
             raise ConfigurationError(
                 f"instance {instance!r} is not registered with "
                 f"{self.service_name!r}") from None
-        self._next = 0
+        position = self._next % len(self._instances)
+        del self._instances[index]
+        if index < position:
+            position -= 1
+        self._next = position if self._instances else 0
 
-    def pick(self) -> "ServiceInstance":
-        """Choose the replica for the next request."""
+    def pick(self, now: float = 0.0) -> "ServiceInstance":
+        """Choose the replica for the next request.
+
+        Replicas whose circuit breaker is open are skipped while any
+        breaker-available replica exists; when *every* accepting replica
+        is circuit-open the pick **fails fast** with
+        :class:`ServiceUnavailableError` — the whole point of a breaker
+        is that callers stop waiting out timeouts against a replica set
+        already known to be sick (they retry or degrade immediately).
+
+        Replicas that merely stopped accepting (crashed mid-window but
+        not yet deregistered) are skipped too, but when *none* accepts
+        the pick still returns a dead replica: shedding there preserves
+        the caller-visible rejection rather than masking a total outage.
+        """
         if not self._instances:
             raise ConfigurationError(
                 f"service {self.service_name!r} has no instances")
+        candidates = [i for i in self._instances
+                      if i.accepting and (i.breaker is None
+                                          or i.breaker.available(now))]
+        if not candidates:
+            if any(i.accepting for i in self._instances):
+                raise ServiceUnavailableError(
+                    f"service {self.service_name!r}: every replica's "
+                    f"circuit breaker is open")
+            candidates = self._instances
         if self.policy == "round_robin":
-            instance = self._instances[self._next % len(self._instances)]
+            instance = candidates[self._next % len(candidates)]
             self._next += 1
             return instance
         # least_outstanding: fewest requests in flight; ties to the
         # lowest-index replica for determinism.
-        return min(self._instances, key=lambda i: (i.outstanding, i.instance_id))
+        return min(candidates, key=lambda i: (i.outstanding, i.instance_id))
 
     def __repr__(self) -> str:
         return (f"<LoadBalancer {self.service_name!r} {self.policy} "

@@ -45,14 +45,23 @@ class ServiceRegistry:
         """Remove a replica."""
         self.balancer(instance.spec.name).remove(instance)
 
-    def lookup(self, service_name: str) -> "ServiceInstance":
-        """Pick a replica of ``service_name`` for one request."""
+    def has_service(self, service_name: str) -> bool:
+        """Whether any replica of ``service_name`` was ever registered."""
+        return service_name in self._balancers
+
+    def lookup(self, service_name: str,
+               now: float = 0.0) -> "ServiceInstance":
+        """Pick a replica of ``service_name`` for one request.
+
+        ``now`` is the simulated time, forwarded to the balancer so
+        circuit-breaker recovery windows resolve against the clock.
+        """
         balancer = self._balancers.get(service_name)
         if balancer is None:
             raise ConfigurationError(
                 f"no such service: {service_name!r}; "
                 f"known: {self.service_names}")
-        return balancer.pick()
+        return balancer.pick(now)
 
     def instances_of(self, service_name: str) -> list["ServiceInstance"]:
         """All replicas of one service."""

@@ -21,11 +21,14 @@ class Request:
 
     __slots__ = ("request_id", "service_name", "endpoint", "payload",
                  "parent", "done", "created_at", "enqueued_at",
-                 "started_at", "completed_at", "instance_id")
+                 "started_at", "completed_at", "instance_id",
+                 "deadline", "attempt")
 
     def __init__(self, service_name: str, endpoint: str, done: "Event",
                  payload: object = None, parent: "Request | None" = None,
-                 created_at: float = 0.0):
+                 created_at: float = 0.0,
+                 deadline: float | None = None,
+                 attempt: int = 1):
         self.request_id = next(_request_ids)
         self.service_name = service_name
         self.endpoint = endpoint
@@ -39,6 +42,16 @@ class Request:
         self.completed_at: float | None = None
         #: Replica that served the request (set at dispatch).
         self.instance_id: int | None = None
+        #: Absolute simulated time after which the caller has given up;
+        #: the fabric and the serving replica both drop expired work.
+        self.deadline = deadline
+        #: 1 for the first try; retries of the same logical call count up.
+        self.attempt = attempt
+
+    @property
+    def expired_at(self) -> float:
+        """The deadline, or +inf when the call has none."""
+        return self.deadline if self.deadline is not None else float("inf")
 
     @property
     def depth(self) -> int:

@@ -1,0 +1,262 @@
+"""Caller-side resilience policies: timeouts, retries, circuit breakers.
+
+The scale-up study assumes every replica is healthy; a production-scale
+store cannot.  This module holds the *policy* objects the service fabric
+consults when a :class:`~repro.services.deployment.Deployment` is built
+with a :class:`ResilienceConfig`:
+
+* per-call deadlines (enforced by the dispatch path and checked again
+  instance-side so expired work is never executed);
+* :class:`RetryPolicy` — exponential backoff with deterministic seeded
+  jitter, capped by a deployment-wide retry *budget* so retry storms
+  cannot amplify load unboundedly;
+* :class:`CircuitBreaker` — a per-replica closed/open/half-open state
+  machine consulted by :meth:`LoadBalancer.pick`, ejecting replicas that
+  fail or stall until a half-open probe proves them healthy again;
+* graceful degradation — when every attempt at a call fails and the
+  target :class:`~repro.services.spec.ServiceSpec` registered a fallback
+  for the endpoint, the caller receives the static fallback instead of
+  an error (TeaStore's Recommender behaves exactly like this).
+
+Everything is deterministic: jitter draws come from the deployment's
+named random streams, and breaker transitions depend only on simulated
+time and observed outcomes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro._errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.resilience import ResilienceStats
+    from repro.sim.rand import RandomStreams
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceConfig:
+    """All resilience knobs for one deployment (JSON-native, hashable).
+
+    The default instance is inert (``active`` is False): no timeout, no
+    retries, no breakers, no degradation — a deployment built with it
+    behaves byte-for-byte like one built with ``resilience=None``.
+    """
+
+    #: Per-call deadline in seconds (None disables timeouts).
+    timeout: float | None = None
+    #: Maximum retry attempts after the first try (0 disables retries).
+    retries: int = 0
+    #: First backoff delay in seconds.
+    backoff_base: float = 0.010
+    #: Multiplier applied per subsequent retry.
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff delay.
+    backoff_cap: float = 1.0
+    #: Jitter fraction: each delay is scaled by U(1-j, 1+j) drawn from a
+    #: named stream, so it is deterministic per (seed, service).
+    jitter: float = 0.1
+    #: Retry budget: total retries may never exceed this fraction of
+    #: total calls (0.2 caps retry amplification at 1.2x).
+    retry_budget: float = 0.2
+    #: Attach a circuit breaker to every replica.
+    breaker_enabled: bool = False
+    #: Consecutive failures that trip a closed breaker open.
+    breaker_failure_threshold: int = 5
+    #: Seconds an open breaker waits before allowing half-open probes.
+    breaker_recovery_time: float = 0.5
+    #: Concurrent probe requests allowed while half-open.
+    breaker_half_open_max: int = 1
+    #: Resolve exhausted calls with the target spec's endpoint fallback
+    #: (when one is registered) instead of failing them.
+    degradation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive: {self.timeout}")
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0: {self.retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError(
+                f"backoff delays must be >= 0: base={self.backoff_base}, "
+                f"cap={self.backoff_cap}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1): {self.jitter}")
+        if self.retry_budget < 0:
+            raise ConfigurationError(
+                f"retry_budget must be >= 0: {self.retry_budget}")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_failure_threshold must be >= 1: "
+                f"{self.breaker_failure_threshold}")
+        if self.breaker_recovery_time <= 0:
+            raise ConfigurationError(
+                f"breaker_recovery_time must be positive: "
+                f"{self.breaker_recovery_time}")
+        if self.breaker_half_open_max < 1:
+            raise ConfigurationError(
+                f"breaker_half_open_max must be >= 1: "
+                f"{self.breaker_half_open_max}")
+
+    @property
+    def active(self) -> bool:
+        """True when any resilience mechanism is switched on."""
+        return (self.timeout is not None or self.retries > 0
+                or self.breaker_enabled or self.degradation)
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """Canonical JSON-native form (for sweep-point identities)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: t.Mapping[str, t.Any]) -> "ResilienceConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**dict(data))
+
+
+class RetryPolicy:
+    """Backoff computation plus the deployment-wide retry budget gate.
+
+    The budget is checked against live counters: a retry is admitted only
+    while ``retries + 1 <= retry_budget * calls``.  Both counters are
+    monotone, so the end-of-run invariant
+    ``retries <= retry_budget * calls`` always holds — that is the
+    "retry amplification never exceeds the budget" property.
+    """
+
+    def __init__(self, config: ResilienceConfig, streams: "RandomStreams"):
+        self.config = config
+        self.streams = streams
+
+    def should_retry(self, attempts_made: int,
+                     stats: "ResilienceStats") -> bool:
+        """Whether another attempt is allowed after ``attempts_made``."""
+        if attempts_made > self.config.retries:
+            return False
+        if (stats.retries + 1
+                > self.config.retry_budget * stats.calls):
+            stats.budget_denied += 1
+            return False
+        return True
+
+    def backoff(self, service: str, retry_index: int) -> float:
+        """Delay before the ``retry_index``-th retry (1-based), jittered."""
+        delay = min(self.config.backoff_cap,
+                    self.config.backoff_base
+                    * self.config.backoff_factor ** (retry_index - 1))
+        if self.config.jitter > 0 and delay > 0:
+            delay *= self.streams.uniform(
+                f"resilience.jitter.{service}",
+                1.0 - self.config.jitter, 1.0 + self.config.jitter)
+        return delay
+
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-replica closed/open/half-open failure ejector.
+
+    * **closed** — traffic flows; ``breaker_failure_threshold``
+      consecutive failures trip it open.
+    * **open** — the load balancer skips the replica entirely until
+      ``breaker_recovery_time`` has elapsed.
+    * **half-open** — up to ``breaker_half_open_max`` probe requests are
+      admitted; one success closes the breaker, one failure re-opens it
+      (restarting the recovery clock).
+
+    Transitions are resolved lazily against the simulated clock passed
+    into :meth:`available` / the recording methods, so the breaker needs
+    no scheduled callbacks of its own.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_time: float = 0.5,
+                 half_open_max: int = 1):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1: {failure_threshold}")
+        if recovery_time <= 0:
+            raise ConfigurationError(
+                f"recovery_time must be positive: {recovery_time}")
+        if half_open_max < 1:
+            raise ConfigurationError(
+                f"half_open_max must be >= 1: {half_open_max}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_max = half_open_max
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: Times the breaker tripped from closed/half-open to open.
+        self.opened_count = 0
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig) -> "CircuitBreaker":
+        """A breaker parameterized by a deployment's config."""
+        return cls(failure_threshold=config.breaker_failure_threshold,
+                   recovery_time=config.breaker_recovery_time,
+                   half_open_max=config.breaker_half_open_max)
+
+    def state(self, now: float) -> str:
+        """Current state, resolving open → half-open lazily."""
+        if (self._state == OPEN
+                and now >= self._opened_at + self.recovery_time):
+            self._state = HALF_OPEN
+            self._half_open_inflight = 0
+        return self._state
+
+    def available(self, now: float) -> bool:
+        """Whether the load balancer may route to this replica now."""
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        return self._half_open_inflight < self.half_open_max
+
+    def note_dispatch(self, now: float) -> None:
+        """Record that one request was just routed here (probe tracking)."""
+        if self.state(now) == HALF_OPEN:
+            self._half_open_inflight += 1
+
+    def record_success(self, now: float) -> None:
+        """One attempt against this replica succeeded."""
+        if self.state(now) == HALF_OPEN:
+            self._half_open_inflight = max(0, self._half_open_inflight - 1)
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """One attempt against this replica failed or timed out."""
+        state = self.state(now)
+        if state == HALF_OPEN:
+            self._trip(now)
+            return
+        self._consecutive_failures += 1
+        if (state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self._state = OPEN
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self._half_open_inflight = 0
+        self.opened_count += 1
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self._state} "
+                f"failures={self._consecutive_failures}/"
+                f"{self.failure_threshold} opened={self.opened_count}>")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import typing as t
 
-from repro._errors import ConfigurationError
+from repro._errors import ConfigurationError, DeadlineExceededError
 from repro._units import us
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
@@ -30,16 +30,34 @@ class RpcFabric:
         self.sim = sim
         self.hop_latency = hop_latency
         self.messages_sent = 0
+        #: Requests whose deadline elapsed while on the wire.
+        self.expired_in_flight = 0
 
     def deliver(self, request: "Request",
                 instance: "ServiceInstance") -> None:
-        """Send ``request`` to ``instance`` after one network hop."""
+        """Send ``request`` to ``instance`` after one network hop.
+
+        A request whose deadline already passed when it lands is dropped
+        at the fabric (failed with :class:`DeadlineExceededError`)
+        instead of entering the replica's queue — the caller has given
+        up, so admitting it would only waste queue capacity.
+        """
         self.messages_sent += 1
         if self.hop_latency == 0:
-            instance.enqueue(request)
+            self._arrive(request, instance)
         else:
             self.sim.call_in(self.hop_latency,
-                             lambda: instance.enqueue(request))
+                             lambda: self._arrive(request, instance))
+
+    def _arrive(self, request: "Request",
+                instance: "ServiceInstance") -> None:
+        if request.deadline is not None and self.sim.now >= request.deadline:
+            self.expired_in_flight += 1
+            request.done.fail(DeadlineExceededError(
+                f"{request.service_name}/{request.endpoint} expired "
+                f"in flight (deadline t={request.deadline:.6f})"))
+            return
+        instance.enqueue(request)
 
     def respond(self, done: Event, response: object) -> None:
         """Complete ``done`` with ``response`` after the return hop."""

@@ -55,6 +55,7 @@ class ServiceSpec:
         self.queue_capacity = queue_capacity
         self.shared_factory = shared_factory
         self._endpoints: dict[str, Endpoint] = {}
+        self._fallbacks: dict[str, object] = {}
 
     @property
     def endpoints(self) -> dict[str, Endpoint]:
@@ -74,6 +75,40 @@ class ServiceSpec:
             raise ConfigurationError(
                 f"service {self.name!r}: duplicate endpoint {name!r}")
         self._endpoints[name] = Endpoint(name, handler)
+
+    def add_fallback(self, endpoint: str, value: object) -> None:
+        """Register a graceful-degradation response for ``endpoint``.
+
+        When a deployment's resilience config enables degradation, a
+        call that exhausts its attempts resolves with ``value`` instead
+        of an error — modelling TeaStore services (the Recommender in
+        particular) that serve a static default when a dependency is
+        unreachable.  The fallback is static by design: it must not
+        depend on live state, because it is served when none exists.
+        """
+        if endpoint not in self._endpoints:
+            raise ConfigurationError(
+                f"service {self.name!r}: cannot register a fallback for "
+                f"unknown endpoint {endpoint!r}; "
+                f"known: {sorted(self._endpoints)}")
+        if endpoint in self._fallbacks:
+            raise ConfigurationError(
+                f"service {self.name!r}: duplicate fallback for "
+                f"endpoint {endpoint!r}")
+        self._fallbacks[endpoint] = value
+
+    def has_fallback(self, endpoint: str) -> bool:
+        """Whether ``endpoint`` registered a degradation fallback."""
+        return endpoint in self._fallbacks
+
+    def fallback_for(self, endpoint: str) -> object:
+        """The registered fallback payload for ``endpoint``."""
+        try:
+            return self._fallbacks[endpoint]
+        except KeyError:
+            raise ConfigurationError(
+                f"service {self.name!r} has no fallback for "
+                f"endpoint {endpoint!r}") from None
 
     def resolve(self, endpoint: str) -> Endpoint:
         """The endpoint named ``endpoint``; raises with choices on typos."""

@@ -143,6 +143,10 @@ def build_specs(config: TeaStoreConfig | None = None) -> dict[str, ServiceSpec]:
         yield ctx.compute(catalog.RECOMMEND * scale, cv)
         return ["item"] * 3
 
+    # Real TeaStore degrades recommendations to a static default when the
+    # Recommender is unreachable; product pages render without it.
+    recommender.add_fallback("recommend", ["default"] * 3)
+
     # ------------------------------------------------------------------
     # WebUI
     # ------------------------------------------------------------------

@@ -64,7 +64,11 @@ class ClosedLoopWorkload:
                                                        self.think_time)
                 yield sim.timeout(delay)
             issued_at = sim.now
-            done = deployment.dispatch(service, endpoint, payload=payload)
+            # Users are clients outside the service fabric: their
+            # requests take the plain path so measured latency reflects
+            # what the internal resilience policies deliver.
+            done = deployment.dispatch(service, endpoint, payload=payload,
+                                       protected=False)
             try:
                 yield done
             except Exception:

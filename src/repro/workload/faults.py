@@ -1,10 +1,22 @@
-"""Fault injection: replica crashes and recoveries on a schedule.
+"""Fault injection: crashes, slow replicas, and stalls on a schedule.
 
 The scale-up study assumes healthy replicas; production deployments do
-not.  :class:`FaultInjector` kills a replica at a chosen time (new
-requests shed, queued ones fail, in-flight ones finish) and optionally
-restores an identical one later — letting tests and examples verify that
-placement and load balancing degrade gracefully.
+not.  :class:`FaultInjector` schedules three fault classes against a
+deployment:
+
+* **kill** — the replica crashes: new requests shed, queued ones fail,
+  in-flight ones finish; optionally an identical replica re-registers
+  later (:meth:`FaultInjector.kill_at`);
+* **slow** — the replica's CPU demand inflates by a factor for a window
+  (a saturated neighbor, a thermal throttle, a degraded disk)
+  (:meth:`FaultInjector.slow_at`);
+* **pause** — the replica stops processing newly dequeued requests for a
+  window while they age in its queue (GC pause, SIGSTOP, IO freeze)
+  (:meth:`FaultInjector.pause_at`).
+
+:meth:`FaultInjector.apply` takes the same faults as a JSON-native
+schedule — the form experiment E13 carries inside its sweep points, so
+fault scenarios are cacheable and reproducible like any other parameter.
 """
 
 from __future__ import annotations
@@ -16,24 +28,30 @@ from repro._errors import ConfigurationError
 from repro.services.deployment import Deployment
 from repro.services.instance import ServiceInstance
 
+#: Fault kinds accepted by :meth:`FaultInjector.apply`.
+FAULT_KINDS = ("kill", "slow", "pause")
+
 
 @dataclasses.dataclass
 class FaultEvent:
-    """One executed fault, for post-run inspection."""
+    """One executed fault transition, for post-run inspection."""
 
     time: float
-    kind: str  # "kill" | "restore"
+    kind: str  # "kill" | "restore" | "slow" | "recover" | "pause" | "resume"
     service: str
     instance_id: int
 
 
 class FaultInjector:
-    """Schedules replica kills/restores against a deployment."""
+    """Schedules replica faults against a deployment."""
 
     def __init__(self, deployment: Deployment):
         self.deployment = deployment
         self.events: list[FaultEvent] = []
 
+    # ------------------------------------------------------------------
+    # Crash faults
+    # ------------------------------------------------------------------
     def kill_at(self, time: float, service: str,
                 replica_index: int = 0,
                 restore_after: float | None = None) -> None:
@@ -44,9 +62,7 @@ class FaultInjector:
         Scheduling is validated lazily: the replica is resolved when the
         fault fires, so replicas created after scheduling count too.
         """
-        if time < self.deployment.sim.now:
-            raise ConfigurationError(
-                f"cannot schedule a fault in the past (t={time})")
+        self._check_schedule(time)
         if restore_after is not None and restore_after <= 0:
             raise ConfigurationError(
                 f"restore_after must be positive: {restore_after}")
@@ -60,30 +76,138 @@ class FaultInjector:
 
         self.deployment.sim.call_at(time, fire)
 
+    # ------------------------------------------------------------------
+    # Slow-replica faults (demand inflation)
+    # ------------------------------------------------------------------
+    def slow_at(self, time: float, service: str,
+                replica_index: int = 0,
+                factor: float = 4.0,
+                duration: float | None = None) -> None:
+        """Inflate one replica's CPU demand by ``factor`` at ``time``.
+
+        Every demand the replica's handlers submit is multiplied by
+        ``factor`` while the fault is active; with ``duration`` the
+        replica recovers (factor back to 1.0) that many seconds later,
+        otherwise it stays slow for the rest of the run.
+        """
+        self._check_schedule(time)
+        if factor <= 0:
+            raise ConfigurationError(
+                f"slow factor must be positive: {factor}")
+        if duration is not None and duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive: {duration}")
+
+        def fire() -> None:
+            instance = self._resolve(service, replica_index)
+            instance.demand_factor = factor
+            self._record("slow", instance)
+            if duration is not None:
+                def recover() -> None:
+                    instance.demand_factor = 1.0
+                    self._record("recover", instance)
+                self.deployment.sim.call_in(duration, recover)
+
+        self.deployment.sim.call_at(time, fire)
+
+    # ------------------------------------------------------------------
+    # Pause faults (temporary stalls)
+    # ------------------------------------------------------------------
+    def pause_at(self, time: float, service: str,
+                 replica_index: int = 0,
+                 duration: float = 0.5) -> None:
+        """Stall one replica's request processing for ``duration`` seconds.
+
+        Workers finish in-flight handlers but park before touching the
+        next dequeued request; queued requests age toward their
+        deadlines.  Processing resumes automatically when the window
+        ends.
+        """
+        self._check_schedule(time)
+        if duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive: {duration}")
+
+        def fire() -> None:
+            instance = self._resolve(service, replica_index)
+            resume = self.deployment.sim.event()
+            instance.pause(resume)
+            self._record("pause", instance)
+
+            def end() -> None:
+                instance.unpause()
+                resume.succeed()
+                self._record("resume", instance)
+
+            self.deployment.sim.call_in(duration, end)
+
+        self.deployment.sim.call_at(time, fire)
+
+    # ------------------------------------------------------------------
+    # Declarative schedules (JSON-native, sweep-friendly)
+    # ------------------------------------------------------------------
+    def apply(self, schedule: t.Sequence[t.Mapping[str, t.Any]]) -> None:
+        """Schedule every fault in a JSON-native ``schedule``.
+
+        Each entry is a mapping with ``kind`` (one of
+        :data:`FAULT_KINDS`), ``time``, ``service``, optional
+        ``replica`` (default 0), and the kind's own knobs:
+        ``restore_after`` (kill), ``factor``/``duration`` (slow),
+        ``duration`` (pause).
+        """
+        for fault in schedule:
+            kind = fault.get("kind")
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from "
+                    f"{FAULT_KINDS}")
+            time = float(fault["time"])
+            service = str(fault["service"])
+            replica = int(fault.get("replica", 0))
+            if kind == "kill":
+                self.kill_at(time, service, replica,
+                             restore_after=fault.get("restore_after"))
+            elif kind == "slow":
+                self.slow_at(time, service, replica,
+                             factor=float(fault.get("factor", 4.0)),
+                             duration=fault.get("duration"))
+            else:
+                self.pause_at(time, service, replica,
+                              duration=float(fault.get("duration", 0.5)))
+
+    # ------------------------------------------------------------------
+    # Internals and queries
+    # ------------------------------------------------------------------
+    def _check_schedule(self, time: float) -> None:
+        if time < self.deployment.sim.now:
+            raise ConfigurationError(
+                f"cannot schedule a fault in the past (t={time})")
+
     def _resolve(self, service: str, replica_index: int) -> ServiceInstance:
         instances = self.deployment.registry.instances_of(service)
         if not instances:
             raise ConfigurationError(
-                f"no replicas of {service!r} to kill")
+                f"no replicas of {service!r} to fault")
         if not 0 <= replica_index < len(instances):
             raise ConfigurationError(
                 f"{service!r} has {len(instances)} replicas; "
                 f"index {replica_index} is invalid")
         return instances[replica_index]
 
+    def _record(self, kind: str, instance: ServiceInstance) -> None:
+        self.events.append(FaultEvent(
+            self.deployment.sim.now, kind,
+            instance.spec.name, instance.instance_id))
+
     def _kill(self, instance: ServiceInstance) -> None:
         self.deployment.remove_instance(instance)
         instance.shutdown()
-        self.events.append(FaultEvent(
-            self.deployment.sim.now, "kill",
-            instance.spec.name, instance.instance_id))
+        self._record("kill", instance)
 
     def _restore(self, dead: ServiceInstance) -> None:
         replacement = self.deployment.add_instance(
             dead.spec, affinity=dead.affinity, home_node=dead.home_node)
-        self.events.append(FaultEvent(
-            self.deployment.sim.now, "restore",
-            replacement.spec.name, replacement.instance_id))
+        self._record("restore", replacement)
 
     def kills(self) -> list[FaultEvent]:
         """Executed kill events."""
@@ -92,3 +216,7 @@ class FaultInjector:
     def restores(self) -> list[FaultEvent]:
         """Executed restore events."""
         return [e for e in self.events if e.kind == "restore"]
+
+    def of_kind(self, kind: str) -> list[FaultEvent]:
+        """Executed events of one kind (``slow``, ``pause``, ...)."""
+        return [e for e in self.events if e.kind == kind]

@@ -75,7 +75,9 @@ class OpenLoopWorkload:
             except StopIteration:
                 return
             issued_at = sim.now
-            done = deployment.dispatch(service, endpoint, payload=payload)
+            # Clients sit outside the service fabric (see ClosedLoopWorkload).
+            done = deployment.dispatch(service, endpoint, payload=payload,
+                                       protected=False)
             self.in_flight += 1
             done.add_callback(
                 lambda event, t0=issued_at, tag=endpoint:

@@ -9,7 +9,12 @@ through canonical serialization instead.
 import concurrent.futures
 
 from repro.experiments import ExperimentSettings
-from repro.experiments import ablations, e1_platform, e2_load_scaling
+from repro.experiments import (
+    ablations,
+    e1_platform,
+    e2_load_scaling,
+    e13_fault_tolerance,
+)
 from repro.orchestrator.cache import ResultCache, canonical_json
 from repro.orchestrator.executor import execute_point
 
@@ -20,12 +25,20 @@ def tiny():
 
 
 def sample_points():
-    """One representative point each from three experiments."""
+    """One representative point each from four experiments.
+
+    The E13 point runs an *active* fault schedule (slow replica) under
+    the full resilience config — retries, jittered backoff, and breaker
+    transitions must all replay identically in a worker process.
+    """
     settings = tiny()
+    e13_points = {(p.param("scenario"), p.param("resilience")): p
+                  for p in e13_fault_tolerance.sweep_points(settings)}
     return [
         e1_platform.sweep_points(settings)[0],
         e2_load_scaling.sweep_points(settings, user_counts=[32])[0],
         ablations.a3_sweep_points(settings, smt_yields=(1.3,))[0],
+        e13_points[("slow", "full")],
     ]
 
 
@@ -61,3 +74,17 @@ def test_same_settings_same_plan():
     b = e2_load_scaling.sweep_points(tiny())
     assert [p.identity() for p in a] == [p.identity() for p in b]
     assert [p.label for p in a] == [p.label for p in b]
+
+
+def test_e13_run_equals_sweep_under_fault_schedules():
+    """``repro run e13`` and ``repro sweep e13 --jobs 2`` render the
+    same bytes: fault injection and the resilience layer stay inside the
+    per-point determinism contract."""
+    from repro.orchestrator import run_sweep
+
+    settings = ExperimentSettings.fast(preset="tiny", users=32,
+                                       warmup=0.1, duration=0.25)
+    sequential = e13_fault_tolerance.run(settings)
+    swept = run_sweep("e13", settings, jobs=2, cache=None).result
+    assert swept.render() == sequential.render()
+    assert swept.rows == sequential.rows

@@ -1,0 +1,502 @@
+"""Tests for the resilience layer: deadlines, retries, breakers,
+degradation — plus the load-balancer dead-replica regression and the E13
+experiment's acceptance shape."""
+
+import pytest
+
+from repro._errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceUnavailableError,
+)
+from repro._units import ms
+from repro.cpu import FlatFrequencyModel, SmtModel
+from repro.memory import WorkloadProfile
+from repro.metrics import ResilienceStats
+from repro.services import (
+    CircuitBreaker,
+    Deployment,
+    ResilienceConfig,
+    RetryPolicy,
+    ServiceSpec,
+)
+from repro.services.loadbalancer import LoadBalancer
+from repro.sim.rand import RandomStreams
+from repro.topology import tiny_machine
+from repro.workload import ClosedLoopWorkload, FaultInjector
+
+
+def echo_system(replicas=2, demand=ms(1.0), resilience=None, workers=2,
+                fallback=None):
+    deployment = Deployment(tiny_machine(), seed=0,
+                            smt_model=SmtModel(2.0),
+                            frequency_model=FlatFrequencyModel(),
+                            resilience=resilience)
+    deployment.rpc.hop_latency = 0.0
+    profile = WorkloadProfile("svc", 1024, 1024, 0.1, 0.1)
+    spec = ServiceSpec("svc", profile, workers=workers)
+
+    @spec.endpoint("op")
+    def op(ctx):
+        yield ctx.submit_demand(demand)
+        return "ok"
+
+    if fallback is not None:
+        spec.add_fallback("op", fallback)
+    for __ in range(replicas):
+        deployment.add_instance(spec)
+    return deployment
+
+
+def session(user_id):
+    while True:
+        yield ("svc", "op", None)
+
+
+def resilient_clients(deployment, n_clients, stop_at, gap=0.005):
+    """Protected-path callers (the workload edge is deliberately not)."""
+    outcomes = {"ok": 0, "err": 0}
+
+    def client():
+        sim = deployment.sim
+        while sim.now < stop_at:
+            done = deployment.dispatch("svc", "op")
+            try:
+                yield done
+                outcomes["ok"] += 1
+            except Exception:
+                outcomes["err"] += 1
+            yield sim.timeout(gap)
+
+    for __ in range(n_clients):
+        deployment.sim.process(client())
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Configuration objects
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(retries=-1)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(backoff_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(jitter=1.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(retry_budget=-0.1)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(breaker_failure_threshold=0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(breaker_recovery_time=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(breaker_half_open_max=0)
+
+
+def test_config_inert_by_default_and_active_per_knob():
+    assert not ResilienceConfig().active
+    assert ResilienceConfig(timeout=0.1).active
+    assert ResilienceConfig(retries=1).active
+    assert ResilienceConfig(breaker_enabled=True).active
+    assert ResilienceConfig(degradation=True).active
+
+
+def test_config_round_trips_through_dict():
+    config = ResilienceConfig(timeout=0.2, retries=3, breaker_enabled=True,
+                              jitter=0.05, degradation=True)
+    assert ResilienceConfig.from_dict(config.to_dict()) == config
+
+
+def test_inert_config_uses_plain_dispatch_path():
+    deployment = echo_system(resilience=ResilienceConfig())
+    assert deployment.resilience is None
+    done = deployment.dispatch("svc", "op")
+    deployment.run()
+    assert done.ok
+    assert deployment.resilience_stats.calls == 0  # plain path, no stats
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+def test_backoff_sequence_is_deterministic_and_capped():
+    config = ResilienceConfig(retries=5, backoff_base=0.010,
+                              backoff_factor=2.0, backoff_cap=0.035,
+                              jitter=0.1)
+    a = RetryPolicy(config, RandomStreams(7))
+    b = RetryPolicy(config, RandomStreams(7))
+    delays_a = [a.backoff("svc", i) for i in range(1, 6)]
+    delays_b = [b.backoff("svc", i) for i in range(1, 6)]
+    assert delays_a == delays_b  # same seed, same stream, same draws
+    for index, delay in enumerate(delays_a, start=1):
+        nominal = min(0.035, 0.010 * 2.0 ** (index - 1))
+        assert nominal * 0.9 <= delay <= nominal * 1.1
+    assert max(delays_a) <= 0.035 * 1.1
+
+
+def test_backoff_without_jitter_is_exact():
+    config = ResilienceConfig(retries=3, backoff_base=0.010,
+                              backoff_factor=2.0, jitter=0.0)
+    policy = RetryPolicy(config, RandomStreams(0))
+    assert [policy.backoff("svc", i) for i in (1, 2, 3)] == [
+        0.010, 0.020, 0.040]
+
+
+def test_retry_budget_gate():
+    config = ResilienceConfig(retries=10, retry_budget=0.2)
+    policy = RetryPolicy(config, RandomStreams(0))
+    stats = ResilienceStats(calls=10, retries=1)
+    assert policy.should_retry(1, stats)  # 2 <= 0.2 * 10
+    stats.retries = 2
+    assert not policy.should_retry(1, stats)  # 3 > 2
+    assert stats.budget_denied == 1
+    assert not policy.should_retry(11, stats)  # per-call cap, too
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine
+# ----------------------------------------------------------------------
+def test_breaker_trips_after_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3, recovery_time=1.0)
+    for __ in range(2):
+        breaker.record_failure(0.0)
+    assert breaker.available(0.0)
+    breaker.record_failure(0.0)
+    assert not breaker.available(0.5)
+    assert breaker.opened_count == 1
+
+
+def test_breaker_success_resets_failure_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure(0.0)
+    breaker.record_success(0.0)
+    breaker.record_failure(0.0)
+    assert breaker.available(0.0)  # streak was broken
+
+
+def test_breaker_half_open_probe_cycle():
+    breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0,
+                             half_open_max=1)
+    breaker.record_failure(0.0)  # trips open
+    assert not breaker.available(0.9)
+    assert breaker.available(1.0)  # half-open: one probe allowed
+    breaker.note_dispatch(1.0)
+    assert not breaker.available(1.0)  # probe slot taken
+    breaker.record_failure(1.1)  # probe failed: re-open, clock restarts
+    assert breaker.opened_count == 2
+    assert not breaker.available(2.0)
+    assert breaker.available(2.2)
+    breaker.note_dispatch(2.2)
+    breaker.record_success(2.3)  # probe succeeded: closed again
+    assert breaker.available(2.3)
+    assert breaker.opened_count == 2
+
+
+# ----------------------------------------------------------------------
+# Deadlines (gRPC semantics: one deadline spans all attempts)
+# ----------------------------------------------------------------------
+def test_timeout_fails_slow_call():
+    deployment = echo_system(
+        replicas=1, demand=ms(50.0),
+        resilience=ResilienceConfig(timeout=0.005))
+    done = deployment.dispatch("svc", "op")
+    done.defuse()
+    deployment.run()
+    assert not done.ok
+    assert isinstance(done.value, DeadlineExceededError)
+    stats = deployment.resilience_stats
+    assert stats.timeouts == 1
+    assert stats.errors == 1
+    assert stats.resolved() == stats.calls == 1
+
+
+def test_deadline_spans_attempts_not_each_attempt():
+    # A timed-out attempt burned the whole budget: no retry happens even
+    # though retries are configured.
+    deployment = echo_system(
+        replicas=2, demand=ms(50.0),
+        resilience=ResilienceConfig(timeout=0.005, retries=3,
+                                    retry_budget=10.0))
+    done = deployment.dispatch("svc", "op")
+    done.defuse()
+    start = deployment.sim.now
+    deployment.run()
+    stats = deployment.resilience_stats
+    assert stats.attempts == 1
+    assert stats.retries == 0
+    # ... and the caller saw the failure at the deadline, not at 4x it.
+    assert done.triggered
+
+
+def test_retry_recovers_after_replica_restore():
+    # Fast failures leave the deadline budget intact, so retries can
+    # bridge a kill/restore gap: attempts at t=0.1, 0.11, 0.13 against a
+    # replica restored at t=0.12.
+    deployment = echo_system(
+        replicas=1,
+        resilience=ResilienceConfig(timeout=1.0, retries=2,
+                                    backoff_base=0.010, jitter=0.0,
+                                    retry_budget=10.0))
+    injector = FaultInjector(deployment)
+    injector.kill_at(0.1, "svc", restore_after=0.02)
+    results = {}
+
+    def fire():
+        results["done"] = deployment.dispatch("svc", "op")
+
+    deployment.sim.call_at(0.1001, fire)
+    deployment.run()
+    assert results["done"].ok
+    stats = deployment.resilience_stats
+    assert stats.successes == 1
+    assert stats.retries >= 1
+    assert stats.failures >= 1
+
+
+def test_degradation_serves_fallback_when_all_replicas_dead():
+    deployment = echo_system(
+        replicas=1, fallback="static",
+        resilience=ResilienceConfig(timeout=0.05, retries=1,
+                                    degradation=True, retry_budget=10.0))
+    instance = deployment.registry.instances_of("svc")[0]
+    deployment.remove_instance(instance)
+    done = deployment.dispatch("svc", "op")
+    deployment.run()
+    assert done.ok
+    assert done.value == "static"
+    assert deployment.resilience_stats.degraded == 1
+    assert deployment.resilience_stats.errors == 0
+
+
+def test_error_when_exhausted_without_fallback():
+    deployment = echo_system(
+        replicas=1,
+        resilience=ResilienceConfig(timeout=0.05, retries=1,
+                                    degradation=True, retry_budget=10.0))
+    deployment.remove_instance(deployment.registry.instances_of("svc")[0])
+    done = deployment.dispatch("svc", "op")
+    done.defuse()
+    deployment.run()
+    assert not done.ok
+    assert deployment.resilience_stats.errors == 1
+
+
+def test_dispatch_unknown_service_raises_synchronously():
+    deployment = echo_system(resilience=ResilienceConfig(timeout=0.1))
+    with pytest.raises(ConfigurationError):
+        deployment.dispatch("nope", "op")
+
+
+def test_unprotected_dispatch_bypasses_resilience():
+    deployment = echo_system(
+        replicas=1, demand=ms(50.0),
+        resilience=ResilienceConfig(timeout=0.005))
+    done = deployment.dispatch("svc", "op", protected=False)
+    deployment.run()
+    assert done.ok  # no deadline was applied
+    assert deployment.resilience_stats.calls == 0
+
+
+# ----------------------------------------------------------------------
+# Breakers in the dispatch loop
+# ----------------------------------------------------------------------
+def test_breaker_ejects_slow_replica_and_recovers():
+    config = ResilienceConfig(timeout=0.02, retries=2, retry_budget=1.0,
+                              breaker_enabled=True,
+                              breaker_failure_threshold=2,
+                              breaker_recovery_time=0.1, jitter=0.0,
+                              backoff_base=0.001)
+    deployment = echo_system(replicas=2, demand=ms(2.0), resilience=config)
+    injector = FaultInjector(deployment)
+    injector.slow_at(0.2, "svc", replica_index=0, factor=100.0,
+                     duration=0.4)
+    outcomes = resilient_clients(deployment, n_clients=4, stop_at=1.4)
+    deployment.run(until=1.5)
+    slow, healthy = deployment.registry.instances_of("svc")
+    assert slow.breaker is not None and healthy.breaker is not None
+    assert slow.breaker.opened_count >= 1
+    assert healthy.breaker.opened_count == 0
+    # After recovery the slow replica serves again: probes re-closed it.
+    assert slow.breaker.available(deployment.sim.now)
+    assert outcomes["ok"] > 100
+    assert outcomes["err"] < outcomes["ok"] * 0.2
+
+
+def test_all_breakers_open_degrades_fast():
+    config = ResilienceConfig(timeout=0.05, retries=2, retry_budget=10.0,
+                              breaker_enabled=True,
+                              breaker_failure_threshold=1,
+                              breaker_recovery_time=10.0,
+                              backoff_base=0.001, jitter=0.0,
+                              degradation=True)
+    deployment = echo_system(replicas=1, demand=ms(1.0), resilience=config,
+                             fallback="static")
+    instance = deployment.registry.instances_of("svc")[0]
+    resume = deployment.sim.event()
+    instance.pause(resume)  # stall forever: every attempt times out
+
+    first = deployment.dispatch("svc", "op")
+    deployment.run()
+    # First call burned its deadline, tripped the breaker, degraded.
+    assert first.ok and first.value == "static"
+    assert instance.breaker.opened_count == 1
+    opened_at = deployment.sim.now
+
+    second = deployment.dispatch("svc", "op")
+    deployment.run()
+    # Second call never dispatched: fail-fast at the balancer, then
+    # degradation — resolved in backoff time, far under the deadline.
+    assert second.ok and second.value == "static"
+    assert deployment.resilience_stats.breaker_rejected >= 3
+    assert deployment.sim.now - opened_at < 0.01
+
+
+def test_pick_raises_service_unavailable_when_all_breakers_open():
+    config = ResilienceConfig(breaker_enabled=True, timeout=0.05,
+                              breaker_failure_threshold=1,
+                              breaker_recovery_time=5.0)
+    deployment = echo_system(replicas=2, resilience=config)
+    for instance in deployment.registry.instances_of("svc"):
+        instance.breaker.record_failure(0.0)
+    with pytest.raises(ServiceUnavailableError):
+        deployment.registry.lookup("svc", now=1.0)
+
+
+# ----------------------------------------------------------------------
+# Load balancer: dead-replica removal mid-rotation (regression)
+# ----------------------------------------------------------------------
+class _FakeInstance:
+    def __init__(self, instance_id):
+        self.instance_id = instance_id
+        self.accepting = True
+        self.breaker = None
+        self.outstanding = 0
+
+    def __repr__(self):
+        return f"<fake {self.instance_id}>"
+
+
+def test_remove_behind_cursor_keeps_rotation_successor():
+    balancer = LoadBalancer("svc")
+    a, b, c = (_FakeInstance(i) for i in range(3))
+    for instance in (a, b, c):
+        balancer.add(instance)
+    assert balancer.pick() is a  # cursor now points at b
+    balancer.remove(a)
+    # The rotation continues with a's successor, not back at index 0.
+    assert [balancer.pick() for __ in range(4)] == [b, c, b, c]
+
+
+def test_remove_ahead_of_cursor_does_not_skip():
+    balancer = LoadBalancer("svc")
+    a, b, c = (_FakeInstance(i) for i in range(3))
+    for instance in (a, b, c):
+        balancer.add(instance)
+    assert balancer.pick() is a
+    balancer.remove(c)  # ahead of the cursor
+    assert [balancer.pick() for __ in range(4)] == [b, a, b, a]
+
+
+def test_remove_at_cursor_position_picks_next_survivor():
+    balancer = LoadBalancer("svc")
+    a, b, c = (_FakeInstance(i) for i in range(3))
+    for instance in (a, b, c):
+        balancer.add(instance)
+    assert balancer.pick() is a
+    balancer.remove(b)  # exactly where the cursor points
+    assert [balancer.pick() for __ in range(4)] == [c, a, c, a]
+
+
+def test_kill_during_pick_heavy_window_never_routes_to_dead_replica():
+    deployment = echo_system(replicas=3)
+    injector = FaultInjector(deployment)
+    victim = deployment.registry.instances_of("svc")[1]
+    injector.kill_at(0.5, "svc", replica_index=1)
+    workload = ClosedLoopWorkload(deployment, session,
+                                  n_users=8, think_time=0.001)
+    workload.start()
+    deployment.run(until=0.6)
+    rejected_at_kill = victim.rejected
+    completed_at_kill = victim.completed + victim.outstanding
+    deployment.run(until=1.5)
+    # Nothing new ever reached the dead replica after deregistration.
+    assert victim.rejected == rejected_at_kill
+    assert victim.completed <= completed_at_kill
+    survivors = deployment.registry.instances_of("svc")
+    assert len(survivors) == 2
+    assert all(s.completed > 100 for s in survivors)
+
+
+# ----------------------------------------------------------------------
+# Instance-side deadline enforcement
+# ----------------------------------------------------------------------
+def test_queued_work_past_deadline_is_dropped_not_executed():
+    # One worker, deep queue: queued requests outlive the deadline and
+    # must be dropped at dequeue instead of burning CPU.
+    deployment = echo_system(
+        replicas=1, workers=1, demand=ms(20.0),
+        resilience=ResilienceConfig(timeout=0.03))
+    events = [deployment.dispatch("svc", "op") for __ in range(6)]
+    for event in events:
+        event.defuse()
+    deployment.run()
+    instance = deployment.registry.instances_of("svc")[0]
+    assert instance.expired >= 3
+    assert instance.completed <= 2
+    stats = deployment.resilience_stats
+    assert stats.resolved() == stats.calls == 6
+
+
+# ----------------------------------------------------------------------
+# E13: the experiment's acceptance shape at test scale
+# ----------------------------------------------------------------------
+def test_e13_full_resilience_beats_none_under_slow_fault():
+    from repro.experiments import e13_fault_tolerance as e13
+    from repro.experiments.common import ExperimentSettings
+
+    settings = ExperimentSettings.fast(preset="tiny", users=64,
+                                       warmup=0.3, duration=1.2)
+    points = {(p.param("scenario"), p.param("resilience")): p
+              for p in e13.sweep_points(settings)}
+    unprotected = e13.run_sweep_point(points[("slow", "none")])
+    protected = e13.run_sweep_point(points[("slow", "full")])
+    assert protected["p99_ms"] < unprotected["p99_ms"]
+    assert protected["breaker_opens"] >= 1
+    assert protected["retry_amplification"] <= 1.25 + 1e-9
+
+
+def test_report_includes_fault_tolerance_digest():
+    from repro.experiments.common import ExperimentResult
+    from repro.report import build_report
+
+    rows = []
+    for scenario, p99s in (("healthy", (100.0, 100.0, 100.0)),
+                           ("slow", (600.0, 300.0, 250.0))):
+        for mode, p99 in zip(("none", "timeout", "full"), p99s):
+            rows.append({"scenario": scenario, "resilience": mode,
+                         "throughput_rps": 1000.0, "p99_ms": p99,
+                         "error_rate_pct": 1.0, "degraded": 3,
+                         "retry_amp": 1.1, "breaker_opens": 2})
+    result = ExperimentResult("E13", "Fault tolerance", rows)
+    report = build_report([result])
+    assert "## Fault-tolerance digest" in report
+    assert "| slow | 600.0 | 250.0 | +58.3% |" in report
+
+
+def test_e13_schedules_and_configs_are_json_native():
+    import json
+
+    from repro.experiments import e13_fault_tolerance as e13
+    from repro.experiments.common import ExperimentSettings
+
+    settings = ExperimentSettings.fast()
+    for scenario in e13.SCENARIOS:
+        json.dumps(e13.fault_schedule(scenario, settings))
+    for point in e13.sweep_points(settings):
+        json.dumps(point.identity())
+    with pytest.raises(ValueError):
+        e13.fault_schedule("nope", settings)
+    with pytest.raises(ValueError):
+        e13.resilience_config("nope")
