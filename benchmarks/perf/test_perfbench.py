@@ -1,0 +1,98 @@
+"""Unit tests for the wall-clock perf harness (artifact + gate logic)."""
+
+import json
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.orchestrator import perfbench
+
+
+def _result(name, wall, repeats=None, points=1):
+    return perfbench.SliceResult(
+        name, wall, tuple(repeats or (wall,)), points)
+
+
+class TestTrajectoryArtifact:
+
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        entry1 = perfbench.trajectory_entry(
+            [_result("e8", 2.0)], "smoke", label="first")
+        perfbench.append_trajectory(path, entry1)
+        entry2 = perfbench.trajectory_entry(
+            [_result("e8", 1.0)], "smoke", label="second")
+        payload = perfbench.append_trajectory(path, entry2)
+        assert payload["artifact"] == "repro-perf-bench"
+        labels = [e["label"] for e in payload["trajectory"]]
+        assert labels == ["first", "second"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+
+    def test_append_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"artifact": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            perfbench.append_trajectory(
+                path, perfbench.trajectory_entry([], "smoke"))
+
+    def test_baseline_entry_picks_newest_matching_mode(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        for label, mode in (("a", "smoke"), ("b", "full"), ("c", "smoke")):
+            perfbench.append_trajectory(path, perfbench.trajectory_entry(
+                [_result("e8", 1.0)], mode, label=label))
+        assert perfbench.baseline_entry(path, "smoke")["label"] == "c"
+        assert perfbench.baseline_entry(path, "full")["label"] == "b"
+        with pytest.raises(ConfigurationError):
+            perfbench.baseline_entry(path, "nightly")
+
+
+class TestRegressionGate:
+
+    BASELINE = {"slices": {"e8": {"wall_seconds": 4.0}}}
+
+    def test_within_threshold_passes(self):
+        assert perfbench.check_against_baseline(
+            [_result("e8", 4.9)], self.BASELINE, threshold=0.25) == []
+
+    def test_regression_fails(self):
+        failures = perfbench.check_against_baseline(
+            [_result("e8", 5.5)], self.BASELINE, threshold=0.25)
+        assert len(failures) == 1
+        assert "e8" in failures[0]
+
+    def test_new_slice_does_not_fail_gate(self):
+        assert perfbench.check_against_baseline(
+            [_result("brand-new", 100.0)], self.BASELINE) == []
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            perfbench.check_against_baseline([], self.BASELINE, threshold=0)
+
+
+class TestSlices:
+
+    def test_unknown_mode_and_slice_raise(self):
+        with pytest.raises(ConfigurationError):
+            perfbench.run_perfbench("nightly")
+        with pytest.raises(ConfigurationError):
+            perfbench.slice_points("smoke", "e99")
+
+    def test_every_declared_slice_resolves_to_plan_points(self):
+        for mode in ("smoke", "full"):
+            for name in ("e2", "e8", "e13"):
+                points = perfbench.slice_points(mode, name)
+                assert points, (mode, name)
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            perfbench.time_slice("smoke", "e2", repeat=0)
+
+    def test_real_micro_slice_times_and_checks(self):
+        results = perfbench.run_perfbench("smoke", slices=["e13"], repeat=1)
+        [result] = results
+        assert result.name == "e13"
+        assert result.wall_seconds > 0
+        assert result.repeats == (result.wall_seconds,)
+        entry = perfbench.trajectory_entry(results, "smoke", label="test")
+        assert perfbench.check_against_baseline(results, entry) == []

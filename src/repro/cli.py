@@ -124,6 +124,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sweep-perf artifact ('' disables)")
     sweep.add_argument("--markdown", metavar="FILE", default=None,
                        help="also write a markdown report to FILE")
+
+    perfbench = subparsers.add_parser(
+        "perfbench",
+        help="time canonical E2/E8/E13 slices and append to the "
+             "wall-clock perf trajectory")
+    perfbench.add_argument("--mode", default="smoke",
+                           choices=("smoke", "full"),
+                           help="smoke: seconds-scale CI slices; "
+                                "full: fast-profile experiment scale")
+    perfbench.add_argument("--slice", action="append", default=None,
+                           dest="slices", metavar="NAME",
+                           help="limit to one slice (repeatable); "
+                                "default: all")
+    perfbench.add_argument("--repeat", type=int, default=None,
+                           help="repeats per slice (default: 2 smoke, "
+                                "3 full; min is reported)")
+    perfbench.add_argument("--out", metavar="FILE",
+                           default="BENCH_perf.json",
+                           help="trajectory artifact to append to "
+                                "('' disables writing)")
+    perfbench.add_argument("--label", default=None,
+                           help="label for the trajectory entry")
+    perfbench.add_argument("--check", metavar="FILE", default=None,
+                           help="compare against the newest same-mode "
+                                "entry in FILE; exit 1 on regression")
+    perfbench.add_argument("--threshold", type=float, default=None,
+                           help="allowed slowdown fraction for --check "
+                                "(default 0.25)")
     return parser
 
 
@@ -165,6 +193,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweeps(args)
+
+    if args.command == "perfbench":
+        return _run_perfbench(args)
 
     experiment_ids = (sorted(EXPERIMENTS) if args.experiment == "all"
                       else [args.experiment])
@@ -250,6 +281,33 @@ def _run_sweeps(args: argparse.Namespace) -> int:
         with open(args.markdown, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def _run_perfbench(args: argparse.Namespace) -> int:
+    """The ``repro perfbench`` verb: wall-clock trajectory + gate."""
+    from repro.orchestrator import perfbench
+
+    results = perfbench.run_perfbench(
+        args.mode, slices=args.slices, repeat=args.repeat,
+        progress=print)
+    if args.out:
+        entry = perfbench.trajectory_entry(results, args.mode,
+                                           label=args.label)
+        perfbench.append_trajectory(args.out, entry)
+        print(f"perf trajectory appended to {args.out}")
+    if args.check is not None:
+        baseline = perfbench.baseline_entry(args.check, args.mode)
+        threshold = (args.threshold if args.threshold is not None
+                     else perfbench.DEFAULT_THRESHOLD)
+        failures = perfbench.check_against_baseline(results, baseline,
+                                                    threshold)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"perf gate passed (threshold {threshold:.0%} vs "
+              f"{args.check})")
     return 0
 
 

@@ -27,6 +27,7 @@ while keeping event counts tractable (see DESIGN.md).
 from __future__ import annotations
 
 import collections
+import functools
 import typing as t
 
 from repro._errors import SchedulingError
@@ -93,24 +94,60 @@ class CpuScheduler:
         self.bursts_dispatched = 0
         self.bursts_stolen = 0
 
+        # Hot-path caches.  Topology is immutable for the scheduler's
+        # lifetime, both rate models are pure functions of their
+        # arguments, and a group's affinity never changes after
+        # construction — so all of these are plain memoization, not
+        # behavioral state.
+        self._cpus = list(machine.cpus)
+        self._sibling_index: list[int | None] = [
+            (sibling.index if (sibling := machine.sibling(i)) is not None
+             else None)
+            for i in range(n)]
+        self._core_index = [machine.cpu(i).core.index for i in range(n)]
+        self._ccx_index = [machine.cpu(i).core.ccx.index for i in range(n)]
+        self._complete_callbacks = [functools.partial(self._complete, i)
+                                    for i in range(n)]
+        self._freq_factor = [
+            self.frequency_model.factor(active, self.total_cores)
+            for active in range(self.total_cores + 1)]
+        self._smt_factor = (self.smt_model.factor(False),
+                            self.smt_model.factor(True))
+        #: group → sorted tuple of online CPUs in its affinity mask.
+        self._allowed_cache: dict[object, tuple[int, ...]] = {}
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def submit(self, burst: CpuBurst) -> None:
         """Make a burst runnable; its ``done`` event fires on completion."""
-        allowed = burst.group.affinity & self.online
-        if not allowed:
-            raise SchedulingError(
-                f"burst of {burst.group.name!r} has no online CPU in its "
-                f"affinity {burst.group.affinity!r}")
+        allowed = self._allowed_for(burst.group)
         burst.submitted_at = self.sim.now
         cpu_index = self._pick_idle_cpu(burst, allowed)
         if cpu_index is not None:
             self._start(cpu_index, burst)
             return
-        target = min(allowed, key=lambda i: (len(self._queues[i]), i))
-        self._queues[target].append(burst)
+        queues = self._queues
+        target = allowed[0]
+        shortest = len(queues[target])
+        for i in allowed[1:]:
+            depth = len(queues[i])
+            if depth < shortest:
+                shortest = depth
+                target = i
+        queues[target].append(burst)
         self._nonempty_queues.add(target)
+
+    def _allowed_for(self, group) -> tuple[int, ...]:
+        allowed = self._allowed_cache.get(group)
+        if allowed is None:
+            allowed = tuple((group.affinity & self.online).ids)
+            if not allowed:
+                raise SchedulingError(
+                    f"burst of {group.name!r} has no online CPU in its "
+                    f"affinity {group.affinity!r}")
+            self._allowed_cache[group] = allowed
+        return allowed
 
     def busy_time(self, cpu_index: int) -> float:
         """Accumulated busy wall-clock time of one logical CPU."""
@@ -135,39 +172,44 @@ class CpuScheduler:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def _pick_idle_cpu(self, burst: CpuBurst, allowed: CpuSet) -> int | None:
-        candidates = [i for i in allowed if i in self._idle]
-        if not candidates:
-            return None
+    def _pick_idle_cpu(self, burst: CpuBurst,
+                       allowed: tuple[int, ...]) -> int | None:
+        # Lower score is better: prefer whole idle cores, then cache
+        # locality, then low ids (deterministic).  ``allowed`` ascends,
+        # so the first perfect score is the global minimum.
+        idle = self._idle
+        running = self._running
+        siblings = self._sibling_index
+        ccxs = self._ccx_index
         last_ccx = burst.group.last_ccx
-        machine = self.machine
-
-        def score(cpu_index: int) -> tuple[int, int, int]:
-            cpu = machine.cpu(cpu_index)
-            sibling = machine.sibling(cpu_index)
-            whole_core_idle = (sibling is None
-                               or self._running[sibling.index] is None)
-            in_last_ccx = last_ccx is not None and cpu.ccx.index == last_ccx
-            # Lower is better: prefer whole idle cores, then cache locality,
-            # then low ids (deterministic).
-            return (0 if whole_core_idle else 1,
-                    0 if in_last_ccx else 1,
-                    cpu_index)
-
-        return min(candidates, key=score)
+        best = None
+        best_score = (2, 2)
+        for cpu_index in allowed:
+            if cpu_index not in idle:
+                continue
+            sibling = siblings[cpu_index]
+            whole = 0 if sibling is None or running[sibling] is None else 1
+            local = 0 if last_ccx is not None \
+                and ccxs[cpu_index] == last_ccx else 1
+            score = (whole, local)
+            if score < best_score:
+                best = cpu_index
+                best_score = score
+                if score == (0, 0):
+                    break
+        return best
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _rate(self, burst: CpuBurst, cpu_index: int) -> float:
-        cpu = self.machine.cpu(cpu_index)
-        sibling = self.machine.sibling(cpu_index)
+        sibling = self._sibling_index[cpu_index]
         sibling_busy = (sibling is not None
-                        and self._running[sibling.index] is not None)
-        rate = (self.frequency_model.factor(self.active_cores,
-                                            self.total_cores)
-                * self.smt_model.factor(sibling_busy)
-                / max(1.0, self.perf_model.cpi_inflation(burst, cpu)))
+                        and self._running[sibling] is not None)
+        rate = (self._freq_factor[self.active_cores]
+                * self._smt_factor[sibling_busy]
+                / max(1.0, self.perf_model.cpi_inflation(
+                    burst, self._cpus[cpu_index])))
         return max(rate, _MIN_RATE)
 
     def _start(self, cpu_index: int, burst: CpuBurst) -> None:
@@ -175,14 +217,14 @@ class CpuScheduler:
         burst.started_at = now
         burst.cpu_index = cpu_index
         self._idle.discard(cpu_index)
-        core = self.machine.cpu(cpu_index).core.index
+        core = self._core_index[cpu_index]
         self._busy_threads_per_core[core] += 1
         if self._busy_threads_per_core[core] == 1:
             self.active_cores += 1
-        self.perf_model.on_burst_start(burst, self.machine.cpu(cpu_index))
+        self.perf_model.on_burst_start(burst, self._cpus[cpu_index])
         rate = self._rate(burst, cpu_index)
         delay = burst.demand / rate
-        handle = self.sim.call_in(delay, lambda: self._complete(cpu_index))
+        handle = self.sim.call_in(delay, self._complete_callbacks[cpu_index])
         self._running[cpu_index] = _Running(burst, rate, now, handle)
         self.bursts_dispatched += 1
         self._re_rate_sibling(cpu_index)
@@ -194,19 +236,19 @@ class CpuScheduler:
         burst = running.burst
         self._busy_time[cpu_index] += now - running.segment_start
         self._running[cpu_index] = None
-        core_obj = self.machine.cpu(cpu_index).core
-        self._busy_threads_per_core[core_obj.index] -= 1
-        if self._busy_threads_per_core[core_obj.index] == 0:
+        core = self._core_index[cpu_index]
+        self._busy_threads_per_core[core] -= 1
+        if self._busy_threads_per_core[core] == 0:
             self.active_cores -= 1
 
         burst.finished_at = now
         burst.wall_time = now - t.cast(float, burst.started_at)
         group = burst.group
         group.cpu_time += burst.wall_time
-        group.last_ccx = core_obj.ccx.index
+        group.last_ccx = self._ccx_index[cpu_index]
         group.bursts_completed += 1
         self.perf_model.on_burst_complete(
-            burst, self.machine.cpu(cpu_index), burst.wall_time)
+            burst, self._cpus[cpu_index], burst.wall_time)
 
         self._re_rate_sibling(cpu_index)
         self._dispatch_next(cpu_index)
@@ -229,36 +271,58 @@ class CpuScheduler:
 
     def _steal_for(self, cpu_index: int) -> CpuBurst | None:
         """Pull the oldest eligible burst from the most loaded queue."""
-        if not self._nonempty_queues:
+        nonempty = self._nonempty_queues
+        if not nonempty:
             return None
-        for victim in sorted(self._nonempty_queues,
-                             key=lambda v: (-len(self._queues[v]), v)):
-            queue = self._queues[victim]
-            for position, burst in enumerate(queue):
-                if cpu_index in burst.group.affinity:
-                    del queue[position]
-                    if not queue:
-                        self._nonempty_queues.discard(victim)
-                    return burst
+        queues = self._queues
+        # The deepest queue (lowest id on ties) almost always yields an
+        # eligible burst, so pick it with one linear pass and only sort
+        # the full victim order if that first choice comes up empty.
+        best = -1
+        best_depth = 0
+        for v in nonempty:
+            depth = len(queues[v])
+            if depth > best_depth or (depth == best_depth and v < best):
+                best = v
+                best_depth = depth
+        stolen = self._steal_from(best, cpu_index)
+        if stolen is not None or len(nonempty) == 1:
+            return stolen
+        for __, victim in sorted((-len(queues[v]), v) for v in nonempty):
+            if victim == best:
+                continue
+            stolen = self._steal_from(victim, cpu_index)
+            if stolen is not None:
+                return stolen
+        return None
+
+    def _steal_from(self, victim: int, cpu_index: int) -> CpuBurst | None:
+        queue = self._queues[victim]
+        for position, burst in enumerate(queue):
+            if cpu_index in burst.group.affinity:
+                del queue[position]
+                if not queue:
+                    self._nonempty_queues.discard(victim)
+                return burst
         return None
 
     def _re_rate_sibling(self, cpu_index: int) -> None:
-        sibling = self.machine.sibling(cpu_index)
+        sibling = self._sibling_index[cpu_index]
         if sibling is None:
             return
-        running = self._running[sibling.index]
+        running = self._running[sibling]
         if running is None:
             return
         now = self.sim.now
         executed = (now - running.segment_start) * running.rate
         running.remaining = max(0.0, running.remaining - executed)
-        self._busy_time[sibling.index] += now - running.segment_start
+        self._busy_time[sibling] += now - running.segment_start
         running.segment_start = now
         running.handle.cancel()
-        running.rate = self._rate(running.burst, sibling.index)
+        running.rate = self._rate(running.burst, sibling)
         delay = running.remaining / running.rate
         running.handle = self.sim.call_in(
-            delay, lambda: self._complete(sibling.index))
+            delay, self._complete_callbacks[sibling])
 
     def __repr__(self) -> str:
         busy = sum(1 for r in self._running if r is not None)

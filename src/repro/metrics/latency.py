@@ -6,6 +6,12 @@ import numpy as np
 
 from repro._errors import AnalysisError
 
+#: Magnitude below which a negative sample is treated as floating-point
+#: noise rather than a genuinely negative latency.  Subtracting two
+#: near-equal clock values can produce ``-1e-18``-scale artifacts; a
+#: nanosecond is far below anything the simulation resolves.
+NEGATIVE_EPSILON = 1e-9
+
 
 class LatencyRecorder:
     """Collects latency samples, optionally tagged by request type.
@@ -24,7 +30,13 @@ class LatencyRecorder:
         if not self.enabled:
             return
         if latency < 0:
-            raise AnalysisError(f"negative latency sample: {latency}")
+            if latency > -NEGATIVE_EPSILON:
+                # Float subtraction of near-equal clocks; clamp to zero
+                # instead of killing a multi-hour sweep at the last
+                # reduction.
+                latency = 0.0
+            else:
+                raise AnalysisError(f"negative latency sample: {latency}")
         self._samples.append(latency)
         if tag is not None:
             self._by_tag.setdefault(tag, []).append(latency)

@@ -1,0 +1,220 @@
+"""The ``BENCH_perf.json`` artifact: a wall-clock perf trajectory.
+
+``repro perfbench`` times canonical E2/E8/E13 slices — each slice is a
+fixed list of sweep points executed sequentially through the same
+:func:`~repro.orchestrator.executor.execute_point` path the sweeps use —
+and appends one trajectory entry per invocation, so the repository keeps
+a wall-clock history of the simulator's speed alongside the sweep
+telemetry in ``BENCH_sweep.json``.
+
+Two modes:
+
+* ``full`` — fast-profile experiment scale; the numbers the ≥1.8×
+  optimization target is stated against.
+* ``smoke`` — golden-digest scale (seconds total); what CI runs on
+  every push, gated by :func:`check_against_baseline`.
+
+Each slice is repeated and the **minimum** wall time is reported: the
+minimum is the least noisy location statistic for wall-clock timing
+(anything above it is scheduler/cache interference, never the code
+being faster than it is).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import platform
+import time
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.experiments.common import ExperimentSettings
+from repro.orchestrator import plan as plan_mod
+from repro.orchestrator.executor import execute_point
+
+#: Artifact schema version; bump on layout changes.
+PERF_BENCH_VERSION = 1
+
+#: Default regression gate: fail when a slice is >25% slower than the
+#: committed baseline.
+DEFAULT_THRESHOLD = 0.25
+
+#: Slice name → (experiment id, point labels to time, settings factory).
+#: Labels select from the experiment's sweep plan; timing goes through
+#: ``execute_point`` so the measured path is exactly the sweep path.
+SliceSpec = tuple[str, tuple[str, ...], t.Callable[[], ExperimentSettings]]
+
+_SLICES: dict[str, dict[str, SliceSpec]] = {
+    "full": {
+        "e2": ("e2", ("users=200", "users=400"),
+               lambda: ExperimentSettings.fast(seed=1)),
+        "e8": ("e8", ("tuned-baseline", "optimized"),
+               lambda: ExperimentSettings.fast(seed=1)),
+        "e13": ("e13", ("slow/full",),
+                lambda: ExperimentSettings.fast(seed=1)),
+    },
+    "smoke": {
+        "e2": ("e2", ("users=50",),
+               lambda: ExperimentSettings.fast(
+                   preset="tiny", users=48, warmup=0.1, duration=0.3,
+                   seed=1)),
+        "e8": ("e8", ("tuned-baseline",),
+               lambda: ExperimentSettings.fast(
+                   preset="medium", users=64, warmup=0.1, duration=0.3,
+                   seed=1)),
+        "e13": ("e13", ("slow/full",),
+                lambda: ExperimentSettings.fast(
+                    preset="tiny", users=32, warmup=0.1, duration=0.25,
+                    seed=1)),
+    },
+}
+
+#: Repeats per slice, by mode.
+_REPEATS = {"full": 3, "smoke": 2}
+
+
+@dataclasses.dataclass(frozen=True)
+class SliceResult:
+    """Wall-clock timing of one slice."""
+
+    name: str
+    wall_seconds: float          # min over repeats
+    repeats: tuple[float, ...]   # every repeat, in order
+    points: int
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "repeats": list(self.repeats),
+            "points": self.points,
+        }
+
+
+def slice_points(mode: str, name: str) -> list[plan_mod.SweepPoint]:
+    """Resolve one slice's sweep points from its experiment's plan."""
+    try:
+        experiment, labels, settings_factory = _SLICES[mode][name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown perf slice {mode}/{name}; known: "
+            f"{ {m: sorted(s) for m, s in _SLICES.items()} }") from None
+    settings = settings_factory()
+    by_label = {point.label: point
+                for point in plan_mod.plan_sweep(experiment, settings)}
+    missing = [label for label in labels if label not in by_label]
+    if missing:
+        raise ConfigurationError(
+            f"perf slice {name!r}: labels {missing} not in the "
+            f"{experiment} plan ({sorted(by_label)})")
+    return [by_label[label] for label in labels]
+
+
+def time_slice(mode: str, name: str,
+               repeat: int | None = None) -> SliceResult:
+    """Execute one slice ``repeat`` times and keep every wall time."""
+    points = slice_points(mode, name)
+    repeat = repeat if repeat is not None else _REPEATS[mode]
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1: {repeat}")
+    walls = []
+    for __ in range(repeat):
+        started = time.perf_counter()
+        for point in points:
+            execute_point(point)
+        walls.append(time.perf_counter() - started)
+    return SliceResult(name, min(walls), tuple(walls), len(points))
+
+
+def run_perfbench(mode: str = "smoke",
+                  slices: t.Sequence[str] | None = None,
+                  repeat: int | None = None,
+                  progress: t.Callable[[str], None] | None = None
+                  ) -> list[SliceResult]:
+    """Time every requested slice (default: all three)."""
+    if mode not in _SLICES:
+        raise ConfigurationError(
+            f"unknown perfbench mode {mode!r}; choose from "
+            f"{sorted(_SLICES)}")
+    names = list(slices) if slices is not None else sorted(_SLICES[mode])
+    results = []
+    for name in names:
+        result = time_slice(mode, name, repeat=repeat)
+        results.append(result)
+        if progress is not None:
+            progress(f"slice {name}: {result.wall_seconds:.2f}s "
+                     f"(min of {len(result.repeats)})")
+    return results
+
+
+def trajectory_entry(results: t.Sequence[SliceResult], mode: str,
+                     label: str | None = None) -> dict[str, t.Any]:
+    """One trajectory entry as a JSON-native dict."""
+    return {
+        "label": label or "",
+        "mode": mode,
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "slices": {result.name: result.to_dict() for result in results},
+    }
+
+
+def append_trajectory(path: str | pathlib.Path,
+                      entry: dict[str, t.Any]) -> dict[str, t.Any]:
+    """Append ``entry`` to the artifact at ``path`` (created if absent)."""
+    target = pathlib.Path(path)
+    if target.exists():
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        if payload.get("artifact") != "repro-perf-bench":
+            raise ConfigurationError(
+                f"{target} exists but is not a repro-perf-bench artifact")
+    else:
+        payload = {"artifact": "repro-perf-bench",
+                   "version": PERF_BENCH_VERSION,
+                   "trajectory": []}
+    payload["trajectory"].append(entry)
+    if target.parent != pathlib.Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    return payload
+
+
+def baseline_entry(path: str | pathlib.Path,
+                   mode: str) -> dict[str, t.Any]:
+    """The newest trajectory entry of ``mode`` in a committed artifact."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    entries = [entry for entry in payload.get("trajectory", [])
+               if entry.get("mode") == mode]
+    if not entries:
+        raise ConfigurationError(
+            f"{path} has no trajectory entry for mode {mode!r}")
+    return entries[-1]
+
+
+def check_against_baseline(results: t.Sequence[SliceResult],
+                           baseline: dict[str, t.Any],
+                           threshold: float = DEFAULT_THRESHOLD
+                           ) -> list[str]:
+    """Regression report: one line per slice, raising strings for fails.
+
+    Returns the list of failure messages (empty = gate passes).  A slice
+    missing from the baseline is skipped — new slices must not fail the
+    gate on their first appearance.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be positive: {threshold}")
+    failures = []
+    baseline_slices = baseline.get("slices", {})
+    for result in results:
+        reference = baseline_slices.get(result.name)
+        if reference is None:
+            continue
+        allowed = reference["wall_seconds"] * (1.0 + threshold)
+        if result.wall_seconds > allowed:
+            failures.append(
+                f"slice {result.name}: {result.wall_seconds:.2f}s exceeds "
+                f"baseline {reference['wall_seconds']:.2f}s by more than "
+                f"{threshold:.0%}")
+    return failures

@@ -32,6 +32,11 @@ class ServiceInstance:
     pinned Tomcat container.
     """
 
+    __slots__ = ("deployment", "spec", "instance_id", "local_id", "group",
+                 "queue", "shared", "outstanding", "completed", "rejected",
+                 "failed", "expired", "accepting", "breaker",
+                 "demand_factor", "_pause", "_workers")
+
     def __init__(self, deployment: "Deployment", spec: ServiceSpec,
                  affinity: CpuSet, home_node: int, local_id: int = 0):
         self.deployment = deployment

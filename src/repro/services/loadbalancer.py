@@ -76,22 +76,45 @@ class LoadBalancer:
         the pick still returns a dead replica: shedding there preserves
         the caller-visible rejection rather than masking a total outage.
         """
-        if not self._instances:
+        instances = self._instances
+        if not instances:
             raise ConfigurationError(
                 f"service {self.service_name!r} has no instances")
-        candidates = [i for i in self._instances
-                      if i.accepting and (i.breaker is None
-                                          or i.breaker.available(now))]
-        if not candidates:
-            if any(i.accepting for i in self._instances):
+        if self.policy == "round_robin":
+            # Rotation is anchored to the *stable* registration order:
+            # the cursor is a position in ``_instances``, and the pick
+            # scans forward past non-candidates.  Indexing a filtered
+            # candidate list instead would let a tripped breaker change
+            # the cursor's meaning and skew which survivors absorb the
+            # traffic.
+            n = len(instances)
+            start = self._next
+            for offset in range(n):
+                position = (start + offset) % n
+                instance = instances[position]
+                if instance.accepting and (
+                        instance.breaker is None
+                        or instance.breaker.available(now)):
+                    self._next = (position + 1) % n
+                    return instance
+            if any(i.accepting for i in instances):
                 raise ServiceUnavailableError(
                     f"service {self.service_name!r}: every replica's "
                     f"circuit breaker is open")
-            candidates = self._instances
-        if self.policy == "round_robin":
-            instance = candidates[self._next % len(candidates)]
-            self._next += 1
-            return instance
+            # Total outage: keep rotating over the dead set so shedding
+            # preserves the caller-visible rejection.
+            position = start % n
+            self._next = (position + 1) % n
+            return instances[position]
+        candidates = [i for i in instances
+                      if i.accepting and (i.breaker is None
+                                          or i.breaker.available(now))]
+        if not candidates:
+            if any(i.accepting for i in instances):
+                raise ServiceUnavailableError(
+                    f"service {self.service_name!r}: every replica's "
+                    f"circuit breaker is open")
+            candidates = instances
         # least_outstanding: fewest requests in flight; ties to the
         # lowest-index replica for determinism.
         return min(candidates, key=lambda i: (i.outstanding, i.instance_id))

@@ -8,6 +8,7 @@ each pay one hop.
 
 from __future__ import annotations
 
+import functools
 import typing as t
 
 from repro._errors import ConfigurationError, DeadlineExceededError
@@ -46,8 +47,9 @@ class RpcFabric:
         if self.hop_latency == 0:
             self._arrive(request, instance)
         else:
-            self.sim.call_in(self.hop_latency,
-                             lambda: self._arrive(request, instance))
+            self.sim.call_in(
+                self.hop_latency,
+                functools.partial(self._arrive, request, instance))
 
     def _arrive(self, request: "Request",
                 instance: "ServiceInstance") -> None:
@@ -66,7 +68,7 @@ class RpcFabric:
             done.succeed(response)
         else:
             self.sim.call_in(self.hop_latency,
-                             lambda: done.succeed(response))
+                             functools.partial(done.succeed, response))
 
     def respond_failure(self, done: Event, exc: Exception) -> None:
         """Propagate a handler failure to the caller after the return hop."""
@@ -74,4 +76,5 @@ class RpcFabric:
         if self.hop_latency == 0:
             done.fail(exc)
         else:
-            self.sim.call_in(self.hop_latency, lambda: done.fail(exc))
+            self.sim.call_in(self.hop_latency,
+                             functools.partial(done.fail, exc))

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import collections
 import heapq
 import typing as t
 
 from repro._errors import SimulationError
 from repro.sim.events import Event, Interrupt, Timeout
+
+#: Tombstone-compaction floor: below this many cancelled entries the heap
+#: is left alone (re-heapifying a small heap costs more than carrying the
+#: tombstones to their natural pops).
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class Handle:
@@ -14,20 +20,26 @@ class Handle:
 
     Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_in`.
     Cancellation is O(1): the heap entry is tombstoned and skipped when
-    popped.
+    popped (the simulator compacts the heap when tombstones dominate).
     """
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_sim", "_queued")
 
-    def __init__(self, time: float, callback: t.Callable[[], None]):
+    def __init__(self, time: float, callback: t.Callable[[], None],
+                 sim: "Simulator | None" = None):
         self.time = time
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
+        self._queued = sim is not None
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
-        self.callback = _noop
+        if not self.cancelled:
+            self.cancelled = True
+            self.callback = _noop
+            if self._queued and self._sim is not None:
+                self._sim._note_cancel()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else f"at t={self.time:.6f}"
@@ -50,14 +62,28 @@ class Simulator:
       events would be needless overhead and cancellation must be cheap.
 
     Entries at equal times are processed in insertion order (FIFO), which
-    makes runs deterministic.
+    makes runs deterministic.  Zero-delay event processing — the dominant
+    scheduling pattern (every ``succeed``/``fail``) — bypasses the heap
+    entirely: triggered events land on a ready deque stamped with the
+    same global insertion counter the heap uses, so the interleaving
+    with same-time heap entries is exactly the FIFO order a pure heap
+    would produce, without the push/pop and closure allocation.
     """
+
+    __slots__ = ("now", "_heap", "_counter", "_running", "_ready",
+                 "_tombstones")
 
     def __init__(self, start_time: float = 0.0):
         self.now = float(start_time)
         self._heap: list[tuple[float, int, Handle]] = []
         self._counter = 0
         self._running = False
+        #: Triggered events awaiting processing at the current time, as
+        #: ``(counter, event)`` in insertion order.
+        self._ready: collections.deque[tuple[int, Event]] = (
+            collections.deque())
+        #: Cancelled entries still sitting in the heap.
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # Raw callback scheduling
@@ -67,10 +93,24 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}")
-        handle = Handle(time, callback)
+        handle = Handle(time, callback, self)
         self._counter += 1
         heapq.heappush(self._heap, (time, self._counter, handle))
         return handle
+
+    def _note_cancel(self) -> None:
+        """Account one newly tombstoned heap entry; compact when the
+        tombstones outnumber the live entries."""
+        self._tombstones += 1
+        if (self._tombstones > _COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 > len(self._heap)):
+            # Rebuilding via heapify preserves pop order exactly: entries
+            # compare by the total (time, counter) order regardless of
+            # their internal arrangement.
+            self._heap = [entry for entry in self._heap
+                          if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     def call_in(self, delay: float, callback: t.Callable[[], None]) -> Handle:
         """Schedule ``callback()`` after ``delay`` simulated time units."""
@@ -82,8 +122,17 @@ class Simulator:
     # Event plumbing
     # ------------------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        """Queue a triggered event for callback processing."""
-        self.call_in(delay, lambda: self._process_event(event))
+        """Queue a triggered event for callback processing.
+
+        The ubiquitous zero-delay case takes the ready-deque fast path;
+        it shares the heap's insertion counter, so processing order is
+        identical to scheduling a heap entry at the current time.
+        """
+        if delay == 0.0:
+            self._counter += 1
+            self._ready.append((self._counter, event))
+        else:
+            self.call_in(delay, lambda: self._process_event(event))
 
     def _process_event(self, event: Event) -> None:
         callbacks = event.callbacks
@@ -110,22 +159,42 @@ class Simulator:
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
+    def _drop_heap_tombstones(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2]._queued = False
+            self._tombstones -= 1
+
     def peek(self) -> float:
         """Time of the next scheduled entry, or ``inf`` if none remain."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        if self._ready:
+            # Ready events process at the current time; no heap entry can
+            # be earlier (scheduling in the past is rejected).
+            return self.now
+        self._drop_heap_tombstones()
         if not self._heap:
             return float("inf")
         return self._heap[0][0]
 
     def step(self) -> None:
         """Process exactly one scheduled entry, advancing the clock."""
-        while True:
-            if not self._heap:
-                raise SimulationError("nothing scheduled")
-            time, __, handle = heapq.heappop(self._heap)
-            if not handle.cancelled:
-                break
+        self._drop_heap_tombstones()
+        heap = self._heap
+        ready = self._ready
+        if ready:
+            # Heap entries scheduled at the current time before the ready
+            # event keep their FIFO precedence via the shared counter.
+            if heap and heap[0][0] == self.now and heap[0][1] < ready[0][0]:
+                __, __, handle = heapq.heappop(heap)
+                handle._queued = False
+                handle.callback()
+            else:
+                self._process_event(ready.popleft()[1])
+            return
+        if not heap:
+            raise SimulationError("nothing scheduled")
+        time, __, handle = heapq.heappop(heap)
+        handle._queued = False
         self.now = time
         handle.callback()
 
@@ -138,24 +207,51 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        # One merged loop instead of peek()/step() pairs: identical
+        # processing order, half the call overhead and one tombstone
+        # scan per iteration on the engine's hottest loop.
+        ready = self._ready
+        heappop = heapq.heappop
         try:
             if until is not None and until < self.now:
                 raise SimulationError(
                     f"until={until} is in the past (now={self.now})")
             while True:
-                next_time = self.peek()
-                if next_time == float("inf"):
+                # Re-read each iteration: compaction (inside callbacks)
+                # replaces the heap list wholesale.
+                heap = self._heap
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)[2]._queued = False
+                    self._tombstones -= 1
+                if ready:
+                    # Ready events process at the current time; heap
+                    # entries already scheduled at this time keep FIFO
+                    # precedence via the shared counter.
+                    if (heap and heap[0][0] == self.now
+                            and heap[0][1] < ready[0][0]):
+                        __, __, handle = heappop(heap)
+                        handle._queued = False
+                        handle.callback()
+                    else:
+                        self._process_event(ready.popleft()[1])
+                    continue
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                time = heap[0][0]
+                if until is not None and time > until:
                     break
-                self.step()
+                __, __, handle = heappop(heap)
+                handle._queued = False
+                self.now = time
+                handle.callback()
             if until is not None:
                 self.now = max(self.now, until)
         finally:
             self._running = False
 
     def __repr__(self) -> str:
-        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+        pending = len(self._heap) + len(self._ready) - self._tombstones
+        return f"<Simulator now={self.now:.6f} pending={pending}>"
 
 
 class Process(Event):

@@ -10,9 +10,59 @@ makes an experiment fully reproducible from ``(config, seed)``.
 
 from __future__ import annotations
 
+import math
 import zlib
 
 import numpy as np
+
+from repro._errors import ConfigurationError
+
+#: Standard draws prefetched per Generator call on batched streams.  One
+#: vectorized numpy call amortizes the per-call dispatch overhead over
+#: ~1k scalar draws; the transforms applied per element are bit-identical
+#: to the scalar Generator methods, so batching never changes a result.
+_BATCH = 1024
+
+
+class _StreamState:
+    """One named stream's generator plus its prefetch buffer.
+
+    ``kind`` is fixed at the first draw: batched streams prefetch ahead
+    of consumption, so a second distribution on the same stream would
+    see generator state the unbatched code never produced.  Mixing kinds
+    on one stream is therefore a configuration error, not a silent
+    reordering.
+    """
+
+    __slots__ = ("generator", "kind", "buffer", "cursor")
+
+    def __init__(self, generator: np.random.Generator, kind: str):
+        self.generator = generator
+        self.kind = kind
+        self.buffer: np.ndarray | None = None
+        self.cursor = 0
+
+    def next_standard(self, draw_batch) -> float:
+        """The next prefetched standard draw, refilling via ``draw_batch``."""
+        buffer = self.buffer
+        if buffer is None or self.cursor >= len(buffer):
+            buffer = self.buffer = draw_batch(self.generator)
+            self.cursor = 0
+        value = buffer[self.cursor]
+        self.cursor += 1
+        return value
+
+
+def _standard_exponential(generator: np.random.Generator) -> np.ndarray:
+    return generator.standard_exponential(_BATCH)
+
+
+def _standard_uniform(generator: np.random.Generator) -> np.ndarray:
+    return generator.random(_BATCH)
+
+
+def _standard_normal(generator: np.random.Generator) -> np.ndarray:
+    return generator.standard_normal(_BATCH)
 
 
 class RandomStreams:
@@ -21,6 +71,22 @@ class RandomStreams:
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
+        #: crc32 key → stream name.  Child seeds are keyed by
+        #: ``crc32(name)``; two distinct names with colliding CRCs would
+        #: silently share a generator and cross-contaminate their
+        #: components, so collisions are a configuration error.
+        self._crc_registry: dict[int, str] = {}
+        #: fork()-derived seed → fork name, same rationale.
+        self._fork_registry: dict[int, str] = {}
+        #: name → per-stream draw state (buffer, cursor, kind).
+        self._states: dict[str, _StreamState] = {}
+        #: (mean, cv) → (mu, sigma) for lognormal_mean_cv; demand
+        #: samplers call with a handful of fixed parameterizations, so
+        #: the log/sqrt work is paid once per distinct pair.
+        self._lognormal_params: dict[tuple[float, float],
+                                     tuple[float, float]] = {}
+        #: weights tuple → normalized CDF for choice_index.
+        self._choice_cdfs: dict[tuple[float, ...], np.ndarray] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
@@ -29,15 +95,36 @@ class RandomStreams:
         """
         generator = self._streams.get(name)
         if generator is None:
+            key = zlib.crc32(name.encode())
+            owner = self._crc_registry.setdefault(key, name)
+            if owner != name:
+                raise ConfigurationError(
+                    f"random-stream key collision: {name!r} and {owner!r} "
+                    f"both hash to crc32={key}; rename one stream or the "
+                    f"two components will share a generator")
             child = np.random.SeedSequence(
-                entropy=self.seed, spawn_key=(zlib.crc32(name.encode()),))
+                entropy=self.seed, spawn_key=(key,))
             generator = np.random.default_rng(child)
             self._streams[name] = generator
         return generator
 
+    def _state(self, name: str, kind: str) -> _StreamState:
+        """The stream's draw state, pinned to its first-used ``kind``."""
+        state = self._states.get(name)
+        if state is None:
+            state = _StreamState(self.stream(name), kind)
+            self._states[name] = state
+        elif state.kind != kind:
+            raise ConfigurationError(
+                f"stream {name!r} already draws {state.kind}; drawing "
+                f"{kind} from the same stream would desynchronize its "
+                f"prefetched batch — use a separate stream name")
+        return state
+
     def exponential(self, name: str, mean: float) -> float:
         """One draw from Exp(mean) on stream ``name``."""
-        return float(self.stream(name).exponential(mean))
+        state = self._state(name, "exponential")
+        return float(mean * state.next_standard(_standard_exponential))
 
     def lognormal_mean_cv(self, name: str, mean: float, cv: float) -> float:
         """One lognormal draw parameterized by mean and coefficient of variation.
@@ -52,21 +139,43 @@ class RandomStreams:
             raise ValueError(f"cv must be non-negative: {cv}")
         if cv == 0:
             return mean
-        sigma2 = np.log1p(cv * cv)
-        mu = np.log(mean) - sigma2 / 2.0
-        return float(self.stream(name).lognormal(mu, np.sqrt(sigma2)))
+        params = self._lognormal_params.get((mean, cv))
+        if params is None:
+            sigma2 = np.log1p(cv * cv)
+            mu = np.log(mean) - sigma2 / 2.0
+            params = (float(mu), float(np.sqrt(sigma2)))
+            self._lognormal_params[(mean, cv)] = params
+        state = self._state(name, "lognormal")
+        return math.exp(params[0]
+                        + params[1] * state.next_standard(_standard_normal))
 
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
         """One uniform draw on stream ``name``."""
-        return float(self.stream(name).uniform(low, high))
+        state = self._state(name, "uniform")
+        return float(low
+                     + (high - low) * state.next_standard(_standard_uniform))
 
     def choice_index(self, name: str, weights: "np.ndarray | list[float]") -> int:
-        """Sample an index proportionally to ``weights`` on stream ``name``."""
-        weights = np.asarray(weights, dtype=float)
-        total = weights.sum()
-        if total <= 0:
-            raise ValueError("weights must sum to a positive value")
-        return int(self.stream(name).choice(len(weights), p=weights / total))
+        """Sample an index proportionally to ``weights`` on stream ``name``.
+
+        Inverse-CDF sampling on one uniform draw — the same algorithm
+        (and generator-state consumption) as ``Generator.choice(n, p)``,
+        with the CDF cached per distinct weights vector instead of
+        revalidated and re-accumulated on every call.
+        """
+        key = tuple(float(w) for w in weights)
+        cdf = self._choice_cdfs.get(key)
+        if cdf is None:
+            p = np.asarray(key, dtype=float)
+            total = p.sum()
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            cdf = (p / total).cumsum()
+            cdf /= cdf[-1]
+            self._choice_cdfs[key] = cdf
+        state = self._state(name, "choice")
+        draw = state.next_standard(_standard_uniform)
+        return int(cdf.searchsorted(draw, side="right"))
 
     def binomial(self, name: str, n: int, p: float) -> int:
         """One binomial draw (e.g. cache misses among ``n`` lookups)."""
@@ -74,12 +183,29 @@ class RandomStreams:
             raise ValueError(f"n must be non-negative: {n}")
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1]: {p}")
-        return int(self.stream(name).binomial(n, p))
+        state = self._state(name, "binomial")
+        return int(state.generator.binomial(n, p))
 
     def integers(self, name: str, low: int, high: int) -> int:
         """One integer draw in ``[low, high)`` on stream ``name``."""
-        return int(self.stream(name).integers(low, high))
+        state = self._state(name, "integers")
+        return int(state.generator.integers(low, high))
 
     def fork(self, name: str) -> "RandomStreams":
-        """A child factory whose streams are independent of this one's."""
-        return RandomStreams(seed=self.seed ^ zlib.crc32(name.encode()))
+        """A child factory whose streams are independent of this one's.
+
+        The child seed is ``seed ^ crc32(name)``; a derived seed equal to
+        the parent's (``crc32(name) == 0``) or to another fork's would
+        alias two supposedly independent factories, so both cases raise.
+        """
+        derived = self.seed ^ zlib.crc32(name.encode())
+        if derived == self.seed:
+            raise ConfigurationError(
+                f"fork {name!r} derives the parent's own seed "
+                f"({self.seed}); rename the fork")
+        owner = self._fork_registry.setdefault(derived, name)
+        if owner != name:
+            raise ConfigurationError(
+                f"fork seed collision: {name!r} and {owner!r} both derive "
+                f"seed {derived}; rename one fork")
+        return RandomStreams(seed=derived)

@@ -11,7 +11,7 @@ if t.TYPE_CHECKING:  # pragma: no cover
     from repro.services.request import Request
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Span:
     """One completed request hop."""
 

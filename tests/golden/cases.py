@@ -1,0 +1,89 @@
+"""Golden-digest case table shared by the recorder and the test suite.
+
+The digests freeze the *simulated results* of three representative
+experiments at small scale.  They are the behavior-equivalence oracle
+for simulator hot-path optimizations: any change to event ordering,
+random-stream consumption, or floating-point arithmetic shows up as a
+digest mismatch, byte for byte.
+
+Recording discipline: digests are recorded on the pre-optimization
+engine (after intentional bugfixes land) via::
+
+    PYTHONPATH=src python tests/golden/record.py
+
+and must never be re-recorded to make an optimization pass — a mismatch
+means the optimization changed behavior and must be fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import typing as t
+
+from repro.experiments import (
+    ExperimentSettings,
+    e2_load_scaling,
+    e8_headline,
+    e13_fault_tolerance,
+)
+from repro.experiments.common import ExperimentResult
+from repro.orchestrator.cache import canonical_json
+
+#: Where the recorded digests live (committed to the repo).
+DIGEST_PATH = pathlib.Path(__file__).with_name("digests.json")
+
+#: Seeds frozen per experiment.
+SEEDS = (1, 2, 3)
+
+#: Experiment id → (module, golden settings factory).  E8 needs a
+#: machine with >= 6 CCXs (one per service), hence the medium preset.
+CASES: dict[str, t.Any] = {
+    "e2": (e2_load_scaling,
+           lambda seed: ExperimentSettings.fast(
+               preset="tiny", users=48, warmup=0.1, duration=0.3,
+               seed=seed)),
+    "e8": (e8_headline,
+           lambda seed: ExperimentSettings.fast(
+               preset="medium", users=64, warmup=0.1, duration=0.3,
+               seed=seed)),
+    "e13": (e13_fault_tolerance,
+            lambda seed: ExperimentSettings.fast(
+                preset="tiny", users=32, warmup=0.1, duration=0.25,
+                seed=seed)),
+}
+
+
+def settings_for(experiment: str, seed: int) -> ExperimentSettings:
+    """The frozen golden settings of one case."""
+    __, factory = CASES[experiment]
+    return factory(seed)
+
+
+def result_digest(result: ExperimentResult) -> str:
+    """SHA-256 over the rendered table plus the full-precision rows.
+
+    ``render()`` alone would round floats to three decimals; including
+    the canonical JSON of the raw rows makes the digest sensitive to
+    the last ulp of every measured number.
+    """
+    material = canonical_json({
+        "experiment": result.experiment,
+        "render": result.render(),
+        "rows": result.rows,
+        "notes": result.notes,
+    })
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def run_case(experiment: str, seed: int) -> str:
+    """Digest of the sequential ``run()`` path for one case."""
+    module, __ = CASES[experiment]
+    return result_digest(module.run(settings_for(experiment, seed)))
+
+
+def load_digests() -> dict[str, str]:
+    """The committed digests as ``{"e2:1": sha256, ...}``."""
+    data = json.loads(DIGEST_PATH.read_text(encoding="utf-8"))
+    return dict(data["digests"])

@@ -1,0 +1,40 @@
+"""Record the golden digests (see cases.py for the discipline).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/record.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import cases  # noqa: E402
+
+
+def main() -> int:
+    digests = {}
+    for experiment in cases.CASES:
+        for seed in cases.SEEDS:
+            key = f"{experiment}:{seed}"
+            digests[key] = cases.run_case(experiment, seed)
+            print(f"{key}: {digests[key]}")
+    payload = {
+        "artifact": "repro-golden-digests",
+        "note": ("Behavior-equivalence oracle for simulator "
+                 "optimizations; never re-record to make a perf "
+                 "change pass."),
+        "digests": digests,
+    }
+    cases.DIGEST_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                                 encoding="utf-8")
+    print(f"wrote {cases.DIGEST_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

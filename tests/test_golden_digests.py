@@ -1,0 +1,32 @@
+"""Golden-digest equivalence suite.
+
+Asserts that the engine reproduces the committed pre-optimization
+result digests byte-identically — under the sequential ``run()`` path
+for every (experiment, seed) case, and under ``run_sweep(jobs=4)``
+(worker processes) for one seed per experiment.  This is the oracle
+that keeps hot-path optimizations behavior-preserving; see
+``tests/golden/cases.py``.
+"""
+
+import pytest
+
+from repro.orchestrator import run_sweep
+
+from tests.golden import cases
+
+GOLDEN = cases.load_digests()
+
+
+@pytest.mark.parametrize("experiment", sorted(cases.CASES))
+@pytest.mark.parametrize("seed", cases.SEEDS)
+def test_run_reproduces_golden_digest(experiment, seed):
+    assert cases.run_case(experiment, seed) == GOLDEN[f"{experiment}:{seed}"]
+
+
+@pytest.mark.parametrize("experiment", sorted(cases.CASES))
+def test_sweep_jobs4_reproduces_golden_digest(experiment):
+    seed = cases.SEEDS[0]
+    settings = cases.settings_for(experiment, seed)
+    outcome = run_sweep(experiment, settings, jobs=4, cache=None)
+    digest = cases.result_digest(outcome.result)
+    assert digest == GOLDEN[f"{experiment}:{seed}"]

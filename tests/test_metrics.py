@@ -231,3 +231,21 @@ def test_property_mean_inequality_chain(values):
     amean = float(np.mean(values))
     assert hmean <= gmean * (1 + 1e-9)
     assert gmean <= amean * (1 + 1e-9)
+
+
+def test_latency_subnanosecond_negative_artifact_clamps_to_zero():
+    # Float subtraction of near-equal clocks can yield -1e-18-scale
+    # noise; that must not kill a sweep at its last reduction.
+    recorder = LatencyRecorder()
+    recorder.record(-1e-18)
+    recorder.record(-9.99e-10)
+    assert recorder.count == 2
+    assert recorder.mean() == 0.0
+    assert recorder.max() == 0.0
+
+
+def test_latency_genuinely_negative_still_rejected():
+    with pytest.raises(AnalysisError):
+        LatencyRecorder().record(-1e-9)
+    with pytest.raises(AnalysisError):
+        LatencyRecorder().record(-0.5)

@@ -500,3 +500,51 @@ def test_e13_schedules_and_configs_are_json_native():
         e13.fault_schedule("nope", settings)
     with pytest.raises(ValueError):
         e13.resilience_config("nope")
+
+
+# ----------------------------------------------------------------------
+# Load balancer: rotation anchored to stable order under open breakers
+# ----------------------------------------------------------------------
+class _FakeBreaker:
+    def __init__(self):
+        self.open = False
+
+    def available(self, now):
+        return not self.open
+
+
+def test_breaker_open_does_not_skew_round_robin_fairness():
+    balancer = LoadBalancer("svc")
+    a, b, c = (_FakeInstance(i) for i in range(3))
+    for instance in (a, b, c):
+        instance.breaker = _FakeBreaker()
+        balancer.add(instance)
+    b.breaker.open = True
+    picks = [balancer.pick() for __ in range(8)]
+    assert b not in picks
+    # Survivors split the traffic evenly instead of one absorbing it.
+    assert picks.count(a) == picks.count(c) == 4
+    # Once the breaker closes, rotation resumes over the stable order
+    # without resetting or skipping.
+    b.breaker.open = False
+    assert [balancer.pick() for __ in range(3)] == [a, b, c]
+
+
+def test_breaker_flap_never_double_picks_one_survivor():
+    # The old cursor indexed the breaker-filtered candidate list, so a
+    # breaker flapping between picks changed the cursor's meaning and
+    # could hand the same survivor several consecutive picks while
+    # starving another.  Anchored rotation never picks the same replica
+    # twice in a row while an alternative is available.
+    balancer = LoadBalancer("svc")
+    a, b, c = (_FakeInstance(i) for i in range(3))
+    for instance in (a, b, c):
+        instance.breaker = _FakeBreaker()
+        balancer.add(instance)
+    picks = []
+    for i in range(12):
+        a.breaker.open = i % 2 == 1
+        picks.append(balancer.pick())
+    assert all(first is not second
+               for first, second in zip(picks, picks[1:]))
+    assert set(picks) == {a, b, c}

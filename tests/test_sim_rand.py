@@ -100,3 +100,49 @@ def test_property_stream_reproducibility(seed, name):
 def test_property_lognormal_always_positive(mean, cv):
     streams = RandomStreams(seed=0)
     assert streams.lognormal_mean_cv("t", mean, cv) > 0
+
+
+# ----------------------------------------------------------------------
+# Stream-key aliasing guards
+# ----------------------------------------------------------------------
+def test_crc_colliding_stream_names_raise():
+    # "plumless" and "buckeroo" are a classic crc32-colliding pair; two
+    # distinct names must never silently share a generator.
+    import zlib
+
+    from repro._errors import ConfigurationError
+
+    assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+    streams = RandomStreams(seed=1)
+    streams.stream("plumless")
+    with pytest.raises(ConfigurationError, match="collision"):
+        streams.stream("buckeroo")
+
+
+def test_same_stream_name_is_not_a_collision():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("users") is streams.stream("users")
+
+
+def test_fork_name_deriving_parent_seed_raises():
+    from repro._errors import ConfigurationError
+
+    # crc32(b"") == 0, so the fork's seed would equal the parent's.
+    with pytest.raises(ConfigurationError, match="parent"):
+        RandomStreams(seed=9).fork("")
+
+
+def test_crc_colliding_fork_names_raise():
+    from repro._errors import ConfigurationError
+
+    root = RandomStreams(seed=9)
+    root.fork("plumless")
+    with pytest.raises(ConfigurationError, match="collision"):
+        root.fork("buckeroo")
+
+
+def test_fork_same_name_is_reproducible_not_a_collision():
+    root = RandomStreams(seed=9)
+    a = root.fork("child").stream("x").random(3).tolist()
+    b = root.fork("child").stream("x").random(3).tolist()
+    assert a == b
