@@ -140,6 +140,12 @@ def _build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--repeat", type=int, default=None,
                            help="repeats per slice (default: 2 smoke, "
                                 "3 full; min is reported)")
+    perfbench.add_argument("--mem", action="store_true",
+                           help="profile peak memory (tracemalloc + "
+                                "RUSAGE RSS) instead of wall time")
+    perfbench.add_argument("--extended", action="store_true",
+                           help="include extended slices (e.g. the "
+                                "10k-user E2 point in full mode)")
     perfbench.add_argument("--out", metavar="FILE",
                            default="BENCH_perf.json",
                            help="trajectory artifact to append to "
@@ -285,12 +291,14 @@ def _run_sweeps(args: argparse.Namespace) -> int:
 
 
 def _run_perfbench(args: argparse.Namespace) -> int:
-    """The ``repro perfbench`` verb: wall-clock trajectory + gate."""
+    """The ``repro perfbench`` verb: wall/memory trajectory + gates."""
     from repro.orchestrator import perfbench
 
+    if args.mem:
+        return _run_membench(args)
     results = perfbench.run_perfbench(
         args.mode, slices=args.slices, repeat=args.repeat,
-        progress=print)
+        extended=args.extended, progress=print)
     if args.out:
         entry = perfbench.trajectory_entry(results, args.mode,
                                            label=args.label)
@@ -307,6 +315,34 @@ def _run_perfbench(args: argparse.Namespace) -> int:
         if failures:
             return 1
         print(f"perf gate passed (threshold {threshold:.0%} vs "
+              f"{args.check})")
+    return 0
+
+
+def _run_membench(args: argparse.Namespace) -> int:
+    """``repro perfbench --mem``: peak-memory trajectory + gate."""
+    from repro.orchestrator import perfbench
+
+    results = perfbench.run_membench(
+        args.mode, slices=args.slices, extended=args.extended,
+        progress=print)
+    if args.out:
+        entry = perfbench.memory_entry(results, args.mode,
+                                       label=args.label)
+        perfbench.append_trajectory(args.out, entry)
+        print(f"memory trajectory appended to {args.out}")
+    if args.check is not None:
+        baseline = perfbench.baseline_entry(args.check, args.mode,
+                                            metric="mem")
+        threshold = (args.threshold if args.threshold is not None
+                     else perfbench.DEFAULT_MEM_THRESHOLD)
+        failures = perfbench.check_memory_against_baseline(
+            results, baseline, threshold)
+        for failure in failures:
+            print(f"MEMORY REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"memory gate passed (threshold {threshold:.0%} vs "
               f"{args.check})")
     return 0
 

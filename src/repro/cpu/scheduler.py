@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import collections
 import functools
+import heapq
 import typing as t
+
+import numpy as np
 
 from repro._errors import SchedulingError
 from repro.cpu.burst import CpuBurst
@@ -84,6 +87,9 @@ class CpuScheduler:
             collections.deque() for __ in range(n)]
         self._idle: set[int] = set(self.online)
         self._nonempty_queues: set[int] = set()
+        #: Incremental mirror of ``len(self._queues[i])`` so the
+        #: shortest-queue scan vectorizes over wide affinity masks.
+        self._queue_depths = np.zeros(n, dtype=np.int32)
         self._busy_threads_per_core = [0] * len(machine.cores)
         self.active_cores = 0
         #: Boost denominator: ALL physical cores — offlined cores sit idle
@@ -113,40 +119,83 @@ class CpuScheduler:
             for active in range(self.total_cores + 1)]
         self._smt_factor = (self.smt_model.factor(False),
                             self.smt_model.factor(True))
-        #: group → sorted tuple of online CPUs in its affinity mask.
-        self._allowed_cache: dict[object, tuple[int, ...]] = {}
+        #: group → (sorted tuple, frozenset, int32 array) of online CPUs
+        #: in its mask.
+        self._allowed_cache: dict[
+            object,
+            tuple[tuple[int, ...], frozenset[int], np.ndarray]] = {}
+        #: cpu → CPUs whose queues could ever hold a burst this CPU may
+        #: steal.  A queue on ``v`` only holds bursts of groups allowing
+        #: ``v``; CPU ``c`` can steal such a burst only when the group
+        #: also allows ``c`` — so victims outside every group mask that
+        #: contains ``c`` are provably fruitless and the steal scan
+        #: skips them.  Grows monotonically as groups first submit; the
+        #: boolean matrix mirrors the sets for the vectorized victim scan.
+        self._steal_eligible: list[set[int]] = [set() for __ in range(n)]
+        self._steal_eligible_mask = np.zeros((n, n), dtype=bool)
+        #: reusable output buffer for the masked-depth victim scan.
+        self._steal_scratch = np.zeros(n, dtype=self._queue_depths.dtype)
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def submit(self, burst: CpuBurst) -> None:
         """Make a burst runnable; its ``done`` event fires on completion."""
-        allowed = self._allowed_for(burst.group)
+        allowed, allowed_set, allowed_arr = self._allowed_for(burst.group)
         burst.submitted_at = self.sim.now
-        cpu_index = self._pick_idle_cpu(burst, allowed)
-        if cpu_index is not None:
-            self._start(cpu_index, burst)
-            return
+        # Saturation fast path: with no idle CPU anywhere there is nothing
+        # to place on, so skip the placement scan entirely.
+        if self._idle:
+            cpu_index = self._pick_idle_cpu(burst, allowed, allowed_set)
+            if cpu_index is not None:
+                self._start(cpu_index, burst)
+                return
         queues = self._queues
-        target = allowed[0]
-        shortest = len(queues[target])
-        for i in allowed[1:]:
-            depth = len(queues[i])
-            if depth < shortest:
-                shortest = depth
-                target = i
+        if len(allowed) == len(queues):
+            # Full mask (unpinned group, every CPU online): the depth
+            # mirror already is the allowed view, so argmin it directly
+            # without the per-call fancy-index gather.
+            target = int(self._queue_depths.argmin())
+        elif len(allowed) >= 16:
+            # Wide mask: one vectorized argmin over the depth mirror.
+            # ``argmin`` keeps the first occurrence of the minimum and
+            # ``allowed`` ascends, so the pick matches the scalar scan.
+            target = allowed[int(self._queue_depths[allowed_arr].argmin())]
+        else:
+            target = allowed[0]
+            shortest = len(queues[target])
+            if shortest:
+                for i in allowed[1:]:
+                    depth = len(queues[i])
+                    if depth < shortest:
+                        shortest = depth
+                        target = i
+                        if not depth:
+                            # An empty queue is the global minimum;
+                            # ``allowed`` ascends, so the first one found
+                            # is the pick.
+                            break
         queues[target].append(burst)
+        self._queue_depths[target] += 1
         self._nonempty_queues.add(target)
 
-    def _allowed_for(self, group) -> tuple[int, ...]:
+    def _allowed_for(self, group) -> tuple[
+            tuple[int, ...], frozenset[int], np.ndarray]:
         allowed = self._allowed_cache.get(group)
         if allowed is None:
-            allowed = tuple((group.affinity & self.online).ids)
-            if not allowed:
+            ids = tuple((group.affinity & self.online).ids)
+            if not ids:
                 raise SchedulingError(
                     f"burst of {group.name!r} has no online CPU in its "
                     f"affinity {group.affinity!r}")
+            allowed = (ids, frozenset(ids),
+                       np.asarray(ids, dtype=np.int32))
             self._allowed_cache[group] = allowed
+            eligible = self._steal_eligible
+            for cpu_index in ids:
+                eligible[cpu_index].update(ids)
+            arr = allowed[2]
+            self._steal_eligible_mask[arr[:, None], arr] = True
         return allowed
 
     def busy_time(self, cpu_index: int) -> float:
@@ -172,8 +221,8 @@ class CpuScheduler:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def _pick_idle_cpu(self, burst: CpuBurst,
-                       allowed: tuple[int, ...]) -> int | None:
+    def _pick_idle_cpu(self, burst: CpuBurst, allowed: tuple[int, ...],
+                       allowed_set: frozenset[int]) -> int | None:
         # Lower score is better: prefer whole idle cores, then cache
         # locality, then low ids (deterministic).  ``allowed`` ascends,
         # so the first perfect score is the global minimum.
@@ -182,8 +231,38 @@ class CpuScheduler:
         siblings = self._sibling_index
         ccxs = self._ccx_index
         last_ccx = burst.group.last_ccx
+        # Scores are kept as two ints (whole, local) plus the id tiebreak
+        # instead of tuples: this scan runs per submission and the tuple
+        # allocation/compare dominated it at low load.
+        if len(idle) <= 4:
+            # Loaded steady state: score just the few idle CPUs.  The
+            # explicit id tiebreak picks the same CPU as the ascending
+            # mask scan below — the lowest id among the minimal
+            # (whole, local) scores.
+            best = None
+            best_whole = best_local = 2
+            for cpu_index in idle:
+                if cpu_index not in allowed_set:
+                    continue
+                sibling = siblings[cpu_index]
+                whole = 0 if sibling is None or running[sibling] is None \
+                    else 1
+                local = 0 if last_ccx is not None \
+                    and ccxs[cpu_index] == last_ccx else 1
+                if whole != best_whole:
+                    if whole > best_whole:
+                        continue
+                elif local != best_local:
+                    if local > best_local:
+                        continue
+                elif best is not None and cpu_index > best:
+                    continue
+                best = cpu_index
+                best_whole = whole
+                best_local = local
+            return best
         best = None
-        best_score = (2, 2)
+        best_whole = best_local = 2
         for cpu_index in allowed:
             if cpu_index not in idle:
                 continue
@@ -191,12 +270,16 @@ class CpuScheduler:
             whole = 0 if sibling is None or running[sibling] is None else 1
             local = 0 if last_ccx is not None \
                 and ccxs[cpu_index] == last_ccx else 1
-            score = (whole, local)
-            if score < best_score:
-                best = cpu_index
-                best_score = score
-                if score == (0, 0):
-                    break
+            if whole != best_whole:
+                if whole > best_whole:
+                    continue
+            elif local >= best_local:
+                continue
+            best = cpu_index
+            best_whole = whole
+            best_local = local
+            if whole == 0 and local == 0:
+                break
         return best
 
     # ------------------------------------------------------------------
@@ -206,13 +289,15 @@ class CpuScheduler:
         sibling = self._sibling_index[cpu_index]
         sibling_busy = (sibling is not None
                         and self._running[sibling] is not None)
+        inflation = self.perf_model.cpi_inflation(burst, self._cpus[cpu_index])
+        if inflation < 1.0:
+            inflation = 1.0
         rate = (self._freq_factor[self.active_cores]
-                * self._smt_factor[sibling_busy]
-                / max(1.0, self.perf_model.cpi_inflation(
-                    burst, self._cpus[cpu_index])))
-        return max(rate, _MIN_RATE)
+                * self._smt_factor[sibling_busy] / inflation)
+        return rate if rate > _MIN_RATE else _MIN_RATE
 
-    def _start(self, cpu_index: int, burst: CpuBurst) -> None:
+    def _start(self, cpu_index: int, burst: CpuBurst,
+               rerate_sibling: bool = True) -> None:
         now = self.sim.now
         burst.started_at = now
         burst.cpu_index = cpu_index
@@ -223,11 +308,17 @@ class CpuScheduler:
             self.active_cores += 1
         self.perf_model.on_burst_start(burst, self._cpus[cpu_index])
         rate = self._rate(burst, cpu_index)
-        delay = burst.demand / rate
-        handle = self.sim.call_in(delay, self._complete_callbacks[cpu_index])
+        # call_in inlined (demand/rate is never negative): completions
+        # are the scheduler's hottest scheduling site.
+        sim = self.sim
+        time = now + burst.demand / rate
+        handle = Handle(time, self._complete_callbacks[cpu_index], sim)
+        sim._counter += 1
+        heapq.heappush(sim._heap, (time, sim._counter, handle))
         self._running[cpu_index] = _Running(burst, rate, now, handle)
         self.bursts_dispatched += 1
-        self._re_rate_sibling(cpu_index)
+        if rerate_sibling:
+            self._re_rate_sibling(cpu_index)
 
     def _complete(self, cpu_index: int) -> None:
         running = self._running[cpu_index]
@@ -242,30 +333,40 @@ class CpuScheduler:
             self.active_cores -= 1
 
         burst.finished_at = now
-        burst.wall_time = now - t.cast(float, burst.started_at)
+        # started_at is always set by _start here; no cast indirection on
+        # the completion hot path.
+        wall_time = burst.wall_time = now - burst.started_at  # type: ignore[operator]
         group = burst.group
-        group.cpu_time += burst.wall_time
+        group.cpu_time += wall_time
         group.last_ccx = self._ccx_index[cpu_index]
         group.bursts_completed += 1
         self.perf_model.on_burst_complete(
             burst, self._cpus[cpu_index], burst.wall_time)
 
-        self._re_rate_sibling(cpu_index)
+        # One sibling re-rate after dispatch instead of one before plus
+        # one inside _start: the pre-dispatch re-rate would cover zero
+        # elapsed time (same timestamp) and its handle is immediately
+        # cancelled by the post-dispatch one, so the sibling's
+        # remaining/rate/handle end up identical either way, and the
+        # sibling's new completion still enqueues after the dispatched
+        # burst's (uniform counter shift keeps relative FIFO order).
         self._dispatch_next(cpu_index)
+        self._re_rate_sibling(cpu_index)
         burst.done.succeed(burst)
 
     def _dispatch_next(self, cpu_index: int) -> None:
         queue = self._queues[cpu_index]
         if queue:
             next_burst = queue.popleft()
+            self._queue_depths[cpu_index] -= 1
             if not queue:
                 self._nonempty_queues.discard(cpu_index)
-            self._start(cpu_index, next_burst)
+            self._start(cpu_index, next_burst, rerate_sibling=False)
             return
         stolen = self._steal_for(cpu_index)
         if stolen is not None:
             self.bursts_stolen += 1
-            self._start(cpu_index, stolen)
+            self._start(cpu_index, stolen, rerate_sibling=False)
             return
         self._idle.add(cpu_index)
 
@@ -275,20 +376,28 @@ class CpuScheduler:
         if not nonempty:
             return None
         queues = self._queues
+        # Victims outside this CPU's eligibility set can never yield a
+        # steal (see _steal_eligible), so skipping them preserves the
+        # traversal's outcome exactly while sparing the queue scans —
+        # under pinned placements most cross-CCX victims drop out here.
         # The deepest queue (lowest id on ties) almost always yields an
-        # eligible burst, so pick it with one linear pass and only sort
-        # the full victim order if that first choice comes up empty.
-        best = -1
-        best_depth = 0
-        for v in nonempty:
-            depth = len(queues[v])
-            if depth > best_depth or (depth == best_depth and v < best):
-                best = v
-                best_depth = depth
+        # eligible burst, so pick it vectorized — masked argmax over the
+        # depth mirror keeps the first (lowest-id) occurrence of the
+        # maximum, matching the scalar deepest-then-lowest-id rule —
+        # and only sort the full victim order if that choice comes up
+        # empty.  Ineligible and empty queues mask to depth 0 and can
+        # never win, exactly as the per-victim scan skipped them.
+        masked = np.multiply(self._steal_eligible_mask[cpu_index],
+                             self._queue_depths, out=self._steal_scratch)
+        best = int(masked.argmax())
+        if not masked[best]:
+            return None
         stolen = self._steal_from(best, cpu_index)
-        if stolen is not None or len(nonempty) == 1:
+        if stolen is not None:
             return stolen
-        for __, victim in sorted((-len(queues[v]), v) for v in nonempty):
+        eligible = self._steal_eligible[cpu_index]
+        for __, victim in sorted((-len(queues[v]), v) for v in nonempty
+                                 if v in eligible):
             if victim == best:
                 continue
             stolen = self._steal_from(victim, cpu_index)
@@ -301,6 +410,7 @@ class CpuScheduler:
         for position, burst in enumerate(queue):
             if cpu_index in burst.group.affinity:
                 del queue[position]
+                self._queue_depths[victim] -= 1
                 if not queue:
                     self._nonempty_queues.discard(victim)
                 return burst
@@ -313,16 +423,21 @@ class CpuScheduler:
         running = self._running[sibling]
         if running is None:
             return
-        now = self.sim.now
-        executed = (now - running.segment_start) * running.rate
-        running.remaining = max(0.0, running.remaining - executed)
-        self._busy_time[sibling] += now - running.segment_start
+        sim = self.sim
+        now = sim.now
+        elapsed = now - running.segment_start
+        remaining = running.remaining - elapsed * running.rate
+        running.remaining = remaining if remaining > 0.0 else 0.0
+        self._busy_time[sibling] += elapsed
         running.segment_start = now
         running.handle.cancel()
-        running.rate = self._rate(running.burst, sibling)
-        delay = running.remaining / running.rate
-        running.handle = self.sim.call_in(
-            delay, self._complete_callbacks[sibling])
+        rate = running.rate = self._rate(running.burst, sibling)
+        # call_in inlined (remaining is clamped non-negative above).
+        time = now + running.remaining / rate
+        handle = Handle(time, self._complete_callbacks[sibling], sim)
+        sim._counter += 1
+        heapq.heappush(sim._heap, (time, sim._counter, handle))
+        running.handle = handle
 
     def __repr__(self) -> str:
         busy = sum(1 for r in self._running if r is not None)

@@ -75,7 +75,7 @@ class MemorySystemModel:
         self._code_refcount: list[dict[str, int]] = [{} for __ in range(n_ccxs)]
         self._data_by_ccx: list[float] = [0.0] * n_ccxs
         self._epoch = 0
-        self._inflation_cache: dict[tuple[int, int], tuple[int, float]] = {}
+        self._inflation_cache: dict[int, tuple[int, float]] = {}
         #: Sum of mem_intensity over currently executing bursts (for the
         #: optional bandwidth-contention model).
         self._running_mem_load = 0.0
@@ -204,7 +204,9 @@ class MemorySystemModel:
     # PerfModel protocol
     # ------------------------------------------------------------------
     def cpi_inflation(self, burst: "CpuBurst", cpu: "LogicalCpu") -> float:
-        key = (burst.group.group_id, cpu.index)
+        # Flat int key: cpu indexes stay far below 1 << 20, so this is
+        # injective and avoids a tuple allocation on a hot path.
+        key = (burst.group.group_id << 20) | cpu.index
         cached = self._inflation_cache.get(key)
         if cached is not None and cached[0] == self._epoch:
             static = cached[1]

@@ -1,0 +1,126 @@
+"""Growable preallocated column buffers for the measurement plane.
+
+The measurement plane used to store one Python object (or tuple field) per
+sample; at 10k simulated users that is tens of millions of boxed floats.
+A :class:`Column` keeps samples in a single preallocated numpy array that
+doubles when full, so appends stay amortized O(1) and the live view is a
+zero-copy slice of the backing store.  String dimensions (request tags,
+service names) are interned to dense ``uint32`` codes by a
+:class:`StringInterner`, turning per-tag slicing into a vectorized mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Initial backing-store capacity.  Small enough that thousands of idle
+#: columns (one per metric per experiment point) cost almost nothing,
+#: large enough that a busy column doubles only a handful of times.
+_INITIAL_CAPACITY = 64
+
+
+class Column:
+    """An append-only typed column with amortized-doubling storage."""
+
+    __slots__ = ("_data", "_length")
+
+    def __init__(self, dtype: np.dtype | type = np.float64,
+                 capacity: int = _INITIAL_CAPACITY):
+        self._data = np.empty(max(1, capacity), dtype=dtype)
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    def append(self, value) -> None:
+        """Add one value, doubling the backing store when full."""
+        n = self._length
+        data = self._data
+        if n == len(data):
+            grown = np.empty(2 * len(data), dtype=data.dtype)
+            grown[:n] = data
+            self._data = data = grown
+        data[n] = value
+        self._length = n + 1
+
+    def extend(self, values) -> None:
+        """Append a batch of values at once."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        n = self._length
+        needed = n + len(values)
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=self._data.dtype)
+            grown[:n] = self._data[:n]
+            self._data = grown
+        self._data[n:needed] = values
+        self._length = needed
+
+    def as_array(self) -> np.ndarray:
+        """Zero-copy view of the recorded samples.
+
+        The view aliases the backing store: it is invalidated by the next
+        append that triggers a resize, so consumers should not hold it
+        across further recording.
+        """
+        return self._data[:self._length]
+
+    def clear(self) -> None:
+        """Drop all samples, keeping the current capacity."""
+        self._length = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing store (capacity, not length)."""
+        return self._data.nbytes
+
+    def __repr__(self) -> str:
+        return (f"<Column {self._data.dtype} {self._length}"
+                f"/{len(self._data)}>")
+
+
+class StringInterner:
+    """Bidirectional string ↔ dense ``uint32`` code mapping.
+
+    Code 0 is reserved for "no value" so columns can mix tagged and
+    untagged rows without an option type.
+    """
+
+    __slots__ = ("_code_of", "_names")
+
+    #: Reserved code meaning "no tag".
+    NONE = 0
+
+    def __init__(self):
+        self._code_of: dict[str, int] = {}
+        self._names: list[str] = [""]  # index 0 = NONE
+
+    def __len__(self) -> int:
+        """Number of interned strings (excluding the NONE slot)."""
+        return len(self._names) - 1
+
+    def encode(self, name: str) -> int:
+        """The code for ``name``, assigning the next one on first use."""
+        code = self._code_of.get(name)
+        if code is None:
+            code = len(self._names)
+            self._code_of[name] = code
+            self._names.append(name)
+        return code
+
+    def code_if_known(self, name: str) -> int | None:
+        """The code for ``name`` or ``None`` — never assigns."""
+        return self._code_of.get(name)
+
+    def decode(self, code: int) -> str:
+        """The string for ``code`` (NONE decodes to the empty string)."""
+        return self._names[code]
+
+    def __repr__(self) -> str:
+        return f"<StringInterner {len(self)} names>"

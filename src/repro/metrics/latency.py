@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._errors import AnalysisError
+from repro.metrics.columns import Column, StringInterner
 
 #: Magnitude below which a negative sample is treated as floating-point
 #: noise rather than a genuinely negative latency.  Subtracting two
@@ -18,11 +19,23 @@ class LatencyRecorder:
 
     Samples are kept in full (simulations produce at most a few hundred
     thousand requests), so percentiles are exact rather than sketched.
+    Storage is columnar: one float64 column of values plus one uint32
+    column of interned tag codes, so a sample costs 12 bytes instead of
+    a boxed float per list it appears in.  Derived per-tag arrays are
+    cached and invalidated by recording, so repeated percentile queries
+    against a quiescent recorder slice the columns only once.
     """
 
     def __init__(self):
-        self._samples: list[float] = []
-        self._by_tag: dict[str, list[float]] = {}
+        self._values = Column(np.float64)
+        self._codes = Column(np.uint32)
+        self._interner = StringInterner()
+        #: Monotone edit counter; bumped by record()/reset() so cached
+        #: derived arrays self-invalidate without a clear on the hot path.
+        self._version = 0
+        #: tag (or None for "all samples") → (version, array).
+        self._array_cache: dict[str | None, tuple[int, np.ndarray]] = {}
+        self._tags_cache: tuple[int, list[str]] | None = None
         self.enabled = True
 
     def record(self, latency: float, tag: str | None = None) -> None:
@@ -37,32 +50,53 @@ class LatencyRecorder:
                 latency = 0.0
             else:
                 raise AnalysisError(f"negative latency sample: {latency}")
-        self._samples.append(latency)
-        if tag is not None:
-            self._by_tag.setdefault(tag, []).append(latency)
+        self._values.append(latency)
+        self._codes.append(StringInterner.NONE if tag is None
+                           else self._interner.encode(tag))
+        self._version += 1
 
     def reset(self) -> None:
         """Drop all samples (end of warmup)."""
-        self._samples.clear()
-        self._by_tag.clear()
+        self._values.clear()
+        self._codes.clear()
+        self._version += 1
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return len(self._samples)
+        return len(self._values)
 
     @property
     def tags(self) -> list[str]:
         """Request types seen so far, sorted."""
-        return sorted(self._by_tag)
+        cached = self._tags_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        codes = np.unique(self._codes.as_array())
+        tags = sorted(self._interner.decode(int(code)) for code in codes
+                      if code != StringInterner.NONE)
+        self._tags_cache = (self._version, tags)
+        return tags
 
     def _array(self, tag: str | None) -> np.ndarray:
-        samples = self._samples if tag is None else self._by_tag.get(tag, [])
-        if not samples:
+        cached = self._array_cache.get(tag)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        if tag is None:
+            samples = self._values.as_array()
+        else:
+            code = self._interner.code_if_known(tag)
+            if code is None:
+                samples = np.empty(0)
+            else:
+                samples = self._values.as_array()[
+                    self._codes.as_array() == code]
+        if len(samples) == 0:
             raise AnalysisError(
                 "no latency samples recorded"
                 + (f" for tag {tag!r}" if tag else ""))
-        return np.asarray(samples)
+        self._array_cache[tag] = (self._version, samples)
+        return samples
 
     def mean(self, tag: str | None = None) -> float:
         """Arithmetic mean latency."""
@@ -91,4 +125,4 @@ class LatencyRecorder:
         return float(self._array(tag).max())
 
     def __repr__(self) -> str:
-        return f"<LatencyRecorder {len(self._samples)} samples>"
+        return f"<LatencyRecorder {len(self._values)} samples>"

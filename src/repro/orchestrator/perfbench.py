@@ -18,6 +18,17 @@ Each slice is repeated and the **minimum** wall time is reported: the
 minimum is the least noisy location statistic for wall-clock timing
 (anything above it is scheduler/cache interference, never the code
 being faster than it is).
+
+``--mem`` switches the harness to memory profiling: each slice runs once
+under :mod:`tracemalloc` and records its peak traced allocation (plus the
+process's RUSAGE high-water RSS for context) as a ``metric: "mem"``
+trajectory entry, gated by :func:`check_memory_against_baseline`.
+
+Schema v2 additionally rotates the trajectory — the newest
+:data:`_KEEP_PER_GROUP` entries per (mode, metric) group plus the
+artifact's first-ever entry survive — so the committed file stays
+bounded no matter how often the harness runs.  v1 artifacts are read
+transparently and upgraded on the next append.
 """
 
 from __future__ import annotations
@@ -26,7 +37,9 @@ import dataclasses
 import json
 import pathlib
 import platform
+import resource
 import time
+import tracemalloc
 import typing as t
 
 from repro._errors import ConfigurationError
@@ -35,11 +48,20 @@ from repro.orchestrator import plan as plan_mod
 from repro.orchestrator.executor import execute_point
 
 #: Artifact schema version; bump on layout changes.
-PERF_BENCH_VERSION = 1
+PERF_BENCH_VERSION = 2
 
 #: Default regression gate: fail when a slice is >25% slower than the
 #: committed baseline.
 DEFAULT_THRESHOLD = 0.25
+
+#: Default memory gate: fail when a slice's peak traced allocation is
+#: >50% above the committed baseline.  Allocation peaks are much less
+#: noisy than wall time, but tracemalloc accounting shifts with Python
+#: versions, so the margin stays generous.
+DEFAULT_MEM_THRESHOLD = 0.5
+
+#: Trajectory entries kept per (mode, metric) group after an append.
+_KEEP_PER_GROUP = 50
 
 #: Slice name → (experiment id, point labels to time, settings factory).
 #: Labels select from the experiment's sweep plan; timing goes through
@@ -71,6 +93,23 @@ _SLICES: dict[str, dict[str, SliceSpec]] = {
     },
 }
 
+#: Extended slices: expensive points excluded from default runs, opted
+#: into with ``--extended`` (or named explicitly via ``--slice``).  Each
+#: entry builds its sweep points directly because the stock experiment
+#: plans do not carry them.
+_EXTENDED_SLICES: dict[str, dict[
+    str, t.Callable[[], list[plan_mod.SweepPoint]]]] = {
+    "full": {
+        # The memory-scaling point: 10k closed-loop users exercises the
+        # columnar measurement plane and the adaptive RNG prefetch far
+        # beyond the regular load curve.
+        "e2-10k": lambda: [plan_mod.SweepPoint(
+            "e2", 0, "load", "users=10000",
+            ExperimentSettings.fast(seed=1),
+            params=(("users", 10000),))],
+    },
+}
+
 #: Repeats per slice, by mode.
 _REPEATS = {"full": 3, "smoke": 2}
 
@@ -94,12 +133,17 @@ class SliceResult:
 
 def slice_points(mode: str, name: str) -> list[plan_mod.SweepPoint]:
     """Resolve one slice's sweep points from its experiment's plan."""
+    extended = _EXTENDED_SLICES.get(mode, {}).get(name)
+    if extended is not None:
+        return extended()
     try:
         experiment, labels, settings_factory = _SLICES[mode][name]
     except KeyError:
+        known = {m: sorted(s) for m, s in _SLICES.items()}
+        extra = {m: sorted(s) for m, s in _EXTENDED_SLICES.items()}
         raise ConfigurationError(
-            f"unknown perf slice {mode}/{name}; known: "
-            f"{ {m: sorted(s) for m, s in _SLICES.items()} }") from None
+            f"unknown perf slice {mode}/{name}; known: {known}, "
+            f"extended: {extra}") from None
     settings = settings_factory()
     by_label = {point.label: point
                 for point in plan_mod.plan_sweep(experiment, settings)}
@@ -127,19 +171,29 @@ def time_slice(mode: str, name: str,
     return SliceResult(name, min(walls), tuple(walls), len(points))
 
 
-def run_perfbench(mode: str = "smoke",
-                  slices: t.Sequence[str] | None = None,
-                  repeat: int | None = None,
-                  progress: t.Callable[[str], None] | None = None
-                  ) -> list[SliceResult]:
-    """Time every requested slice (default: all three)."""
+def _resolve_names(mode: str, slices: t.Sequence[str] | None,
+                   extended: bool) -> list[str]:
     if mode not in _SLICES:
         raise ConfigurationError(
             f"unknown perfbench mode {mode!r}; choose from "
             f"{sorted(_SLICES)}")
-    names = list(slices) if slices is not None else sorted(_SLICES[mode])
+    if slices is not None:
+        return list(slices)
+    names = sorted(_SLICES[mode])
+    if extended:
+        names += sorted(_EXTENDED_SLICES.get(mode, {}))
+    return names
+
+
+def run_perfbench(mode: str = "smoke",
+                  slices: t.Sequence[str] | None = None,
+                  repeat: int | None = None,
+                  extended: bool = False,
+                  progress: t.Callable[[str], None] | None = None
+                  ) -> list[SliceResult]:
+    """Time every requested slice (default: all three)."""
     results = []
-    for name in names:
+    for name in _resolve_names(mode, slices, extended):
         result = time_slice(mode, name, repeat=repeat)
         results.append(result)
         if progress is not None:
@@ -148,32 +202,127 @@ def run_perfbench(mode: str = "smoke",
     return results
 
 
-def trajectory_entry(results: t.Sequence[SliceResult], mode: str,
-                     label: str | None = None) -> dict[str, t.Any]:
-    """One trajectory entry as a JSON-native dict."""
+@dataclasses.dataclass(frozen=True)
+class MemSliceResult:
+    """Peak memory profile of one slice (single profiled pass)."""
+
+    name: str
+    traced_peak_bytes: int   # tracemalloc high-water during the slice
+    ru_maxrss_kb: int        # process RSS high-water after the slice
+    points: int
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "traced_peak_bytes": self.traced_peak_bytes,
+            "ru_maxrss_kb": self.ru_maxrss_kb,
+            "points": self.points,
+        }
+
+
+def profile_slice_memory(mode: str, name: str) -> MemSliceResult:
+    """Run one slice under tracemalloc and report its allocation peak.
+
+    ``ru_maxrss`` is the whole process's monotone high-water mark — it
+    contextualizes the traced peak but only the traced number is gated,
+    because it resets per slice.
+    """
+    points = slice_points(mode, name)
+    tracemalloc.start()
+    try:
+        for point in points:
+            execute_point(point)
+        __, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return MemSliceResult(name, int(peak), int(ru_maxrss), len(points))
+
+
+def run_membench(mode: str = "smoke",
+                 slices: t.Sequence[str] | None = None,
+                 extended: bool = False,
+                 progress: t.Callable[[str], None] | None = None
+                 ) -> list[MemSliceResult]:
+    """Memory-profile every requested slice (default: all three)."""
+    results = []
+    for name in _resolve_names(mode, slices, extended):
+        result = profile_slice_memory(mode, name)
+        results.append(result)
+        if progress is not None:
+            progress(f"slice {name}: peak "
+                     f"{result.traced_peak_bytes / 1e6:.1f} MB traced, "
+                     f"RSS high-water {result.ru_maxrss_kb / 1024:.0f} MB")
+    return results
+
+
+def _entry_header(mode: str, metric: str,
+                  label: str | None) -> dict[str, t.Any]:
     return {
         "label": label or "",
         "mode": mode,
+        "metric": metric,
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "slices": {result.name: result.to_dict() for result in results},
     }
+
+
+def trajectory_entry(results: t.Sequence[SliceResult], mode: str,
+                     label: str | None = None) -> dict[str, t.Any]:
+    """One wall-clock trajectory entry as a JSON-native dict."""
+    entry = _entry_header(mode, "wall", label)
+    entry["slices"] = {result.name: result.to_dict() for result in results}
+    return entry
+
+
+def memory_entry(results: t.Sequence[MemSliceResult], mode: str,
+                 label: str | None = None) -> dict[str, t.Any]:
+    """One memory trajectory entry as a JSON-native dict."""
+    entry = _entry_header(mode, "mem", label)
+    entry["slices"] = {result.name: result.to_dict() for result in results}
+    return entry
+
+
+def _rotate(entries: list[dict[str, t.Any]]) -> list[dict[str, t.Any]]:
+    """Newest :data:`_KEEP_PER_GROUP` per (mode, metric) + the first ever.
+
+    The first-ever entry is the fixed "where this repo started" reference
+    point; everything else ages out group by group.
+    """
+    if not entries:
+        return entries
+    keep = {0}
+    groups: dict[tuple[str, str], list[int]] = {}
+    for index, entry in enumerate(entries):
+        key = (entry.get("mode", ""), entry.get("metric", "wall"))
+        groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        keep.update(indices[-_KEEP_PER_GROUP:])
+    return [entries[index] for index in sorted(keep)]
 
 
 def append_trajectory(path: str | pathlib.Path,
                       entry: dict[str, t.Any]) -> dict[str, t.Any]:
-    """Append ``entry`` to the artifact at ``path`` (created if absent)."""
+    """Append ``entry`` to the artifact at ``path`` (created if absent).
+
+    Reads schema v1 or v2; always writes v2 (rotated trajectory).
+    """
     target = pathlib.Path(path)
     if target.exists():
         payload = json.loads(target.read_text(encoding="utf-8"))
         if payload.get("artifact") != "repro-perf-bench":
             raise ConfigurationError(
                 f"{target} exists but is not a repro-perf-bench artifact")
+        version = payload.get("version", 1)
+        if version not in (1, PERF_BENCH_VERSION):
+            raise ConfigurationError(
+                f"{target} has unsupported schema version {version}")
+        payload["version"] = PERF_BENCH_VERSION
     else:
         payload = {"artifact": "repro-perf-bench",
                    "version": PERF_BENCH_VERSION,
                    "trajectory": []}
     payload["trajectory"].append(entry)
+    payload["trajectory"] = _rotate(payload["trajectory"])
     if target.parent != pathlib.Path(""):
         target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2) + "\n",
@@ -181,15 +330,19 @@ def append_trajectory(path: str | pathlib.Path,
     return payload
 
 
-def baseline_entry(path: str | pathlib.Path,
-                   mode: str) -> dict[str, t.Any]:
-    """The newest trajectory entry of ``mode`` in a committed artifact."""
+def baseline_entry(path: str | pathlib.Path, mode: str,
+                   metric: str = "wall") -> dict[str, t.Any]:
+    """The newest ``(mode, metric)`` entry in a committed artifact.
+
+    v1 entries carry no ``metric`` field and are treated as wall-clock.
+    """
     payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
     entries = [entry for entry in payload.get("trajectory", [])
-               if entry.get("mode") == mode]
+               if entry.get("mode") == mode
+               and entry.get("metric", "wall") == metric]
     if not entries:
         raise ConfigurationError(
-            f"{path} has no trajectory entry for mode {mode!r}")
+            f"{path} has no {metric} trajectory entry for mode {mode!r}")
     return entries[-1]
 
 
@@ -217,4 +370,32 @@ def check_against_baseline(results: t.Sequence[SliceResult],
                 f"slice {result.name}: {result.wall_seconds:.2f}s exceeds "
                 f"baseline {reference['wall_seconds']:.2f}s by more than "
                 f"{threshold:.0%}")
+    return failures
+
+
+def check_memory_against_baseline(results: t.Sequence[MemSliceResult],
+                                  baseline: dict[str, t.Any],
+                                  threshold: float = DEFAULT_MEM_THRESHOLD
+                                  ) -> list[str]:
+    """Memory-regression report over peak traced allocation.
+
+    Same contract as :func:`check_against_baseline`: returns failure
+    messages (empty = gate passes); slices absent from the baseline are
+    skipped.
+    """
+    if threshold <= 0:
+        raise ConfigurationError(f"threshold must be positive: {threshold}")
+    failures = []
+    baseline_slices = baseline.get("slices", {})
+    for result in results:
+        reference = baseline_slices.get(result.name)
+        if reference is None:
+            continue
+        allowed = reference["traced_peak_bytes"] * (1.0 + threshold)
+        if result.traced_peak_bytes > allowed:
+            failures.append(
+                f"slice {result.name}: peak "
+                f"{result.traced_peak_bytes / 1e6:.1f} MB exceeds baseline "
+                f"{reference['traced_peak_bytes'] / 1e6:.1f} MB by more "
+                f"than {threshold:.0%}")
     return failures

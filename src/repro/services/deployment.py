@@ -159,10 +159,11 @@ class Deployment:
         policies deliver rather than client-side request-killing.
         """
         if self.resilience is None or not protected:
-            done = self.sim.event()
+            now = self.sim.now
+            done = Event(self.sim)
             request = Request(service_name, endpoint, done, payload=payload,
-                              parent=parent, created_at=self.sim.now)
-            instance = self.registry.lookup(service_name, now=self.sim.now)
+                              parent=parent, created_at=now)
+            instance = self.registry.lookup(service_name, now=now)
             self.rpc.deliver(request, instance)
             return done
         if not self.registry.has_service(service_name):

@@ -35,7 +35,8 @@ class ServiceInstance:
     __slots__ = ("deployment", "spec", "instance_id", "local_id", "group",
                  "queue", "shared", "outstanding", "completed", "rejected",
                  "failed", "expired", "accepting", "breaker",
-                 "demand_factor", "_pause", "_workers")
+                 "demand_factor", "_pause", "_workers",
+                 "_demand_samplers", "_svc_streams")
 
     def __init__(self, deployment: "Deployment", spec: ServiceSpec,
                  affinity: CpuSet, home_node: int, local_id: int = 0):
@@ -69,6 +70,13 @@ class ServiceInstance:
         #: Fault-injection hook: while set, workers stall on this event
         #: before processing any newly dequeued request.
         self._pause: Event | None = None
+        #: (endpoint, mean, cv) → resolved lognormal demand sampler, and
+        #: purpose → "svc.<service>.<purpose>" stream name: both depend
+        #: only on the spec, so stream resolution happens once per
+        #: endpoint, not once per request.
+        self._demand_samplers: dict[tuple[str, float, float],
+                                    t.Callable[[], float]] = {}
+        self._svc_streams: dict[str, str] = {}
         self._workers = [deployment.sim.process(self._worker_loop())
                          for __ in range(spec.workers)]
 
@@ -136,9 +144,16 @@ class ServiceInstance:
         self._pause = None
 
     def _worker_loop(self) -> t.Generator:
-        sim = self.deployment.sim
+        # Loop-invariant hot-path bindings (the deployment's sim/rpc and
+        # the spec's endpoint table never change after construction; the
+        # tracer can be attached later, so it is re-read per request).
+        deployment = self.deployment
+        sim = deployment.sim
+        rpc = deployment.rpc
+        resolve = self.spec.resolve
+        queue_get = self.queue.get
         while True:
-            request = t.cast(Request, (yield self.queue.get()))
+            request: Request = yield queue_get()  # type: ignore[misc]
             if self._pause is not None:
                 yield self._pause
             request.started_at = sim.now
@@ -146,7 +161,7 @@ class ServiceInstance:
                 # The caller already gave up; don't burn CPU on it.
                 self.expired += 1
                 self.outstanding -= 1
-                self.deployment.rpc.respond_failure(
+                rpc.respond_failure(
                     request.done, DeadlineExceededError(
                         f"{self.spec.name}#{self.instance_id} dequeued "
                         f"request past its deadline "
@@ -154,19 +169,19 @@ class ServiceInstance:
                 continue
             context = ServiceContext(self, request)
             try:
-                endpoint = self.spec.resolve(request.endpoint)
+                endpoint = resolve(request.endpoint)
                 response = yield from endpoint.handler(context)
             except Exception as exc:  # handler bug or modelled failure
                 self.failed += 1
                 self.outstanding -= 1
-                self.deployment.rpc.respond_failure(request.done, exc)
+                rpc.respond_failure(request.done, exc)
                 continue
             request.completed_at = sim.now
             self.completed += 1
             self.outstanding -= 1
-            if self.deployment.tracer is not None:
-                self.deployment.tracer.record(request)
-            self.deployment.rpc.respond(request.done, response)
+            if deployment.tracer is not None:
+                deployment.tracer.record(request)
+            rpc.respond(request.done, response)
 
     def __repr__(self) -> str:
         return (f"<ServiceInstance {self.spec.name}#{self.instance_id} "
@@ -212,10 +227,15 @@ class ServiceContext:
         demand is drawn from a lognormal with coefficient of variation
         ``cv`` on this service/endpoint's named stream.
         """
-        deployment = self.instance.deployment
-        stream = f"demand.{self.instance.spec.name}.{self.request.endpoint}"
-        demand = deployment.streams.lognormal_mean_cv(stream, mean_demand, cv)
-        return self.submit_demand(demand)
+        instance = self.instance
+        key = (self.request.endpoint, mean_demand, cv)
+        sampler = instance._demand_samplers.get(key)
+        if sampler is None:
+            stream = f"demand.{instance.spec.name}.{key[0]}"
+            sampler = instance._demand_samplers[key] = (
+                instance.deployment.streams.lognormal_sampler(
+                    stream, mean_demand, cv))
+        return self.submit_demand(sampler())
 
     def submit_demand(self, demand: float) -> Event:
         """Execute an exact CPU demand (no sampling).
@@ -223,9 +243,10 @@ class ServiceContext:
         The replica's ``demand_factor`` scales the demand — 1.0 in
         healthy operation, >1 while a slow-replica fault is active.
         """
-        deployment = self.instance.deployment
-        burst = CpuBurst(demand * self.instance.demand_factor,
-                         self.group, deployment.sim.event())
+        instance = self.instance
+        deployment = instance.deployment
+        burst = CpuBurst(demand * instance.demand_factor,
+                         instance.group, Event(deployment.sim))
         deployment.scheduler.submit(burst)
         return burst.done
 
@@ -253,8 +274,12 @@ class ServiceContext:
     def uniform(self, purpose: str, low: float = 0.0,
                 high: float = 1.0) -> float:
         """A uniform draw on this service's ``purpose`` stream."""
-        stream = f"svc.{self.instance.spec.name}.{purpose}"
-        return self.instance.deployment.streams.uniform(stream, low, high)
+        instance = self.instance
+        stream = instance._svc_streams.get(purpose)
+        if stream is None:
+            stream = instance._svc_streams[purpose] = (
+                f"svc.{instance.spec.name}.{purpose}")
+        return instance.deployment.streams.uniform(stream, low, high)
 
     def integers(self, purpose: str, low: int, high: int) -> int:
         """An integer draw in ``[low, high)``."""

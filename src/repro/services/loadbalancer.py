@@ -89,7 +89,17 @@ class LoadBalancer:
             # traffic.
             n = len(instances)
             start = self._next
-            for offset in range(n):
+            if start >= n:
+                start %= n
+            # First probe inlined: in the healthy steady state the cursor
+            # replica accepts and no modulo arithmetic is needed.
+            instance = instances[start]
+            if instance.accepting and (
+                    instance.breaker is None
+                    or instance.breaker.available(now)):
+                self._next = start + 1 if start + 1 < n else 0
+                return instance
+            for offset in range(1, n):
                 position = (start + offset) % n
                 instance = instances[position]
                 if instance.accepting and (

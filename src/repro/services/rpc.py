@@ -9,11 +9,12 @@ each pay one hop.
 from __future__ import annotations
 
 import functools
+import heapq
 import typing as t
 
 from repro._errors import ConfigurationError, DeadlineExceededError
 from repro._units import us
-from repro.sim.engine import Simulator
+from repro.sim.engine import Handle, Simulator
 from repro.sim.events import Event
 
 if t.TYPE_CHECKING:  # pragma: no cover
@@ -47,9 +48,15 @@ class RpcFabric:
         if self.hop_latency == 0:
             self._arrive(request, instance)
         else:
-            self.sim.call_in(
-                self.hop_latency,
-                functools.partial(self._arrive, request, instance))
+            # call_in inlined (hop_latency validated non-negative at
+            # construction): every RPC pays two of these.
+            sim = self.sim
+            time = sim.now + self.hop_latency
+            handle = Handle(
+                time, functools.partial(self._arrive, request, instance),
+                sim)
+            sim._counter += 1
+            heapq.heappush(sim._heap, (time, sim._counter, handle))
 
     def _arrive(self, request: "Request",
                 instance: "ServiceInstance") -> None:
@@ -67,8 +74,13 @@ class RpcFabric:
         if self.hop_latency == 0:
             done.succeed(response)
         else:
-            self.sim.call_in(self.hop_latency,
-                             functools.partial(done.succeed, response))
+            # call_in inlined, as in deliver().
+            sim = self.sim
+            time = sim.now + self.hop_latency
+            handle = Handle(time, functools.partial(done.succeed, response),
+                            sim)
+            sim._counter += 1
+            heapq.heappush(sim._heap, (time, sim._counter, handle))
 
     def respond_failure(self, done: Event, exc: Exception) -> None:
         """Propagate a handler failure to the caller after the return hop."""

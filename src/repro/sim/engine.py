@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import collections
+import gc
 import heapq
 import typing as t
 
 from repro._errors import SimulationError
-from repro.sim.events import Event, Interrupt, Timeout
+from repro.sim.events import _PENDING, Event, Interrupt, Timeout
 
 #: Tombstone-compaction floor: below this many cancelled entries the heap
 #: is left alone (re-heapifying a small heap costs more than carrying the
@@ -78,10 +79,10 @@ class Simulator:
         self._heap: list[tuple[float, int, Handle]] = []
         self._counter = 0
         self._running = False
-        #: Triggered events awaiting processing at the current time, as
-        #: ``(counter, event)`` in insertion order.
-        self._ready: collections.deque[tuple[int, Event]] = (
-            collections.deque())
+        #: Triggered events awaiting processing at the current time, in
+        #: insertion order; each carries its counter stamp in
+        #: ``_qcounter``.
+        self._ready: collections.deque[Event] = collections.deque()
         #: Cancelled entries still sitting in the heap.
         self._tombstones = 0
 
@@ -106,9 +107,10 @@ class Simulator:
                 and self._tombstones * 2 > len(self._heap)):
             # Rebuilding via heapify preserves pop order exactly: entries
             # compare by the total (time, counter) order regardless of
-            # their internal arrangement.
-            self._heap = [entry for entry in self._heap
-                          if not entry[2].cancelled]
+            # their internal arrangement.  In-place (slice assignment)
+            # so the run loop's local binding of the heap stays valid.
+            self._heap[:] = [entry for entry in self._heap
+                             if not entry[2].cancelled]
             heapq.heapify(self._heap)
             self._tombstones = 0
 
@@ -116,7 +118,13 @@ class Simulator:
         """Schedule ``callback()`` after ``delay`` simulated time units."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self.now + delay, callback)
+        # call_at inlined: this is the hot scheduling entry point (burst
+        # completions, sibling re-rates, RPC hops all land here).
+        time = self.now + delay
+        handle = Handle(time, callback, self)
+        self._counter += 1
+        heapq.heappush(self._heap, (time, self._counter, handle))
+        return handle
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -130,7 +138,8 @@ class Simulator:
         """
         if delay == 0.0:
             self._counter += 1
-            self._ready.append((self._counter, event))
+            event._qcounter = self._counter
+            self._ready.append(event)
         else:
             self.call_in(delay, lambda: self._process_event(event))
 
@@ -140,8 +149,10 @@ class Simulator:
         assert callbacks is not None, "event processed twice"
         for callback in callbacks:
             callback(event)
-        if not event.ok and not event.defused:
-            exc = t.cast(BaseException, event.value)
+        # Direct slot reads (not the ok/defused properties): this runs
+        # once per processed event.
+        if not event._ok and not event._defused:
+            exc = t.cast(BaseException, event._value)
             raise exc
 
     def event(self) -> Event:
@@ -184,12 +195,13 @@ class Simulator:
         if ready:
             # Heap entries scheduled at the current time before the ready
             # event keep their FIFO precedence via the shared counter.
-            if heap and heap[0][0] == self.now and heap[0][1] < ready[0][0]:
+            if heap and heap[0][0] == self.now \
+                    and heap[0][1] < ready[0]._qcounter:
                 __, __, handle = heapq.heappop(heap)
                 handle._queued = False
                 handle.callback()
             else:
-                self._process_event(ready.popleft()[1])
+                self._process_event(ready.popleft())
             return
         if not heap:
             raise SimulationError("nothing scheduled")
@@ -209,17 +221,22 @@ class Simulator:
         self._running = True
         # One merged loop instead of peek()/step() pairs: identical
         # processing order, half the call overhead and one tombstone
-        # scan per iteration on the engine's hottest loop.
+        # scan per iteration on the engine's hottest loop.  The heap is
+        # bound once — compaction mutates the list in place.  Cyclic GC
+        # is suspended for the duration: the loop allocates millions of
+        # short-lived acyclic objects (events, handles, heap tuples)
+        # whose refcounts free them immediately, while repeated gen-2
+        # scans of the long-lived process graph would buy nothing.
         ready = self._ready
+        heap = self._heap
         heappop = heapq.heappop
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         try:
             if until is not None and until < self.now:
                 raise SimulationError(
                     f"until={until} is in the past (now={self.now})")
             while True:
-                # Re-read each iteration: compaction (inside callbacks)
-                # replaces the heap list wholesale.
-                heap = self._heap
                 while heap and heap[0][2].cancelled:
                     heappop(heap)[2]._queued = False
                     self._tombstones -= 1
@@ -228,12 +245,20 @@ class Simulator:
                     # entries already scheduled at this time keep FIFO
                     # precedence via the shared counter.
                     if (heap and heap[0][0] == self.now
-                            and heap[0][1] < ready[0][0]):
+                            and heap[0][1] < ready[0]._qcounter):
                         __, __, handle = heappop(heap)
                         handle._queued = False
                         handle.callback()
                     else:
-                        self._process_event(ready.popleft()[1])
+                        # _process_event, inlined.
+                        event = ready.popleft()
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        assert callbacks is not None, "event processed twice"
+                        for callback in callbacks:
+                            callback(event)
+                        if not event._ok and not event._defused:
+                            raise t.cast(BaseException, event._value)
                     continue
                 if not heap:
                     break
@@ -248,6 +273,8 @@ class Simulator:
                 self.now = max(self.now, until)
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def __repr__(self) -> str:
         pending = len(self._heap) + len(self._ready) - self._tombstones
@@ -308,16 +335,20 @@ class Process(Event):
         carrier.succeed()
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
-            if not event.ok:
-                event.defuse()
+        # Direct slot reads and an inlined _advance throughout: this runs
+        # once per process wakeup, the single most frequent callback in
+        # the simulator.
+        if self._value is not _PENDING:
+            if not event._ok:
+                event._defused = True
             return
         self._waiting_on = None
-        if event.ok:
-            self._advance(event.value, failed=False)
+        if event._ok:
+            failed = False
         else:
-            event.defuse()
-            self._advance(t.cast(BaseException, event.value), failed=True)
+            event._defused = True
+            failed = True
+        self._advance(event._value, failed)
 
     def _advance(self, value: object, failed: bool) -> None:
         try:
@@ -341,4 +372,9 @@ class Process(Event):
             self._generator.throw(error)
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # add_callback, inlined (the already-processed branch included).
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)

@@ -43,7 +43,8 @@ class Event:
     :class:`~repro._errors.SimulationError`.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused",
+                 "_qcounter")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -53,6 +54,11 @@ class Event:
         self._value: object = _PENDING
         self._ok: bool | None = None
         self._defused = False
+        #: Insertion-counter stamp assigned when the triggered event is
+        #: queued on the simulator's ready deque (shared with the time
+        #: heap for FIFO interleaving); carried on the event itself so
+        #: enqueueing allocates no tuple.
+        self._qcounter = 0
 
     @property
     def triggered(self) -> bool:
@@ -96,7 +102,11 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self)
+        # Inlined Simulator._schedule_event zero-delay fast path: this is
+        # the single hottest call in the engine.
+        sim = self.sim
+        sim._counter = self._qcounter = sim._counter + 1
+        sim._ready.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -107,7 +117,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule_event(self)
+        sim = self.sim
+        sim._counter = self._qcounter = sim._counter + 1
+        sim._ready.append(self)
         return self
 
     def add_callback(self, callback: t.Callable[["Event"], None]) -> None:

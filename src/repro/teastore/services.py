@@ -46,15 +46,17 @@ def build_specs(config: TeaStoreConfig | None = None) -> dict[str, ServiceSpec]:
     db = spec_for("db", shared_factory=lambda instance: {
         "lock": Resource(instance.deployment.sim, 1)})
 
-    def db_handler(serial_fraction: float):
+    def db_handler(endpoint_name: str, serial_fraction: float):
+        stream = f"demand.db.{endpoint_name}"
+
         def handler(ctx: "ServiceContext"):
-            cost = float(t.cast(float, ctx.payload)) * scale
+            cost = ctx.payload * scale  # type: ignore[operator]
             demand = ctx.instance.deployment.streams.lognormal_mean_cv(
-                f"demand.db.{ctx.request.endpoint}", cost, cv)
+                stream, cost, cv)
             parallel_part = demand * (1.0 - serial_fraction)
             serial_part = demand * serial_fraction
             yield ctx.submit_demand(parallel_part)
-            lock = t.cast(dict, ctx.shared)["lock"]
+            lock = ctx.shared["lock"]  # type: ignore[index]
             yield lock.acquire()
             try:
                 yield ctx.submit_demand(serial_part)
@@ -63,8 +65,10 @@ def build_specs(config: TeaStoreConfig | None = None) -> dict[str, ServiceSpec]:
             return "rows"
         return handler
 
-    db.add_endpoint("read", db_handler(config.db_read_serial_fraction))
-    db.add_endpoint("write", db_handler(config.db_write_serial_fraction))
+    db.add_endpoint("read",
+                    db_handler("read", config.db_read_serial_fraction))
+    db.add_endpoint("write",
+                    db_handler("write", config.db_write_serial_fraction))
 
     # ------------------------------------------------------------------
     # Persistence (ORM layer in front of the database)
@@ -122,7 +126,7 @@ def build_specs(config: TeaStoreConfig | None = None) -> dict[str, ServiceSpec]:
 
     @image.endpoint("get_batch")
     def image_get_batch(ctx: "ServiceContext"):
-        count = int(t.cast(int, ctx.payload) or CATEGORY_PREVIEW_IMAGES)
+        count = ctx.payload or CATEGORY_PREVIEW_IMAGES  # type: ignore[assignment]
         streams = ctx.instance.deployment.streams
         misses = streams.binomial(
             f"svc.image.batch.{ctx.instance.local_id}", count,

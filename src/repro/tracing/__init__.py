@@ -9,6 +9,6 @@ which is the decomposition behind "where does a page's latency actually
 go" (experiment E11).
 """
 
-from repro.tracing.collector import Span, TraceCollector
+from repro.tracing.collector import Span, SpanTable, TraceCollector
 
-__all__ = ["Span", "TraceCollector"]
+__all__ = ["Span", "SpanTable", "TraceCollector"]

@@ -1,29 +1,148 @@
-"""Span collection and latency decomposition."""
+"""Span collection and latency decomposition.
+
+Spans are stored columnar: a :class:`SpanTable` keeps one growable numpy
+column per field (four float64 timestamps, int64 ids, uint32 interned
+service/endpoint codes), so a hop costs ~44 bytes instead of a boxed
+dataclass plus dict entries.  :class:`Span` survives as a lazy row view
+over the table, and the E11 decomposition aggregates with one
+argsort-based sweep over all exclusive intervals instead of per-root
+dict-of-list merging.
+"""
 
 from __future__ import annotations
 
-import dataclasses
 import typing as t
 
+import numpy as np
+
 from repro._errors import AnalysisError
+from repro.metrics.columns import Column, StringInterner
 
 if t.TYPE_CHECKING:  # pragma: no cover
     from repro.services.request import Request
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
-class Span:
-    """One completed request hop."""
+class SpanTable:
+    """Columnar storage for completed request hops.
 
-    request_id: int
-    parent_id: int | None
-    service: str
-    endpoint: str
-    instance_id: int | None
-    created_at: float    # caller issued the request
-    enqueued_at: float   # arrived at the replica queue
-    started_at: float    # a worker picked it up
-    completed_at: float  # handler finished
+    Parallel columns, one row per hop; ``parent_id`` and ``instance_id``
+    use ``-1`` for "none" so the columns stay dense int64.
+    """
+
+    __slots__ = ("request_id", "parent_id", "instance_id",
+                 "service_code", "endpoint_code",
+                 "created", "enqueued", "started", "completed",
+                 "services", "endpoints",
+                 "row_of", "children_rows", "root_rows")
+
+    def __init__(self):
+        self.request_id = Column(np.int64)
+        self.parent_id = Column(np.int64)
+        self.instance_id = Column(np.int64)
+        self.service_code = Column(np.uint32)
+        self.endpoint_code = Column(np.uint32)
+        self.created = Column(np.float64)
+        self.enqueued = Column(np.float64)
+        self.started = Column(np.float64)
+        self.completed = Column(np.float64)
+        self.services = StringInterner()
+        self.endpoints = StringInterner()
+        #: request id → row index.
+        self.row_of: dict[int, int] = {}
+        #: parent request id → child row indices, in completion order.
+        self.children_rows: dict[int, list[int]] = {}
+        #: rows of parentless spans, in completion order.
+        self.root_rows: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.request_id)
+
+    def append(self, request_id: int, parent_id: int | None,
+               service: str, endpoint: str, instance_id: int | None,
+               created_at: float, enqueued_at: float,
+               started_at: float, completed_at: float) -> int:
+        """Add one hop; returns its row index."""
+        row = len(self.request_id)
+        self.request_id.append(request_id)
+        self.parent_id.append(-1 if parent_id is None else parent_id)
+        self.instance_id.append(-1 if instance_id is None else instance_id)
+        self.service_code.append(self.services.encode(service))
+        self.endpoint_code.append(self.endpoints.encode(endpoint))
+        self.created.append(created_at)
+        self.enqueued.append(enqueued_at)
+        self.started.append(started_at)
+        self.completed.append(completed_at)
+        self.row_of[request_id] = row
+        if parent_id is None:
+            self.root_rows.append(row)
+        else:
+            self.children_rows.setdefault(parent_id, []).append(row)
+        return row
+
+    def clear(self) -> None:
+        """Drop all rows (interned names are kept)."""
+        for column in (self.request_id, self.parent_id, self.instance_id,
+                       self.service_code, self.endpoint_code,
+                       self.created, self.enqueued, self.started,
+                       self.completed):
+            column.clear()
+        self.row_of.clear()
+        self.children_rows.clear()
+        self.root_rows.clear()
+
+
+class Span:
+    """One completed request hop — a lazy view over a table row."""
+
+    __slots__ = ("_table", "_row")
+
+    def __init__(self, table: SpanTable, row: int):
+        self._table = table
+        self._row = row
+
+    @property
+    def request_id(self) -> int:
+        return int(self._table.request_id.as_array()[self._row])
+
+    @property
+    def parent_id(self) -> int | None:
+        value = int(self._table.parent_id.as_array()[self._row])
+        return None if value < 0 else value
+
+    @property
+    def service(self) -> str:
+        return self._table.services.decode(
+            int(self._table.service_code.as_array()[self._row]))
+
+    @property
+    def endpoint(self) -> str:
+        return self._table.endpoints.decode(
+            int(self._table.endpoint_code.as_array()[self._row]))
+
+    @property
+    def instance_id(self) -> int | None:
+        value = int(self._table.instance_id.as_array()[self._row])
+        return None if value < 0 else value
+
+    @property
+    def created_at(self) -> float:
+        """Caller issued the request."""
+        return float(self._table.created.as_array()[self._row])
+
+    @property
+    def enqueued_at(self) -> float:
+        """Arrived at the replica queue."""
+        return float(self._table.enqueued.as_array()[self._row])
+
+    @property
+    def started_at(self) -> float:
+        """A worker picked it up."""
+        return float(self._table.started.as_array()[self._row])
+
+    @property
+    def completed_at(self) -> float:
+        """Handler finished."""
+        return float(self._table.completed.as_array()[self._row])
 
     @property
     def duration(self) -> float:
@@ -40,6 +159,17 @@ class Span:
         """Time inside the handler (own CPU + downstream waits)."""
         return self.completed_at - self.started_at
 
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Span) and other._table is self._table
+                and other._row == self._row)
+
+    def __hash__(self) -> int:
+        return hash((id(self._table), self._row))
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.service}/{self.endpoint} "
+                f"request={self.request_id} row={self._row}>")
+
 
 def _union_length(intervals: list[tuple[float, float]]) -> float:
     """Total length covered by a set of possibly overlapping intervals."""
@@ -51,7 +181,10 @@ def _merge(intervals: list[tuple[float, float]]
     """Merge possibly overlapping intervals into disjoint sorted ones."""
     if not intervals:
         return []
-    intervals = sorted(intervals)
+    # Exclusive-interval pipelines emit ascending starts already; one
+    # order-check pass beats re-sorting a sorted list on every call.
+    if any(a > b for a, b in zip(intervals, intervals[1:])):
+        intervals = sorted(intervals)
     merged = [intervals[0]]
     for start, end in intervals[1:]:
         last_start, last_end = merged[-1]
@@ -88,12 +221,15 @@ class TraceCollector:
     """Collects spans and answers latency-decomposition queries."""
 
     def __init__(self):
-        self._spans: dict[int, Span] = {}
-        self._children: dict[int, list[Span]] = {}
-        self._roots: list[Span] = []
+        self._table = SpanTable()
 
     def __len__(self) -> int:
-        return len(self._spans)
+        return len(self._table)
+
+    @property
+    def table(self) -> SpanTable:
+        """The columnar backing store (read-only access for analysis)."""
+        return self._table
 
     def record(self, request: "Request") -> None:
         """Turn a completed request into a span (called by instances)."""
@@ -103,22 +239,27 @@ class TraceCollector:
                 f"request {request!r} is missing timestamps")
         parent_id = (request.parent.request_id
                      if request.parent is not None else None)
-        span = Span(request.request_id, parent_id,
-                    request.service_name, request.endpoint,
-                    request.instance_id, request.created_at,
-                    request.enqueued_at, request.started_at,
-                    request.completed_at)
-        self._spans[span.request_id] = span
-        if parent_id is None:
-            self._roots.append(span)
-        else:
-            self._children.setdefault(parent_id, []).append(span)
+        self._table.append(request.request_id, parent_id,
+                           request.service_name, request.endpoint,
+                           request.instance_id, request.created_at,
+                           request.enqueued_at, request.started_at,
+                           request.completed_at)
+
+    def add_span(self, request_id: int, parent_id: int | None = None,
+                 service: str = "svc", endpoint: str = "op",
+                 instance_id: int | None = None,
+                 created_at: float = 0.0, enqueued_at: float = 0.0,
+                 started_at: float = 0.0,
+                 completed_at: float = 1.0) -> Span:
+        """Inject one span directly (tests, importers, synthetic traces)."""
+        row = self._table.append(request_id, parent_id, service, endpoint,
+                                 instance_id, created_at, enqueued_at,
+                                 started_at, completed_at)
+        return Span(self._table, row)
 
     def reset(self) -> None:
         """Drop all spans (end of warmup)."""
-        self._spans.clear()
-        self._children.clear()
-        self._roots.clear()
+        self._table.clear()
 
     # ------------------------------------------------------------------
     # Queries
@@ -126,22 +267,40 @@ class TraceCollector:
     @property
     def roots(self) -> list[Span]:
         """User-facing spans (no parent), in completion order."""
-        return list(self._roots)
+        table = self._table
+        return [Span(table, row) for row in table.root_rows]
 
     def children_of(self, span: Span) -> list[Span]:
         """Direct downstream spans of one span."""
-        return list(self._children.get(span.request_id, ()))
+        table = self._table
+        return [Span(table, row)
+                for row in table.children_rows.get(span.request_id, ())]
 
     def trace_of(self, root: Span) -> list[Span]:
         """The whole call tree below (and including) ``root``."""
-        result = [root]
-        frontier = [root]
+        table = self._table
+        return [Span(table, row)
+                for row in self._trace_rows(root._row)]
+
+    def _trace_rows(self, root_row: int) -> list[int]:
+        table = self._table
+        request_ids = table.request_id.as_array()
+        result = [root_row]
+        frontier = [root_row]
         while frontier:
-            node = frontier.pop()
-            kids = self._children.get(node.request_id, ())
+            row = frontier.pop()
+            kids = table.children_rows.get(int(request_ids[row]), ())
             result.extend(kids)
             frontier.extend(kids)
         return result
+
+    def _exclusive_intervals_of_row(
+            self, row: int, created: list[float], completed: list[float],
+            request_ids: np.ndarray) -> list[tuple[float, float]]:
+        holes = [(created[child], completed[child])
+                 for child in self._table.children_rows.get(
+                     int(request_ids[row]), ())]
+        return _subtract((created[row], completed[row]), holes)
 
     def exclusive_intervals(self, span: Span) -> list[tuple[float, float]]:
         """The span's window minus its children's windows.
@@ -149,13 +308,26 @@ class TraceCollector:
         What remains is when this hop itself was the reason the caller
         waited (own queueing + own CPU), not a downstream call.
         """
-        holes = [(child.created_at, child.completed_at)
-                 for child in self._children.get(span.request_id, ())]
+        table = self._table
+        holes = [(float(table.created.as_array()[child]),
+                  float(table.completed.as_array()[child]))
+                 for child in table.children_rows.get(span.request_id, ())]
         return _subtract((span.created_at, span.completed_at), holes)
 
     def exclusive_time(self, span: Span) -> float:
         """Total length of :meth:`exclusive_intervals`."""
         return _union_length(self.exclusive_intervals(span))
+
+    def _filtered_root_rows(self, endpoint: str | None) -> list[int]:
+        table = self._table
+        if endpoint is None:
+            return list(table.root_rows)
+        code = table.endpoints.code_if_known(endpoint)
+        if code is None:
+            return []
+        roots = np.asarray(table.root_rows, dtype=np.int64)
+        mask = table.endpoint_code.as_array()[roots] == code
+        return [int(row) for row in roots[mask]]
 
     def breakdown(self, endpoint: str | None = None) -> dict[str, float]:
         """Mean per-service critical-path seconds per user request.
@@ -167,32 +339,94 @@ class TraceCollector:
         Restricted to roots of one ``endpoint`` when given.  Values sum
         to ≈ the mean end-to-end latency (slightly more when *different*
         services overlap in parallel: each is on the critical path).
+
+        Aggregation is a single argsort-based sweep: every span's
+        exclusive intervals are gathered once, lexsorted by
+        ``(service, root, start)``, and union lengths accumulate in one
+        linear pass over the sorted arrays — no per-root dict-of-list
+        churn.
         """
-        roots = [r for r in self._roots
-                 if endpoint is None or r.endpoint == endpoint]
-        if not roots:
+        table = self._table
+        root_rows = self._filtered_root_rows(endpoint)
+        if not root_rows:
             raise AnalysisError(
                 "no traced roots" + (f" for endpoint {endpoint!r}"
                                      if endpoint else ""))
-        totals: dict[str, float] = {}
-        for root in roots:
-            per_service: dict[str, list[tuple[float, float]]] = {}
-            for span in self.trace_of(root):
-                per_service.setdefault(span.service, []).extend(
-                    self.exclusive_intervals(span))
-            for service, intervals in per_service.items():
-                totals[service] = (totals.get(service, 0.0)
-                                   + _union_length(intervals))
-        return {service: value / len(roots)
-                for service, value in totals.items()}
+        request_ids = table.request_id.as_array()
+        service_codes = table.service_code.as_array()
+        created = table.created.as_array().tolist()
+        completed = table.completed.as_array().tolist()
+
+        starts: list[float] = []
+        ends: list[float] = []
+        services: list[int] = []
+        root_ordinals: list[int] = []
+        first_seen: list[int] = []  # service codes in first-contribution order
+        seen: set[int] = set()
+        for ordinal, root_row in enumerate(root_rows):
+            for row in self._trace_rows(root_row):
+                intervals = self._exclusive_intervals_of_row(
+                    row, created, completed, request_ids)
+                if not intervals:
+                    continue
+                code = int(service_codes[row])
+                if code not in seen:
+                    seen.add(code)
+                    first_seen.append(code)
+                for start, end in intervals:
+                    starts.append(start)
+                    ends.append(end)
+                    services.append(code)
+                    root_ordinals.append(ordinal)
+
+        start_arr = np.asarray(starts)
+        order = np.lexsort((start_arr,
+                            np.asarray(root_ordinals, dtype=np.int64),
+                            np.asarray(services, dtype=np.int64)))
+        s_sorted = start_arr[order].tolist()
+        e_sorted = np.asarray(ends)[order].tolist()
+        svc_sorted = np.asarray(services, dtype=np.int64)[order].tolist()
+        root_sorted = np.asarray(root_ordinals,
+                                 dtype=np.int64)[order].tolist()
+
+        totals: dict[int, float] = {}
+        prev_key: tuple[int, int] | None = None
+        seg_start = seg_end = 0.0
+        acc = 0.0
+        for start, end, code, ordinal in zip(s_sorted, e_sorted,
+                                             svc_sorted, root_sorted):
+            key = (code, ordinal)
+            if key != prev_key:
+                if prev_key is not None:
+                    totals[prev_key[0]] = (totals.get(prev_key[0], 0.0)
+                                           + acc + (seg_end - seg_start))
+                prev_key = key
+                seg_start, seg_end = start, end
+                acc = 0.0
+            elif start > seg_end:
+                acc += seg_end - seg_start
+                seg_start, seg_end = start, end
+            elif end > seg_end:
+                seg_end = end
+        if prev_key is not None:
+            totals[prev_key[0]] = (totals.get(prev_key[0], 0.0)
+                                   + acc + (seg_end - seg_start))
+        n = len(root_rows)
+        # Emit in first-contribution order, matching the insertion order
+        # the per-root accumulation used to produce.
+        return {table.services.decode(code): totals[code] / n
+                for code in first_seen if code in totals}
 
     def mean_root_latency(self, endpoint: str | None = None) -> float:
         """Mean end-to-end duration of traced user requests."""
-        roots = [r for r in self._roots
-                 if endpoint is None or r.endpoint == endpoint]
-        if not roots:
+        root_rows = self._filtered_root_rows(endpoint)
+        if not root_rows:
             raise AnalysisError("no traced roots")
-        return sum(r.duration for r in roots) / len(roots)
+        rows = np.asarray(root_rows, dtype=np.int64)
+        table = self._table
+        durations = (table.completed.as_array()[rows]
+                     - table.created.as_array()[rows])
+        return sum(durations.tolist()) / len(root_rows)
 
     def to_chrome_trace(self, limit_roots: int | None = None) -> list[dict]:
         """Export spans as Chrome trace-event JSON (``chrome://tracing``,
@@ -203,8 +437,8 @@ class TraceCollector:
         ``limit_roots`` caps the export to the first N user requests'
         trees (traces of long runs are large).
         """
-        roots = self._roots if limit_roots is None \
-            else self._roots[:limit_roots]
+        roots = self.roots if limit_roots is None \
+            else self.roots[:limit_roots]
         events: list[dict] = []
         for root in roots:
             for span in self.trace_of(root):
@@ -227,5 +461,5 @@ class TraceCollector:
         return events
 
     def __repr__(self) -> str:
-        return (f"<TraceCollector {len(self._spans)} spans, "
-                f"{len(self._roots)} roots>")
+        return (f"<TraceCollector {len(self._table)} spans, "
+                f"{len(self._table.root_rows)} roots>")

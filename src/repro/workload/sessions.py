@@ -72,6 +72,6 @@ def weighted_mix_session(deployment: "Deployment",
         def walk() -> t.Iterator[Step]:
             while True:
                 index = deployment.streams.choice_index(stream, weights)
-                yield t.cast(Step, steps[index])
+                yield steps[index]  # type: ignore[misc]
         return walk()
     return factory

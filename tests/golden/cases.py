@@ -25,6 +25,8 @@ import typing as t
 from repro.experiments import (
     ExperimentSettings,
     e2_load_scaling,
+    e6_service_scaling,
+    e7_placement,
     e8_headline,
     e13_fault_tolerance,
 )
@@ -38,11 +40,21 @@ DIGEST_PATH = pathlib.Path(__file__).with_name("digests.json")
 SEEDS = (1, 2, 3)
 
 #: Experiment id → (module, golden settings factory).  E8 needs a
-#: machine with >= 6 CCXs (one per service), hence the medium preset.
+#: machine with >= 6 CCXs (one per service), hence the medium preset;
+#: E6's default CCX ladders only fit next to the fixed others-budget on
+#: the 16-CCX rome machine.
 CASES: dict[str, t.Any] = {
     "e2": (e2_load_scaling,
            lambda seed: ExperimentSettings.fast(
                preset="tiny", users=48, warmup=0.1, duration=0.3,
+               seed=seed)),
+    "e6": (e6_service_scaling,
+           lambda seed: ExperimentSettings.fast(
+               preset="rome-1s", users=48, warmup=0.1, duration=0.3,
+               seed=seed)),
+    "e7": (e7_placement,
+           lambda seed: ExperimentSettings.fast(
+               preset="medium", users=48, warmup=0.1, duration=0.3,
                seed=seed)),
     "e8": (e8_headline,
            lambda seed: ExperimentSettings.fast(
@@ -53,6 +65,20 @@ CASES: dict[str, t.Any] = {
                 preset="tiny", users=32, warmup=0.1, duration=0.25,
                 seed=seed)),
 }
+
+#: Per-experiment seed overrides.  E6 and E7 are the experiments that
+#: lean hardest on replica placement and per-service measurement; one
+#: seed each pins the columnar measurement plane without tripling the
+#: suite's wall time (E6 alone is ~1.2 s per seed).
+SEEDS_FOR: dict[str, tuple[int, ...]] = {
+    "e6": (1,),
+    "e7": (1,),
+}
+
+
+def seeds_for(experiment: str) -> tuple[int, ...]:
+    """The frozen seeds of one experiment's golden cases."""
+    return SEEDS_FOR.get(experiment, SEEDS)
 
 
 def settings_for(experiment: str, seed: int) -> ExperimentSettings:

@@ -19,7 +19,7 @@ import cases  # noqa: E402
 def main() -> int:
     digests = {}
     for experiment in cases.CASES:
-        for seed in cases.SEEDS:
+        for seed in cases.seeds_for(experiment):
             key = f"{experiment}:{seed}"
             digests[key] = cases.run_case(experiment, seed)
             print(f"{key}: {digests[key]}")

@@ -79,6 +79,39 @@ def test_latency_reset():
     assert recorder.tags == []
 
 
+def test_latency_derived_arrays_cached_between_queries():
+    # Satellite regression test: consecutive percentile queries against a
+    # quiescent recorder must reuse the same derived array, not re-slice
+    # the columns per call.
+    recorder = LatencyRecorder()
+    for value in [1.0, 2.0, 3.0]:
+        recorder.record(value, tag="home")
+        recorder.record(value * 2, tag="login")
+    first = recorder._array("home")
+    recorder.percentile(50, "home")
+    assert recorder._array("home") is first
+    assert recorder._array(None) is recorder._array(None)
+    tags = recorder.tags
+    assert recorder.tags is tags
+    # Recording invalidates every cached derived array.
+    recorder.record(9.0, tag="home")
+    assert recorder._array("home") is not first
+    assert recorder.mean("home") == pytest.approx((1 + 2 + 3 + 9) / 4)
+
+
+def test_latency_columnar_storage_matches_list_semantics():
+    recorder = LatencyRecorder()
+    values = [0.5, 0.25, 1.5, 0.75]
+    tags = ["a", None, "a", "b"]
+    for value, tag in zip(values, tags):
+        recorder.record(value, tag=tag)
+    assert recorder.count == 4
+    assert recorder.tags == ["a", "b"]
+    assert recorder.mean("a") == pytest.approx(1.0)
+    assert recorder.max() == 1.5
+    assert recorder.percentile(0, "a") == 0.5
+
+
 # ---------------------------------------------------------------------------
 # ThroughputMeter
 # ---------------------------------------------------------------------------
@@ -97,6 +130,27 @@ def test_throughput_window_rate():
     assert meter.window_count == 3
     assert meter.window_duration == pytest.approx(2.0)
     assert meter.rate() == pytest.approx(1.5)
+
+
+def test_throughput_timeline_columnar():
+    sim = Simulator()
+    meter = ThroughputMeter(sim, record_timeline=True)
+    for at in [0.5, 1.0, 1.5, 2.5]:
+        sim.call_in(at, meter.mark)
+    sim.run()
+    assert meter.mark_times().tolist() == [0.5, 1.0, 1.5, 2.5]
+    edges, rates = meter.rate_series(1.0)
+    assert edges.tolist() == [0.5, 1.5, 2.5]
+    assert rates.tolist() == [2.0, 1.0, 1.0]
+
+
+def test_throughput_timeline_off_by_default():
+    meter = ThroughputMeter(Simulator())
+    meter.mark()
+    with pytest.raises(AnalysisError):
+        meter.mark_times()
+    with pytest.raises(AnalysisError):
+        ThroughputMeter(Simulator(), record_timeline=True).rate_series(0)
 
 
 def test_throughput_window_misuse():
@@ -249,3 +303,38 @@ def test_latency_genuinely_negative_still_rejected():
         LatencyRecorder().record(-1e-9)
     with pytest.raises(AnalysisError):
         LatencyRecorder().record(-0.5)
+
+
+# ---------------------------------------------------------------------------
+# Columnar buffers
+# ---------------------------------------------------------------------------
+
+def test_column_amortized_doubling_and_views():
+    import numpy as np
+
+    from repro.metrics.columns import Column
+    column = Column(np.float64, capacity=2)
+    for i in range(5):
+        column.append(float(i))
+    assert len(column) == 5
+    assert column.as_array().tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+    # The view is zero-copy: it aliases the backing store.
+    view = column.as_array()
+    assert view.base is column._data
+    column.extend([5.0, 6.0])
+    assert column.as_array().tolist()[-2:] == [5.0, 6.0]
+    assert column.nbytes >= 7 * 8
+    column.clear()
+    assert len(column) == 0
+
+
+def test_string_interner_roundtrip():
+    from repro.metrics.columns import StringInterner
+    interner = StringInterner()
+    a = interner.encode("alpha")
+    b = interner.encode("beta")
+    assert interner.encode("alpha") == a != b
+    assert interner.decode(a) == "alpha"
+    assert interner.decode(StringInterner.NONE) == ""
+    assert interner.code_if_known("gamma") is None
+    assert len(interner) == 2

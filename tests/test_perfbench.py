@@ -1,0 +1,124 @@
+"""Tests for the perf/memory bench harness and its artifact schema."""
+
+import json
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.orchestrator import perfbench
+
+
+def make_entry(mode="smoke", metric="wall", label=""):
+    if metric == "wall":
+        return perfbench.trajectory_entry(
+            [perfbench.SliceResult("e2", 1.0, (1.0,), 1)], mode,
+            label=label)
+    return perfbench.memory_entry(
+        [perfbench.MemSliceResult("e2", 1_000_000, 50_000, 1)], mode,
+        label=label)
+
+
+# ---------------------------------------------------------------------------
+# Artifact schema v2: rotation + v1 compatibility
+# ---------------------------------------------------------------------------
+
+def test_append_rotation_keeps_first_and_newest_per_group(tmp_path):
+    target = tmp_path / "bench.json"
+    for i in range(perfbench._KEEP_PER_GROUP + 10):
+        perfbench.append_trajectory(
+            target, make_entry(label=f"wall-{i}"))
+    perfbench.append_trajectory(target, make_entry(metric="mem",
+                                                   label="mem-0"))
+    payload = json.loads(target.read_text())
+    assert payload["version"] == 2
+    labels = [entry["label"] for entry in payload["trajectory"]]
+    # First-ever entry survives rotation; the next 9 wall entries aged out.
+    assert labels[0] == "wall-0"
+    assert "wall-9" not in labels
+    assert labels[1] == "wall-10"
+    assert labels[-1] == "mem-0"
+    walls = [lab for lab in labels if lab.startswith("wall")]
+    assert len(walls) == perfbench._KEEP_PER_GROUP + 1
+
+
+def test_append_upgrades_v1_artifact(tmp_path):
+    target = tmp_path / "bench.json"
+    v1_entry = {"label": "old", "mode": "smoke",
+                "slices": {"e2": {"wall_seconds": 2.0}}}
+    target.write_text(json.dumps({
+        "artifact": "repro-perf-bench", "version": 1,
+        "trajectory": [v1_entry]}))
+    perfbench.append_trajectory(target, make_entry(label="new"))
+    payload = json.loads(target.read_text())
+    assert payload["version"] == 2
+    assert [e["label"] for e in payload["trajectory"]] == ["old", "new"]
+    # The metric-less v1 entry still serves as a wall baseline.
+    assert perfbench.baseline_entry(target, "smoke")["label"] == "new"
+
+
+def test_append_rejects_unsupported_version(tmp_path):
+    target = tmp_path / "bench.json"
+    target.write_text(json.dumps({
+        "artifact": "repro-perf-bench", "version": 99, "trajectory": []}))
+    with pytest.raises(ConfigurationError):
+        perfbench.append_trajectory(target, make_entry())
+
+
+def test_baseline_entry_filters_by_metric(tmp_path):
+    target = tmp_path / "bench.json"
+    perfbench.append_trajectory(target, make_entry(label="w"))
+    perfbench.append_trajectory(target, make_entry(metric="mem",
+                                                   label="m"))
+    assert perfbench.baseline_entry(target, "smoke")["label"] == "w"
+    assert perfbench.baseline_entry(target, "smoke",
+                                    metric="mem")["label"] == "m"
+    with pytest.raises(ConfigurationError):
+        perfbench.baseline_entry(target, "full", metric="mem")
+
+
+# ---------------------------------------------------------------------------
+# Memory gate
+# ---------------------------------------------------------------------------
+
+def test_memory_gate_passes_and_fails():
+    baseline = make_entry(metric="mem")
+    ok = [perfbench.MemSliceResult("e2", 1_200_000, 50_000, 1)]
+    assert perfbench.check_memory_against_baseline(ok, baseline) == []
+    fat = [perfbench.MemSliceResult("e2", 2_000_000, 50_000, 1)]
+    failures = perfbench.check_memory_against_baseline(fat, baseline)
+    assert len(failures) == 1 and "e2" in failures[0]
+    # Slices missing from the baseline never fail on first appearance.
+    new = [perfbench.MemSliceResult("e2-10k", 10**9, 50_000, 1)]
+    assert perfbench.check_memory_against_baseline(new, baseline) == []
+    with pytest.raises(ConfigurationError):
+        perfbench.check_memory_against_baseline(ok, baseline, threshold=0)
+
+
+def test_profile_slice_memory_smoke():
+    result = perfbench.profile_slice_memory("smoke", "e13")
+    assert result.name == "e13"
+    assert result.traced_peak_bytes > 0
+    assert result.ru_maxrss_kb > 0
+    assert result.points == 1
+
+
+# ---------------------------------------------------------------------------
+# Extended slices
+# ---------------------------------------------------------------------------
+
+def test_extended_slice_resolves_without_running():
+    [point] = perfbench.slice_points("full", "e2-10k")
+    assert point.label == "users=10000"
+    assert point.param("users") == 10000
+
+
+def test_extended_slices_off_by_default():
+    assert perfbench._resolve_names("full", None, extended=False) == \
+        ["e13", "e2", "e8"]
+    assert "e2-10k" in perfbench._resolve_names("full", None,
+                                                extended=True)
+
+
+def test_unknown_slice_error_mentions_extended():
+    with pytest.raises(ConfigurationError, match="extended"):
+        perfbench.slice_points("full", "nope")

@@ -7,14 +7,15 @@ from repro._units import ms
 from repro.cpu import FlatFrequencyModel, SmtModel
 from repro.memory import WorkloadProfile
 from repro.services import Deployment, ServiceSpec
-from repro.tracing import Span, TraceCollector
+from repro.tracing import TraceCollector
 from repro.tracing.collector import _union_length
 
 
-def make_span(request_id, parent_id=None, service="svc", endpoint="op",
-              created=0.0, enqueued=0.0, started=0.0, completed=1.0):
-    return Span(request_id, parent_id, service, endpoint, 0,
-                created, enqueued, started, completed)
+def add_span(collector, request_id, parent_id=None, service="svc",
+             endpoint="op", created=0.0, enqueued=0.0, started=0.0,
+             completed=1.0):
+    return collector.add_span(request_id, parent_id, service, endpoint, 0,
+                              created, enqueued, started, completed)
 
 
 # ---------------------------------------------------------------------------
@@ -46,8 +47,8 @@ def test_union_length_unsorted_input():
 # ---------------------------------------------------------------------------
 
 def test_span_derived_times():
-    span = make_span(1, created=1.0, enqueued=1.1, started=1.4,
-                     completed=2.0)
+    span = add_span(TraceCollector(), 1, created=1.0, enqueued=1.1,
+                    started=1.4, completed=2.0)
     assert span.duration == pytest.approx(1.0)
     assert span.queue_time == pytest.approx(0.3)
     assert span.service_time == pytest.approx(0.6)
@@ -55,23 +56,32 @@ def test_span_derived_times():
 
 def test_collector_exclusive_time_subtracts_children_union():
     collector = TraceCollector()
-    root = make_span(1, created=0.0, completed=10.0)
-    collector._spans[1] = root
-    collector._roots.append(root)
+    root = add_span(collector, 1, created=0.0, completed=10.0)
     # Two parallel children overlapping 2..5 and 3..7 → union 5.
-    collector._children[1] = [
-        make_span(2, parent_id=1, created=2.0, completed=5.0),
-        make_span(3, parent_id=1, created=3.0, completed=7.0),
-    ]
+    add_span(collector, 2, parent_id=1, created=2.0, completed=5.0)
+    add_span(collector, 3, parent_id=1, created=3.0, completed=7.0)
     assert collector.exclusive_time(root) == pytest.approx(5.0)
 
 
 def test_collector_exclusive_time_no_children():
     collector = TraceCollector()
-    root = make_span(1, created=0.0, completed=4.0)
-    collector._spans[1] = root
-    collector._roots.append(root)
+    root = add_span(collector, 1, created=0.0, completed=4.0)
     assert collector.exclusive_time(root) == pytest.approx(4.0)
+
+
+def test_add_span_builds_queryable_table():
+    collector = TraceCollector()
+    root = add_span(collector, 1, service="frontend", endpoint="page",
+                    created=0.0, completed=4.0)
+    child = add_span(collector, 2, parent_id=1, service="backend",
+                     created=1.0, completed=2.0)
+    assert len(collector) == 2
+    assert collector.roots == [root]
+    assert collector.children_of(root) == [child]
+    assert child.parent_id == 1
+    breakdown = collector.breakdown("page")
+    assert breakdown["frontend"] == pytest.approx(3.0)
+    assert breakdown["backend"] == pytest.approx(1.0)
 
 
 def test_breakdown_requires_roots():
