@@ -1,0 +1,25 @@
+"""Build script for the optional compiled event-loop kernel.
+
+All package metadata lives in ``pyproject.toml``; this file exists only
+to declare the C extension.  The extension is strictly optional
+(``optional=True``): when no compiler or headers are available the build
+warns and the package works unchanged on the pure-Python kernel.
+
+Local build (drops ``_ckernel*.so`` next to the sources, which is what
+the ``PYTHONPATH=src`` workflow picks up)::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        ),
+    ],
+)

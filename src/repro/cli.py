@@ -88,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write a markdown report to FILE")
     run.add_argument("--figures", metavar="DIR", default=None,
                      help="also write SVG figures to DIR")
+    _add_kernel_argument(run)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -124,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sweep-perf artifact ('' disables)")
     sweep.add_argument("--markdown", metavar="FILE", default=None,
                        help="also write a markdown report to FILE")
+    _add_kernel_argument(sweep)
 
     perfbench = subparsers.add_parser(
         "perfbench",
@@ -158,7 +160,41 @@ def _build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--threshold", type=float, default=None,
                            help="allowed slowdown fraction for --check "
                                 "(default 0.25)")
+    perfbench.add_argument("--profile", action="store_true",
+                           help="run each slice once under cProfile and "
+                                "print the hottest functions instead of "
+                                "recording a trajectory entry")
+    perfbench.add_argument("--top", type=int, default=20, metavar="N",
+                           help="functions shown per --profile report "
+                                "(default 20)")
+    _add_kernel_argument(perfbench)
     return parser
+
+
+def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--kernel", default=None,
+        choices=("auto", "python", "compiled"),
+        help="event-loop backend (default: REPRO_KERNEL env or auto; "
+             "'compiled' fails if the extension is not built)")
+
+
+def _apply_kernel_choice(args: argparse.Namespace) -> None:
+    """Pin the kernel backend for this process *and* worker processes.
+
+    The session default covers in-process simulators; the environment
+    variable carries the choice into sweep worker processes, which
+    build their own simulators from a fresh interpreter.
+    """
+    choice = getattr(args, "kernel", None)
+    if choice is None:
+        return
+    import os
+
+    from repro.sim import kernel
+
+    kernel.set_default_backend(choice)
+    os.environ[kernel.KERNEL_ENV] = choice
 
 
 def _settings_for(args: argparse.Namespace,
@@ -180,6 +216,7 @@ def _settings_for(args: argparse.Namespace,
 def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _apply_kernel_choice(args)
 
     if args.command == "list":
         for experiment_id, (title, __) in sorted(EXPERIMENTS.items()):
@@ -294,6 +331,11 @@ def _run_perfbench(args: argparse.Namespace) -> int:
     """The ``repro perfbench`` verb: wall/memory trajectory + gates."""
     from repro.orchestrator import perfbench
 
+    if args.profile:
+        for name in perfbench._resolve_names(args.mode, args.slices,
+                                             args.extended):
+            print(perfbench.profile_slice(args.mode, name, top=args.top))
+        return 0
     if args.mem:
         return _run_membench(args)
     results = perfbench.run_perfbench(

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import collections
 import functools
-import heapq
 import typing as t
 
 import numpy as np
@@ -38,7 +37,7 @@ from repro.cpu.burst import CpuBurst
 from repro.cpu.frequency import FrequencyModel
 from repro.cpu.perf import NullPerfModel, PerfModel
 from repro.cpu.smt import SmtModel
-from repro.sim.engine import Handle, Simulator
+from repro.sim.engine import Simulator
 from repro.topology.cpuset import CpuSet
 from repro.topology.model import Machine
 
@@ -51,8 +50,7 @@ class _Running:
 
     __slots__ = ("burst", "rate", "segment_start", "remaining", "handle")
 
-    def __init__(self, burst: CpuBurst, rate: float, now: float,
-                 handle: Handle):
+    def __init__(self, burst: CpuBurst, rate: float, now: float, handle):
         self.burst = burst
         self.rate = rate
         self.segment_start = now
@@ -114,6 +112,11 @@ class CpuScheduler:
         self._ccx_index = [machine.cpu(i).core.ccx.index for i in range(n)]
         self._complete_callbacks = [functools.partial(self._complete, i)
                                     for i in range(n)]
+        #: The kernel's schedule entry point, bound once: completions
+        #: and sibling re-rates are the scheduler's hottest scheduling
+        #: sites, and this strips an attribute hop per event no matter
+        #: which kernel backend is active.
+        self._kschedule = sim.schedule
         self._freq_factor = [
             self.frequency_model.factor(active, self.total_cores)
             for active in range(self.total_cores + 1)]
@@ -308,13 +311,11 @@ class CpuScheduler:
             self.active_cores += 1
         self.perf_model.on_burst_start(burst, self._cpus[cpu_index])
         rate = self._rate(burst, cpu_index)
-        # call_in inlined (demand/rate is never negative): completions
-        # are the scheduler's hottest scheduling site.
-        sim = self.sim
-        time = now + burst.demand / rate
-        handle = Handle(time, self._complete_callbacks[cpu_index], sim)
-        sim._counter += 1
-        heapq.heappush(sim._heap, (time, sim._counter, handle))
+        # call_in minus the delay validation (demand/rate is never
+        # negative): completions are the scheduler's hottest scheduling
+        # site, so they go straight to the kernel.
+        handle = self._kschedule(now + burst.demand / rate,
+                                 self._complete_callbacks[cpu_index])
         self._running[cpu_index] = _Running(burst, rate, now, handle)
         self.bursts_dispatched += 1
         if rerate_sibling:
@@ -432,12 +433,11 @@ class CpuScheduler:
         running.segment_start = now
         running.handle.cancel()
         rate = running.rate = self._rate(running.burst, sibling)
-        # call_in inlined (remaining is clamped non-negative above).
-        time = now + running.remaining / rate
-        handle = Handle(time, self._complete_callbacks[sibling], sim)
-        sim._counter += 1
-        heapq.heappush(sim._heap, (time, sim._counter, handle))
-        running.handle = handle
+        # call_in minus the delay validation (remaining is clamped
+        # non-negative above).
+        running.handle = self._kschedule(
+            now + running.remaining / rate,
+            self._complete_callbacks[sibling])
 
     def __repr__(self) -> str:
         busy = sum(1 for r in self._running if r is not None)

@@ -46,6 +46,7 @@ from repro._errors import ConfigurationError
 from repro.experiments.common import ExperimentSettings
 from repro.orchestrator import plan as plan_mod
 from repro.orchestrator.executor import execute_point
+from repro.sim import kernel as kernel_mod
 
 #: Artifact schema version; bump on layout changes.
 PERF_BENCH_VERSION = 2
@@ -192,14 +193,48 @@ def run_perfbench(mode: str = "smoke",
                   progress: t.Callable[[str], None] | None = None
                   ) -> list[SliceResult]:
     """Time every requested slice (default: all three)."""
+    backend = kernel_mod.active_backend()
     results = []
     for name in _resolve_names(mode, slices, extended):
         result = time_slice(mode, name, repeat=repeat)
         results.append(result)
         if progress is not None:
-            progress(f"slice {name}: {result.wall_seconds:.2f}s "
+            progress(f"slice {name} [{backend}]: "
+                     f"{result.wall_seconds:.2f}s "
                      f"(min of {len(result.repeats)})")
     return results
+
+
+def profile_slice(mode: str, name: str, top: int = 20) -> str:
+    """Run one slice once under :mod:`cProfile`; return the top-``top``
+    functions by cumulative time as a printable report.
+
+    One untimed warmup pass runs first so imports, plan construction,
+    and prefetch-buffer growth do not pollute the profile.  Profiled
+    runs are never recorded in the trajectory — the tracer costs more
+    than the differences the trajectory exists to catch.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1: {top}")
+    points = slice_points(mode, name)
+    for point in points:
+        execute_point(point)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for point in points:
+        execute_point(point)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    backend = kernel_mod.active_backend()
+    header = (f"profile {mode}/{name} [kernel={backend}] — top {top} "
+              f"by cumulative time")
+    return f"{header}\n{buffer.getvalue()}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -261,6 +296,10 @@ def _entry_header(mode: str, metric: str,
         "label": label or "",
         "mode": mode,
         "metric": metric,
+        # Which event-loop backend produced the numbers: trajectories
+        # from different kernels are never comparable, so the gate
+        # (baseline_entry) only matches same-kernel entries.
+        "kernel": kernel_mod.active_backend(),
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
@@ -331,18 +370,29 @@ def append_trajectory(path: str | pathlib.Path,
 
 
 def baseline_entry(path: str | pathlib.Path, mode: str,
-                   metric: str = "wall") -> dict[str, t.Any]:
-    """The newest ``(mode, metric)`` entry in a committed artifact.
+                   metric: str = "wall",
+                   kernel: str | None = None) -> dict[str, t.Any]:
+    """The newest ``(mode, metric, kernel)`` entry in a committed artifact.
 
-    v1 entries carry no ``metric`` field and are treated as wall-clock.
+    ``kernel`` defaults to the *active* backend: a compiled-kernel run is
+    only ever gated against a compiled-kernel baseline (and python
+    against python) — cross-backend comparison would either mask real
+    regressions or fail every pure-Python fallback run.  Entries
+    recorded before backends existed carry no ``kernel`` field and were
+    all pure-Python; they match ``kernel="python"``.  v1 entries carry
+    no ``metric`` field and are treated as wall-clock.
     """
+    if kernel is None:
+        kernel = kernel_mod.active_backend()
     payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
     entries = [entry for entry in payload.get("trajectory", [])
                if entry.get("mode") == mode
-               and entry.get("metric", "wall") == metric]
+               and entry.get("metric", "wall") == metric
+               and entry.get("kernel", "python") == kernel]
     if not entries:
         raise ConfigurationError(
-            f"{path} has no {metric} trajectory entry for mode {mode!r}")
+            f"{path} has no {metric} trajectory entry for mode {mode!r} "
+            f"on kernel backend {kernel!r}")
     return entries[-1]
 
 

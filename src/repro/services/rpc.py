@@ -9,12 +9,11 @@ each pay one hop.
 from __future__ import annotations
 
 import functools
-import heapq
 import typing as t
 
 from repro._errors import ConfigurationError, DeadlineExceededError
 from repro._units import us
-from repro.sim.engine import Handle, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.events import Event
 
 if t.TYPE_CHECKING:  # pragma: no cover
@@ -31,6 +30,9 @@ class RpcFabric:
                 f"hop latency must be non-negative: {hop_latency}")
         self.sim = sim
         self.hop_latency = hop_latency
+        #: The kernel's schedule entry point, bound once — every RPC
+        #: pays two hops through it (deliver and respond).
+        self._schedule = sim.schedule
         self.messages_sent = 0
         #: Requests whose deadline elapsed while on the wire.
         self.expired_in_flight = 0
@@ -48,15 +50,11 @@ class RpcFabric:
         if self.hop_latency == 0:
             self._arrive(request, instance)
         else:
-            # call_in inlined (hop_latency validated non-negative at
-            # construction): every RPC pays two of these.
-            sim = self.sim
-            time = sim.now + self.hop_latency
-            handle = Handle(
-                time, functools.partial(self._arrive, request, instance),
-                sim)
-            sim._counter += 1
-            heapq.heappush(sim._heap, (time, sim._counter, handle))
+            # call_in minus the delay validation (hop_latency checked
+            # non-negative at construction): straight to the kernel.
+            self._schedule(self.sim.now + self.hop_latency,
+                           functools.partial(self._arrive, request,
+                                             instance))
 
     def _arrive(self, request: "Request",
                 instance: "ServiceInstance") -> None:
@@ -74,13 +72,9 @@ class RpcFabric:
         if self.hop_latency == 0:
             done.succeed(response)
         else:
-            # call_in inlined, as in deliver().
-            sim = self.sim
-            time = sim.now + self.hop_latency
-            handle = Handle(time, functools.partial(done.succeed, response),
-                            sim)
-            sim._counter += 1
-            heapq.heappush(sim._heap, (time, sim._counter, handle))
+            # As in deliver(): one kernel push per return hop.
+            self._schedule(self.sim.now + self.hop_latency,
+                           functools.partial(done.succeed, response))
 
     def respond_failure(self, done: Event, exc: Exception) -> None:
         """Propagate a handler failure to the caller after the return hop."""

@@ -15,6 +15,11 @@ The kernel additionally exposes cheap *callback scheduling*
 (:meth:`Simulator.call_at` / :meth:`Simulator.call_in`) with cancellable
 handles, which the CPU scheduler uses for burst completions that must be
 re-timed when execution rates change.
+
+The event-loop core (heap, ready deque, dispatch loop) is pluggable:
+:mod:`repro.sim.kernel` registers a pure-Python reference backend and an
+optional compiled backend with identical behavior (``REPRO_KERNEL``
+selects; automatic fallback when the extension is not built).
 """
 
 from repro.sim.engine import Process, Simulator

@@ -1,0 +1,1218 @@
+/* Compiled event-loop kernel for repro.sim.
+ *
+ * A hand-written CPython extension that mirrors
+ * repro.sim.kernel.PythonKernel bit for bit: the time heap lives in a
+ * raw C array of (double time, long long counter, Handle*) entries, the
+ * zero-delay ready queue is a C ring buffer that keeps the counter
+ * stamps C-side, and the dispatch loop runs in C with inline fast paths
+ * for the two dominant callback families (Process._resume and
+ * Timeout._fire).  Any other callable takes the generic call path, so
+ * the fast paths are pure accelerations — observable behavior,
+ * processing order, and escalated exceptions are identical to the
+ * pure-Python kernel (the golden-digest suite pins this byte for byte).
+ *
+ * The module is inert until configure() hands it the Python-side types
+ * and sentinels it shares with repro.sim.events / repro.sim.engine;
+ * repro.sim.kernel calls configure() immediately after import.  Slots
+ * of those classes are read/written directly through their member
+ * descriptor offsets, which is what makes the inline resume path as
+ * cheap as a C struct access.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>   /* PyMemberDef layout (pre-3.12 headers) */
+
+#if PY_VERSION_HEX < 0x030A0000
+#  error "repro.sim._ckernel requires Python 3.10+ (PyIter_Send)"
+#endif
+
+/* Keep in sync with repro.sim.kernel._COMPACT_MIN_TOMBSTONES. */
+#define COMPACT_MIN_TOMBSTONES 64
+
+/* ------------------------------------------------------------------ */
+/* Module state (configured once by repro.sim.kernel)                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int configured;
+    PyObject *event_type;      /* repro.sim.events.Event */
+    PyObject *timeout_type;    /* repro.sim.events.Timeout */
+    PyObject *process_type;    /* repro.sim.engine.Process */
+    PyObject *sim_type;        /* repro.sim.engine.Simulator */
+    PyObject *pending;         /* repro.sim.events._PENDING sentinel */
+    PyObject *sim_error;       /* repro._errors.SimulationError */
+    PyObject *resume_func;     /* plain function Process._resume */
+    PyObject *fire_func;       /* plain function Timeout._fire */
+    PyObject *str_throw;
+    PyObject *str_value;
+    PyObject *str_push_ready;
+    PyObject *str_process_event;
+    /* Slot offsets (member-descriptor offsets are stable across
+     * subclasses: Timeout/Process extend Event's layout). */
+    Py_ssize_t ev_sim, ev_callbacks, ev_value, ev_ok, ev_defused;
+    Py_ssize_t pr_generator, pr_waiting;
+    Py_ssize_t tmo_payload;
+    Py_ssize_t sim_now;
+} KernelState;
+
+static KernelState S;
+
+/* Borrowed reference to the slot's current value (may be NULL). */
+static inline PyObject *
+slot_get(PyObject *obj, Py_ssize_t offset)
+{
+    return *(PyObject **)((char *)obj + offset);
+}
+
+/* Store a new reference to `value` in the slot, releasing the old. */
+static inline void
+slot_store(PyObject *obj, Py_ssize_t offset, PyObject *value)
+{
+    PyObject **slot = (PyObject **)((char *)obj + offset);
+    PyObject *old = *slot;
+    Py_INCREF(value);
+    *slot = value;
+    Py_XDECREF(old);
+}
+
+/* Truthiness of the _ok/_defused slots.  They only ever hold
+ * True/False/None in this codebase; exotic values fall back to
+ * PyObject_IsTrue with errors clamped to false. */
+static inline int
+truthy(PyObject *obj)
+{
+    if (obj == Py_True)
+        return 1;
+    if (obj == Py_False || obj == Py_None || obj == NULL)
+        return 0;
+    int r = PyObject_IsTrue(obj);
+    if (r < 0) {
+        PyErr_Clear();
+        return 0;
+    }
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* Handle                                                              */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    PyObject *callback;   /* NULL once cancelled */
+    PyObject *kernel;     /* owning CKernel while queued, else NULL */
+    char cancelled;
+    char queued;
+} CHandleObject;
+
+typedef struct {
+    double time;
+    long long cnt;
+    PyObject *handle;     /* strong reference to a CHandleObject */
+} HeapEntry;
+
+typedef struct {
+    PyObject_HEAD
+    HeapEntry *heap;
+    Py_ssize_t heap_len, heap_cap;
+    PyObject **ready;         /* ring buffer of triggered events */
+    long long *ready_cnt;     /* counter stamps, parallel to `ready` */
+    Py_ssize_t r_head, r_len, r_cap;   /* r_cap is a power of two */
+    long long counter;
+    Py_ssize_t tombstones;
+} CKernelObject;
+
+static PyTypeObject CHandle_Type;
+static PyTypeObject CKernel_Type;
+
+static void compact(CKernelObject *k);
+
+static inline void
+maybe_compact(CKernelObject *k)
+{
+    if (k->tombstones > COMPACT_MIN_TOMBSTONES
+        && k->tombstones * 2 > k->heap_len)
+        compact(k);
+}
+
+static PyObject *
+CHandle_cancel(CHandleObject *self, PyObject *Py_UNUSED(ignored))
+{
+    if (!self->cancelled) {
+        self->cancelled = 1;
+        Py_CLEAR(self->callback);
+        if (self->queued && self->kernel != NULL) {
+            CKernelObject *k = (CKernelObject *)self->kernel;
+            k->tombstones++;
+            maybe_compact(k);
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CHandle_get_time(CHandleObject *self, void *Py_UNUSED(closure))
+{
+    return PyFloat_FromDouble(self->time);
+}
+
+static PyObject *
+CHandle_get_callback(CHandleObject *self, void *Py_UNUSED(closure))
+{
+    PyObject *cb = self->callback ? self->callback : Py_None;
+    Py_INCREF(cb);
+    return cb;
+}
+
+static PyObject *
+CHandle_get_cancelled(CHandleObject *self, void *Py_UNUSED(closure))
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static PyObject *
+CHandle_repr(CHandleObject *self)
+{
+    if (self->cancelled)
+        return PyUnicode_FromString("<Handle cancelled>");
+    char *buf = PyOS_double_to_string(self->time, 'f', 6, 0, NULL);
+    if (buf == NULL)
+        return NULL;
+    PyObject *repr = PyUnicode_FromFormat("<Handle at t=%s>", buf);
+    PyMem_Free(buf);
+    return repr;
+}
+
+static int
+CHandle_traverse(CHandleObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->kernel);
+    return 0;
+}
+
+static int
+CHandle_clear(CHandleObject *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->kernel);
+    return 0;
+}
+
+static void
+CHandle_dealloc(CHandleObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->kernel);
+    PyObject_GC_Del(self);
+}
+
+static PyMethodDef CHandle_methods[] = {
+    {"cancel", (PyCFunction)CHandle_cancel, METH_NOARGS,
+     "Prevent the callback from running.  Idempotent."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CHandle_getset[] = {
+    {"time", (getter)CHandle_get_time, NULL, NULL, NULL},
+    {"callback", (getter)CHandle_get_callback, NULL, NULL, NULL},
+    {"cancelled", (getter)CHandle_get_cancelled, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject CHandle_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Handle",
+    .tp_basicsize = sizeof(CHandleObject),
+    .tp_dealloc = (destructor)CHandle_dealloc,
+    .tp_repr = (reprfunc)CHandle_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = PyDoc_STR("A cancellable handle for a scheduled callback "
+                        "(compiled kernel)."),
+    .tp_traverse = (traverseproc)CHandle_traverse,
+    .tp_clear = (inquiry)CHandle_clear,
+    .tp_methods = CHandle_methods,
+    .tp_getset = CHandle_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* Heap primitives ((time, counter) min-heap over raw C arrays)        */
+/* ------------------------------------------------------------------ */
+
+static inline int
+entry_lt(double ta, long long ca, const HeapEntry *b)
+{
+    return ta < b->time || (ta == b->time && ca < b->cnt);
+}
+
+static int
+heap_reserve(CKernelObject *k)
+{
+    if (k->heap_len < k->heap_cap)
+        return 0;
+    Py_ssize_t ncap = k->heap_cap ? k->heap_cap * 2 : 64;
+    HeapEntry *nh = PyMem_Realloc(k->heap, (size_t)ncap * sizeof(HeapEntry));
+    if (nh == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    k->heap = nh;
+    k->heap_cap = ncap;
+    return 0;
+}
+
+/* Insert (capacity must already be reserved).  Steals `handle`. */
+static void
+heap_push_raw(CKernelObject *k, double time, long long cnt, PyObject *handle)
+{
+    HeapEntry *h = k->heap;
+    Py_ssize_t pos = k->heap_len++;
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (entry_lt(time, cnt, &h[parent])) {
+            h[pos] = h[parent];
+            pos = parent;
+        }
+        else
+            break;
+    }
+    h[pos].time = time;
+    h[pos].cnt = cnt;
+    h[pos].handle = handle;
+}
+
+/* Re-establish the heap property for the subtree rooted at `pos`. */
+static void
+heap_siftdown(CKernelObject *k, Py_ssize_t pos)
+{
+    HeapEntry *h = k->heap;
+    Py_ssize_t n = k->heap_len;
+    HeapEntry item = h[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        Py_ssize_t right = child + 1;
+        if (right < n && entry_lt(h[right].time, h[right].cnt, &h[child]))
+            child = right;
+        if (entry_lt(h[child].time, h[child].cnt, &item)) {
+            h[pos] = h[child];
+            pos = child;
+        }
+        else
+            break;
+    }
+    h[pos] = item;
+}
+
+/* Pop the minimum entry; returns its handle (ownership transferred). */
+static PyObject *
+heap_pop_min(CKernelObject *k)
+{
+    PyObject *handle = k->heap[0].handle;
+    Py_ssize_t n = --k->heap_len;
+    if (n > 0) {
+        k->heap[0] = k->heap[n];
+        heap_siftdown(k, 0);
+    }
+    return handle;
+}
+
+/* Pop the minimum, mark it dequeued, drop its kernel backref. */
+static CHandleObject *
+pop_handle(CKernelObject *k)
+{
+    CHandleObject *h = (CHandleObject *)heap_pop_min(k);
+    h->queued = 0;
+    Py_CLEAR(h->kernel);
+    return h;
+}
+
+/* Filter out cancelled entries in place and re-heapify.  Pop order is
+ * preserved: entries compare by the total (time, counter) order
+ * regardless of internal arrangement.  Cancelled handles had their
+ * callback cleared at cancel() time, so the DECREFs here cannot run
+ * arbitrary Python code. */
+static void
+compact(CKernelObject *k)
+{
+    Py_ssize_t out = 0;
+    for (Py_ssize_t i = 0; i < k->heap_len; i++) {
+        CHandleObject *h = (CHandleObject *)k->heap[i].handle;
+        if (h->cancelled) {
+            h->queued = 0;
+            Py_CLEAR(h->kernel);
+            Py_DECREF(h);
+        }
+        else
+            k->heap[out++] = k->heap[i];
+    }
+    k->heap_len = out;
+    for (Py_ssize_t i = out / 2 - 1; i >= 0; i--)
+        heap_siftdown(k, i);
+    k->tombstones = 0;
+}
+
+static void
+drop_tombstones(CKernelObject *k)
+{
+    while (k->heap_len
+           && ((CHandleObject *)k->heap[0].handle)->cancelled) {
+        CHandleObject *h = pop_handle(k);
+        k->tombstones--;
+        Py_DECREF(h);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Ready ring buffer                                                   */
+/* ------------------------------------------------------------------ */
+
+static int
+ring_push(CKernelObject *k, PyObject *event, long long cnt)
+{
+    if (k->r_len == k->r_cap) {
+        Py_ssize_t ncap = k->r_cap ? k->r_cap * 2 : 64;
+        PyObject **nev = PyMem_New(PyObject *, ncap);
+        long long *ncnt = PyMem_New(long long, ncap);
+        if (nev == NULL || ncnt == NULL) {
+            PyMem_Free(nev);
+            PyMem_Free(ncnt);
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (Py_ssize_t i = 0; i < k->r_len; i++) {
+            Py_ssize_t idx = (k->r_head + i) & (k->r_cap - 1);
+            nev[i] = k->ready[idx];
+            ncnt[i] = k->ready_cnt[idx];
+        }
+        PyMem_Free(k->ready);
+        PyMem_Free(k->ready_cnt);
+        k->ready = nev;
+        k->ready_cnt = ncnt;
+        k->r_cap = ncap;
+        k->r_head = 0;
+    }
+    Py_ssize_t idx = (k->r_head + k->r_len) & (k->r_cap - 1);
+    Py_INCREF(event);
+    k->ready[idx] = event;
+    k->ready_cnt[idx] = cnt;
+    k->r_len++;
+    return 0;
+}
+
+/* Pop the oldest ready event (ownership transferred). */
+static PyObject *
+ring_pop(CKernelObject *k)
+{
+    Py_ssize_t idx = k->r_head;
+    PyObject *event = k->ready[idx];
+    k->ready[idx] = NULL;
+    k->r_head = (idx + 1) & (k->r_cap - 1);
+    k->r_len--;
+    return event;
+}
+
+/* ------------------------------------------------------------------ */
+/* Dispatch: event processing and the callback-family fast paths       */
+/* ------------------------------------------------------------------ */
+
+static int process_event(CKernelObject *k, PyObject *sim, PyObject *event);
+static int trampoline_resume(CKernelObject *k, PyObject *sim,
+                             PyObject *proc, PyObject *event);
+
+/* raise event._value (mirrors Python `raise exc`). */
+static int
+raise_event_value(PyObject *exc)
+{
+    if (exc != NULL && PyExceptionInstance_Check(exc))
+        PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+    else if (exc != NULL && PyExceptionClass_Check(exc))
+        PyErr_SetObject(exc, NULL);
+    else
+        PyErr_SetString(PyExc_TypeError,
+                        "exceptions must derive from BaseException");
+    return -1;
+}
+
+/* Event.succeed / Event.fail on a Process, inlined (exact Process type
+ * only, so Event's implementations are the semantics).  The ready push
+ * goes through the event's own simulator when it is not the one whose
+ * kernel is running. */
+static int
+do_trigger(CKernelObject *k, PyObject *sim, PyObject *proc,
+           PyObject *value, int ok)
+{
+    if (slot_get(proc, S.ev_value) != S.pending) {
+        PyObject *msg = PyUnicode_FromFormat(
+            "%R has already been triggered", proc);
+        if (msg != NULL) {
+            PyErr_SetObject(S.sim_error, msg);
+            Py_DECREF(msg);
+        }
+        return -1;
+    }
+    slot_store(proc, S.ev_ok, ok ? Py_True : Py_False);
+    slot_store(proc, S.ev_value, value);
+    PyObject *esim = slot_get(proc, S.ev_sim);
+    if (esim == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "sim");
+        return -1;
+    }
+    if (esim == sim) {
+        k->counter++;
+        return ring_push(k, proc, k->counter);
+    }
+    PyObject *res = PyObject_CallMethodOneArg(esim, S.str_push_ready, proc);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* `self._generator.throw(SimulationError(msg))` for yield-protocol
+ * violations; the result (if the generator survives) is discarded,
+ * exactly as in Process._advance. */
+static int
+throw_sim_error(PyObject *gen, PyObject *msg)
+{
+    PyObject *err = PyObject_CallOneArg(S.sim_error, msg);
+    if (err == NULL)
+        return -1;
+    PyObject *res = PyObject_CallMethodOneArg(gen, S.str_throw, err);
+    Py_DECREF(err);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* The generator raised: StopIteration -> succeed(stop.value), anything
+ * else -> fail(exc) with the traceback attached (Process._advance's
+ * except clauses). */
+static int
+advance_error(CKernelObject *k, PyObject *sim, PyObject *proc)
+{
+    if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+        PyObject *type, *val, *tb;
+        PyErr_Fetch(&type, &val, &tb);
+        PyErr_NormalizeException(&type, &val, &tb);
+        PyObject *stop_value =
+            val ? PyObject_GetAttr(val, S.str_value) : NULL;
+        Py_XDECREF(type);
+        Py_XDECREF(val);
+        Py_XDECREF(tb);
+        if (stop_value == NULL)
+            return -1;
+        int rv = do_trigger(k, sim, proc, stop_value, 1);
+        Py_DECREF(stop_value);
+        return rv;
+    }
+    PyObject *type, *val, *tb;
+    PyErr_Fetch(&type, &val, &tb);
+    if (type == NULL) {
+        PyErr_SetString(PyExc_SystemError,
+                        "error return without exception set");
+        return -1;
+    }
+    PyErr_NormalizeException(&type, &val, &tb);
+    if (tb != NULL && val != NULL)
+        PyException_SetTraceback(val, tb);
+    int rv = do_trigger(k, sim, proc, val ? val : Py_None, 0);
+    Py_XDECREF(type);
+    Py_XDECREF(val);
+    Py_XDECREF(tb);
+    return rv;
+}
+
+/* Process._advance, inlined. */
+static int
+advance_impl(CKernelObject *k, PyObject *sim, PyObject *proc,
+             PyObject *value, int failed)
+{
+    PyObject *gen = slot_get(proc, S.pr_generator);
+    if (gen == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "_generator");
+        return -1;
+    }
+    Py_INCREF(gen);
+    PyObject *target = NULL;
+    int rv = 0;
+    if (failed) {
+        target = PyObject_CallMethodOneArg(gen, S.str_throw, value);
+        if (target == NULL) {
+            rv = advance_error(k, sim, proc);
+            goto done;
+        }
+    }
+    else {
+        PySendResult sr = PyIter_Send(gen, value, &target);
+        if (sr == PYGEN_RETURN) {
+            rv = do_trigger(k, sim, proc, target, 1);
+            Py_DECREF(target);
+            goto done;
+        }
+        if (sr == PYGEN_ERROR) {
+            rv = advance_error(k, sim, proc);
+            goto done;
+        }
+    }
+    /* The generator yielded `target`. */
+    if (!PyObject_TypeCheck(target, (PyTypeObject *)S.event_type)) {
+        PyObject *msg = PyUnicode_FromFormat(
+            "process yielded a non-event: %R", target);
+        rv = msg ? throw_sim_error(gen, msg) : -1;
+        Py_XDECREF(msg);
+    }
+    else if (slot_get(target, S.ev_sim) != slot_get(proc, S.ev_sim)) {
+        PyObject *msg = PyUnicode_FromString(
+            "yielded event belongs to another simulator");
+        rv = msg ? throw_sim_error(gen, msg) : -1;
+        Py_XDECREF(msg);
+    }
+    else {
+        slot_store(proc, S.pr_waiting, target);
+        PyObject *callbacks = slot_get(target, S.ev_callbacks);
+        if (callbacks == NULL || callbacks == Py_None) {
+            /* Already processed: resume immediately. */
+            rv = trampoline_resume(k, sim, proc, target);
+        }
+        else if (PyList_Check(callbacks)) {
+            PyObject *method = PyMethod_New(S.resume_func, proc);
+            if (method == NULL)
+                rv = -1;
+            else {
+                rv = PyList_Append(callbacks, method);
+                Py_DECREF(method);
+            }
+        }
+        else {
+            PyErr_SetString(PyExc_TypeError,
+                            "event callbacks must be a list");
+            rv = -1;
+        }
+    }
+    Py_DECREF(target);
+done:
+    Py_DECREF(gen);
+    return rv;
+}
+
+/* Process._resume, inlined. */
+static int
+resume_impl(CKernelObject *k, PyObject *sim, PyObject *proc, PyObject *event)
+{
+    if (slot_get(proc, S.ev_value) != S.pending) {
+        if (!truthy(slot_get(event, S.ev_ok)))
+            slot_store(event, S.ev_defused, Py_True);
+        return 0;
+    }
+    slot_store(proc, S.pr_waiting, Py_None);
+    int failed;
+    if (truthy(slot_get(event, S.ev_ok)))
+        failed = 0;
+    else {
+        slot_store(event, S.ev_defused, Py_True);
+        failed = 1;
+    }
+    PyObject *value = slot_get(event, S.ev_value);
+    if (value == NULL)
+        value = Py_None;
+    Py_INCREF(value);
+    int rv = advance_impl(k, sim, proc, value, failed);
+    Py_DECREF(value);
+    return rv;
+}
+
+static int
+trampoline_resume(CKernelObject *k, PyObject *sim,
+                  PyObject *proc, PyObject *event)
+{
+    if (Py_EnterRecursiveCall(" in simulation process resume"))
+        return -1;
+    int rv = resume_impl(k, sim, proc, event);
+    Py_LeaveRecursiveCall();
+    return rv;
+}
+
+/* Timeout._fire, inlined (exact Timeout type only). */
+static int
+trampoline_fire(CKernelObject *k, PyObject *sim, PyObject *timeout)
+{
+    slot_store(timeout, S.ev_ok, Py_True);
+    PyObject *payload = slot_get(timeout, S.tmo_payload);
+    slot_store(timeout, S.ev_value, payload ? payload : Py_None);
+    PyObject *tsim = slot_get(timeout, S.ev_sim);
+    if (tsim == sim)
+        return process_event(k, sim, timeout);
+    if (tsim == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "sim");
+        return -1;
+    }
+    PyObject *res =
+        PyObject_CallMethodOneArg(tsim, S.str_process_event, timeout);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* One event callback: Process._resume fast path or the generic call. */
+static int
+invoke_event_cb(CKernelObject *k, PyObject *sim, PyObject *cb,
+                PyObject *event)
+{
+    if (PyMethod_Check(cb)
+        && PyMethod_GET_FUNCTION(cb) == S.resume_func
+        && Py_TYPE(PyMethod_GET_SELF(cb)) == (PyTypeObject *)S.process_type)
+        return trampoline_resume(k, sim, PyMethod_GET_SELF(cb), event);
+    PyObject *res = PyObject_CallOneArg(cb, event);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* One heap-handle callback: Timeout._fire fast path or the generic
+ * zero-argument call. */
+static int
+invoke_handle_cb(CKernelObject *k, PyObject *sim, CHandleObject *handle)
+{
+    PyObject *cb = handle->callback;
+    if (cb == NULL)   /* cancelled handles never reach the dispatcher */
+        return 0;
+    Py_INCREF(cb);
+    int rv;
+    if (PyMethod_Check(cb)
+        && PyMethod_GET_FUNCTION(cb) == S.fire_func
+        && Py_TYPE(PyMethod_GET_SELF(cb)) == (PyTypeObject *)S.timeout_type)
+        rv = trampoline_fire(k, sim, PyMethod_GET_SELF(cb));
+    else {
+        PyObject *res = PyObject_CallNoArgs(cb);
+        if (res == NULL)
+            rv = -1;
+        else {
+            Py_DECREF(res);
+            rv = 0;
+        }
+    }
+    Py_DECREF(cb);
+    return rv;
+}
+
+/* Simulator._process_event, inlined: run the detached callback list,
+ * then escalate an unclaimed failure. */
+static int
+process_event(CKernelObject *k, PyObject *sim, PyObject *event)
+{
+    PyObject *callbacks = slot_get(event, S.ev_callbacks);
+    if (callbacks == NULL || callbacks == Py_None) {
+        PyErr_SetString(PyExc_AssertionError, "event processed twice");
+        return -1;
+    }
+    if (!PyList_Check(callbacks)) {
+        PyErr_SetString(PyExc_TypeError, "event callbacks must be a list");
+        return -1;
+    }
+    Py_INCREF(callbacks);
+    slot_store(event, S.ev_callbacks, Py_None);
+    int rv = 0;
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(callbacks); i++) {
+        PyObject *cb = PyList_GET_ITEM(callbacks, i);
+        Py_INCREF(cb);
+        rv = invoke_event_cb(k, sim, cb, event);
+        Py_DECREF(cb);
+        if (rv < 0)
+            break;
+    }
+    Py_DECREF(callbacks);
+    if (rv < 0)
+        return -1;
+    if (!truthy(slot_get(event, S.ev_ok))
+        && !truthy(slot_get(event, S.ev_defused)))
+        return raise_event_value(slot_get(event, S.ev_value));
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* CKernel methods                                                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+CKernel_schedule(CKernelObject *k, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule() takes exactly 2 arguments "
+                        "(time, callback)");
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    CHandleObject *handle = PyObject_GC_New(CHandleObject, &CHandle_Type);
+    if (handle == NULL)
+        return NULL;
+    handle->time = time;
+    Py_INCREF(args[1]);
+    handle->callback = args[1];
+    handle->cancelled = 0;
+    handle->queued = 1;
+    Py_INCREF(k);
+    handle->kernel = (PyObject *)k;
+    PyObject_GC_Track(handle);
+    if (heap_reserve(k) < 0) {
+        handle->queued = 0;
+        Py_DECREF(handle);
+        return NULL;
+    }
+    k->counter++;
+    Py_INCREF(handle);   /* the heap's reference */
+    heap_push_raw(k, time, k->counter, (PyObject *)handle);
+    return (PyObject *)handle;
+}
+
+static PyObject *
+CKernel_push_ready(CKernelObject *k, PyObject *event)
+{
+    k->counter++;
+    if (ring_push(k, event, k->counter) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CKernel_note_cancel(CKernelObject *k, PyObject *Py_UNUSED(ignored))
+{
+    k->tombstones++;
+    maybe_compact(k);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CKernel_next_time(CKernelObject *k, PyObject *now_obj)
+{
+    double now = PyFloat_AsDouble(now_obj);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (k->r_len)
+        return PyFloat_FromDouble(now);
+    drop_tombstones(k);
+    if (!k->heap_len)
+        return PyFloat_FromDouble(Py_HUGE_VAL);
+    return PyFloat_FromDouble(k->heap[0].time);
+}
+
+static PyObject *
+CKernel_step(CKernelObject *k, PyObject *sim)
+{
+    drop_tombstones(k);
+    if (k->r_len) {
+        if (k->heap_len) {
+            PyObject *now_obj = slot_get(sim, S.sim_now);
+            if (now_obj == NULL) {
+                PyErr_SetString(PyExc_AttributeError, "now");
+                return NULL;
+            }
+            double now = PyFloat_AsDouble(now_obj);
+            if (now == -1.0 && PyErr_Occurred())
+                return NULL;
+            if (k->heap[0].time == now
+                && k->heap[0].cnt < k->ready_cnt[k->r_head]) {
+                CHandleObject *h = pop_handle(k);
+                int rv = invoke_handle_cb(k, sim, h);
+                Py_DECREF(h);
+                if (rv < 0)
+                    return NULL;
+                Py_RETURN_NONE;
+            }
+        }
+        PyObject *event = ring_pop(k);
+        int rv = process_event(k, sim, event);
+        Py_DECREF(event);
+        if (rv < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (!k->heap_len) {
+        PyErr_SetString(S.sim_error, "nothing scheduled");
+        return NULL;
+    }
+    PyObject *time_obj = PyFloat_FromDouble(k->heap[0].time);
+    if (time_obj == NULL)
+        return NULL;
+    slot_store(sim, S.sim_now, time_obj);
+    Py_DECREF(time_obj);
+    CHandleObject *h = pop_handle(k);
+    int rv = invoke_handle_cb(k, sim, h);
+    Py_DECREF(h);
+    if (rv < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CKernel_run(CKernelObject *k, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run() takes exactly 2 arguments (sim, until)");
+        return NULL;
+    }
+    PyObject *sim = args[0];
+    double until = PyFloat_AsDouble(args[1]);
+    if (until == -1.0 && PyErr_Occurred())
+        return NULL;
+    PyObject *now_obj = slot_get(sim, S.sim_now);
+    if (now_obj == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "now");
+        return NULL;
+    }
+    double now = PyFloat_AsDouble(now_obj);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    for (;;) {
+        /* Tombstones never dispatch. */
+        while (k->heap_len
+               && ((CHandleObject *)k->heap[0].handle)->cancelled) {
+            CHandleObject *h = pop_handle(k);
+            k->tombstones--;
+            Py_DECREF(h);
+        }
+        if (k->r_len) {
+            /* Ready events process at the current time; heap entries
+             * already scheduled at this time keep FIFO precedence via
+             * the shared counter. */
+            if (k->heap_len && k->heap[0].time == now
+                && k->heap[0].cnt < k->ready_cnt[k->r_head]) {
+                CHandleObject *h = pop_handle(k);
+                int rv = invoke_handle_cb(k, sim, h);
+                Py_DECREF(h);
+                if (rv < 0)
+                    return NULL;
+            }
+            else {
+                PyObject *event = ring_pop(k);
+                int rv = process_event(k, sim, event);
+                Py_DECREF(event);
+                if (rv < 0)
+                    return NULL;
+            }
+            continue;
+        }
+        if (!k->heap_len)
+            break;
+        double time = k->heap[0].time;
+        if (time != now) {
+            /* Batch boundary: the clock only moves (and `until` only
+             * needs re-checking) when the timestamp actually changes —
+             * now <= until is invariant inside a batch. */
+            if (time > until)
+                break;
+            now = time;
+            PyObject *f = PyFloat_FromDouble(now);
+            if (f == NULL)
+                return NULL;
+            slot_store(sim, S.sim_now, f);
+            Py_DECREF(f);
+        }
+        CHandleObject *h = pop_handle(k);
+        int rv = invoke_handle_cb(k, sim, h);
+        Py_DECREF(h);
+        if (rv < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CKernel_pending(CKernelObject *k, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(k->heap_len + k->r_len - k->tombstones);
+}
+
+static PyObject *
+CKernel_get_backend(CKernelObject *Py_UNUSED(k), void *Py_UNUSED(closure))
+{
+    return PyUnicode_FromString("compiled");
+}
+
+static PyObject *
+CKernel_get_tombstones(CKernelObject *k, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(k->tombstones);
+}
+
+static PyObject *
+CKernel_get_counter(CKernelObject *k, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(k->counter);
+}
+
+static PyObject *
+CKernel_get_heap_size(CKernelObject *k, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(k->heap_len);
+}
+
+static PyObject *
+CKernel_get_ready_size(CKernelObject *k, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(k->r_len);
+}
+
+static int
+CKernel_traverse(CKernelObject *k, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < k->heap_len; i++)
+        Py_VISIT(k->heap[i].handle);
+    for (Py_ssize_t i = 0; i < k->r_len; i++)
+        Py_VISIT(k->ready[(k->r_head + i) & (k->r_cap - 1)]);
+    return 0;
+}
+
+static int
+CKernel_clear_impl(CKernelObject *k)
+{
+    Py_ssize_t n = k->heap_len;
+    k->heap_len = 0;
+    k->tombstones = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *h = k->heap[i].handle;
+        k->heap[i].handle = NULL;
+        Py_XDECREF(h);
+    }
+    Py_ssize_t rn = k->r_len, head = k->r_head, cap = k->r_cap;
+    k->r_len = 0;
+    k->r_head = 0;
+    for (Py_ssize_t i = 0; i < rn; i++) {
+        Py_ssize_t idx = (head + i) & (cap - 1);
+        PyObject *ev = k->ready[idx];
+        k->ready[idx] = NULL;
+        Py_XDECREF(ev);
+    }
+    return 0;
+}
+
+static void
+CKernel_dealloc(CKernelObject *k)
+{
+    PyObject_GC_UnTrack(k);
+    CKernel_clear_impl(k);
+    PyMem_Free(k->heap);
+    PyMem_Free(k->ready);
+    PyMem_Free(k->ready_cnt);
+    Py_TYPE(k)->tp_free((PyObject *)k);
+}
+
+static PyObject *
+CKernel_new(PyTypeObject *type, PyObject *Py_UNUSED(args),
+            PyObject *Py_UNUSED(kwds))
+{
+    if (!S.configured) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "repro.sim._ckernel.configure() has not been "
+                        "called; import via repro.sim.kernel");
+        return NULL;
+    }
+    return type->tp_alloc(type, 0);   /* zero-filled */
+}
+
+static PyMethodDef CKernel_methods[] = {
+    {"schedule", (PyCFunction)(void (*)(void))CKernel_schedule,
+     METH_FASTCALL,
+     "schedule(time, callback) -> Handle\n"
+     "Push `callback` onto the heap at absolute `time`."},
+    {"push_ready", (PyCFunction)CKernel_push_ready, METH_O,
+     "Queue a triggered event for zero-delay processing."},
+    {"note_cancel", (PyCFunction)CKernel_note_cancel, METH_NOARGS,
+     "Account one newly tombstoned heap entry; compact when the\n"
+     "tombstones outnumber the live entries."},
+    {"next_time", (PyCFunction)CKernel_next_time, METH_O,
+     "next_time(now) -> float\n"
+     "Time of the next entry, or inf if none remain."},
+    {"step", (PyCFunction)CKernel_step, METH_O,
+     "Process exactly one entry, advancing the simulator's clock."},
+    {"run", (PyCFunction)(void (*)(void))CKernel_run, METH_FASTCALL,
+     "run(sim, until)\n"
+     "Drain entries until the heap empties or the clock passes "
+     "`until`."},
+    {"pending", (PyCFunction)CKernel_pending, METH_NOARGS,
+     "Live (non-tombstoned) entries awaiting processing."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef CKernel_getset[] = {
+    {"backend", (getter)CKernel_get_backend, NULL, NULL, NULL},
+    {"tombstones", (getter)CKernel_get_tombstones, NULL, NULL, NULL},
+    {"counter", (getter)CKernel_get_counter, NULL, NULL, NULL},
+    {"heap_size", (getter)CKernel_get_heap_size, NULL, NULL, NULL},
+    {"ready_size", (getter)CKernel_get_ready_size, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject CKernel_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.CKernel",
+    .tp_basicsize = sizeof(CKernelObject),
+    .tp_dealloc = (destructor)CKernel_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = PyDoc_STR("Compiled event-loop kernel: C heap, C ready "
+                        "ring, batched dispatch loop."),
+    .tp_traverse = (traverseproc)CKernel_traverse,
+    .tp_clear = (inquiry)CKernel_clear_impl,
+    .tp_methods = CKernel_methods,
+    .tp_getset = CKernel_getset,
+    .tp_new = CKernel_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module configuration                                                */
+/* ------------------------------------------------------------------ */
+
+static Py_ssize_t
+member_offset(PyObject *type, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString(type, name);
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        PyErr_Format(PyExc_TypeError,
+                     "%.200s.%s is not a slot member descriptor",
+                     ((PyTypeObject *)type)->tp_name, name);
+        Py_DECREF(descr);
+        return -1;
+    }
+    Py_ssize_t offset = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return offset;
+}
+
+static PyObject *
+ckernel_configure(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *event_type, *timeout_type, *process_type, *sim_type;
+    PyObject *pending, *sim_error;
+    if (!PyArg_ParseTuple(args, "OOOOOO", &event_type, &timeout_type,
+                          &process_type, &sim_type, &pending, &sim_error))
+        return NULL;
+    if (!PyType_Check(event_type) || !PyType_Check(timeout_type)
+        || !PyType_Check(process_type) || !PyType_Check(sim_type)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "configure() expects (Event, Timeout, Process, "
+                        "Simulator, _PENDING, SimulationError)");
+        return NULL;
+    }
+
+    PyObject *resume_func = PyObject_GetAttrString(process_type, "_resume");
+    if (resume_func == NULL)
+        return NULL;
+    PyObject *fire_func = PyObject_GetAttrString(timeout_type, "_fire");
+    if (fire_func == NULL) {
+        Py_DECREF(resume_func);
+        return NULL;
+    }
+
+    Py_ssize_t ev_sim = member_offset(event_type, "sim");
+    Py_ssize_t ev_callbacks = member_offset(event_type, "callbacks");
+    Py_ssize_t ev_value = member_offset(event_type, "_value");
+    Py_ssize_t ev_ok = member_offset(event_type, "_ok");
+    Py_ssize_t ev_defused = member_offset(event_type, "_defused");
+    Py_ssize_t pr_generator = member_offset(process_type, "_generator");
+    Py_ssize_t pr_waiting = member_offset(process_type, "_waiting_on");
+    Py_ssize_t tmo_payload = member_offset(timeout_type, "_payload");
+    Py_ssize_t sim_now = member_offset(sim_type, "now");
+    if (ev_sim < 0 || ev_callbacks < 0 || ev_value < 0 || ev_ok < 0
+        || ev_defused < 0 || pr_generator < 0 || pr_waiting < 0
+        || tmo_payload < 0 || sim_now < 0) {
+        Py_DECREF(resume_func);
+        Py_DECREF(fire_func);
+        return NULL;
+    }
+
+    if (S.str_throw == NULL) {
+        S.str_throw = PyUnicode_InternFromString("throw");
+        S.str_value = PyUnicode_InternFromString("value");
+        S.str_push_ready = PyUnicode_InternFromString("_push_ready");
+        S.str_process_event = PyUnicode_InternFromString("_process_event");
+        if (S.str_throw == NULL || S.str_value == NULL
+            || S.str_push_ready == NULL || S.str_process_event == NULL) {
+            Py_DECREF(resume_func);
+            Py_DECREF(fire_func);
+            return NULL;
+        }
+    }
+
+    Py_INCREF(event_type);
+    Py_XSETREF(S.event_type, event_type);
+    Py_INCREF(timeout_type);
+    Py_XSETREF(S.timeout_type, timeout_type);
+    Py_INCREF(process_type);
+    Py_XSETREF(S.process_type, process_type);
+    Py_INCREF(sim_type);
+    Py_XSETREF(S.sim_type, sim_type);
+    Py_INCREF(pending);
+    Py_XSETREF(S.pending, pending);
+    Py_INCREF(sim_error);
+    Py_XSETREF(S.sim_error, sim_error);
+    Py_XSETREF(S.resume_func, resume_func);
+    Py_XSETREF(S.fire_func, fire_func);
+
+    S.ev_sim = ev_sim;
+    S.ev_callbacks = ev_callbacks;
+    S.ev_value = ev_value;
+    S.ev_ok = ev_ok;
+    S.ev_defused = ev_defused;
+    S.pr_generator = pr_generator;
+    S.pr_waiting = pr_waiting;
+    S.tmo_payload = tmo_payload;
+    S.sim_now = sim_now;
+    S.configured = 1;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef ckernel_functions[] = {
+    {"configure", ckernel_configure, METH_VARARGS,
+     "configure(Event, Timeout, Process, Simulator, _PENDING, "
+     "SimulationError)\n"
+     "Wire the kernel to the Python-side simulation classes."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ckernel",
+    .m_doc = "Compiled event-loop kernel (see repro.sim.kernel).",
+    .m_size = -1,
+    .m_methods = ckernel_functions,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (PyType_Ready(&CHandle_Type) < 0)
+        return NULL;
+    if (PyType_Ready(&CKernel_Type) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&CHandle_Type);
+    if (PyModule_AddObject(module, "Handle",
+                           (PyObject *)&CHandle_Type) < 0) {
+        Py_DECREF(&CHandle_Type);
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&CKernel_Type);
+    if (PyModule_AddObject(module, "CKernel",
+                           (PyObject *)&CKernel_Type) < 0) {
+        Py_DECREF(&CKernel_Type);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

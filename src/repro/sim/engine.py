@@ -1,54 +1,22 @@
-"""The simulation event loop, clock, and process machinery."""
+"""The simulation event loop, clock, and process machinery.
+
+The event-loop core (time heap, ready deque, insertion counter,
+tombstone compaction, dispatch loop) lives behind the pluggable
+:class:`~repro.sim.kernel.EventKernel` interface in
+:mod:`repro.sim.kernel`; the :class:`Simulator` here owns the clock and
+the process machinery and delegates scheduling/dispatch to its kernel.
+"""
 
 from __future__ import annotations
 
-import collections
 import gc
-import heapq
 import typing as t
 
 from repro._errors import SimulationError
 from repro.sim.events import _PENDING, Event, Interrupt, Timeout
+from repro.sim.kernel import Handle, make_kernel
 
-#: Tombstone-compaction floor: below this many cancelled entries the heap
-#: is left alone (re-heapifying a small heap costs more than carrying the
-#: tombstones to their natural pops).
-_COMPACT_MIN_TOMBSTONES = 64
-
-
-class Handle:
-    """A cancellable handle for a scheduled callback.
-
-    Returned by :meth:`Simulator.call_at` / :meth:`Simulator.call_in`.
-    Cancellation is O(1): the heap entry is tombstoned and skipped when
-    popped (the simulator compacts the heap when tombstones dominate).
-    """
-
-    __slots__ = ("time", "callback", "cancelled", "_sim", "_queued")
-
-    def __init__(self, time: float, callback: t.Callable[[], None],
-                 sim: "Simulator | None" = None):
-        self.time = time
-        self.callback = callback
-        self.cancelled = False
-        self._sim = sim
-        self._queued = sim is not None
-
-    def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        if not self.cancelled:
-            self.cancelled = True
-            self.callback = _noop
-            if self._queued and self._sim is not None:
-                self._sim._note_cancel()
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else f"at t={self.time:.6f}"
-        return f"<Handle {state}>"
-
-
-def _noop() -> None:
-    return None
+__all__ = ["Handle", "Simulator", "Process"]
 
 
 class Simulator:
@@ -59,32 +27,41 @@ class Simulator:
     * **Events & processes** — rich SimPy-style coroutines for modelling
       protocol logic (service handlers, load generators).
     * **Raw callbacks** — :meth:`call_in` returns a cancellable
-      :class:`Handle`; used on hot paths (CPU burst completions) where
-      events would be needless overhead and cancellation must be cheap.
+      :class:`~repro.sim.kernel.Handle`; used on hot paths (CPU burst
+      completions) where events would be needless overhead and
+      cancellation must be cheap.
 
     Entries at equal times are processed in insertion order (FIFO), which
     makes runs deterministic.  Zero-delay event processing — the dominant
     scheduling pattern (every ``succeed``/``fail``) — bypasses the heap
-    entirely: triggered events land on a ready deque stamped with the
-    same global insertion counter the heap uses, so the interleaving
-    with same-time heap entries is exactly the FIFO order a pure heap
-    would produce, without the push/pop and closure allocation.
+    entirely: triggered events land on the kernel's ready queue stamped
+    with the same global insertion counter the heap uses, so the
+    interleaving with same-time heap entries is exactly the FIFO order a
+    pure heap would produce, without the push/pop and closure allocation.
+
+    ``kernel`` picks the event-loop backend (``"python"``,
+    ``"compiled"``, ``"auto"``; default: the session/environment
+    selection — see :mod:`repro.sim.kernel`).  Backends are
+    behavior-identical; only speed differs.
     """
 
-    __slots__ = ("now", "_heap", "_counter", "_running", "_ready",
-                 "_tombstones")
+    __slots__ = ("now", "_running", "_kernel", "schedule", "_push_ready")
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, kernel: str | None = None):
         self.now = float(start_time)
-        self._heap: list[tuple[float, int, Handle]] = []
-        self._counter = 0
         self._running = False
-        #: Triggered events awaiting processing at the current time, in
-        #: insertion order; each carries its counter stamp in
-        #: ``_qcounter``.
-        self._ready: collections.deque[Event] = collections.deque()
-        #: Cancelled entries still sitting in the heap.
-        self._tombstones = 0
+        self._kernel = make_kernel(kernel)
+        #: Bound kernel entry points, cached as slots: ``schedule`` and
+        #: ``_push_ready`` are the two hottest calls in the simulator
+        #: (every burst completion / RPC hop, every ``succeed``), so hot
+        #: call sites pay one attribute load, not two.
+        self.schedule = self._kernel.schedule
+        self._push_ready = self._kernel.push_ready
+
+    @property
+    def kernel_backend(self) -> str:
+        """Which event-loop backend this simulator runs on."""
+        return self._kernel.backend
 
     # ------------------------------------------------------------------
     # Raw callback scheduling
@@ -94,37 +71,13 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}")
-        handle = Handle(time, callback, self)
-        self._counter += 1
-        heapq.heappush(self._heap, (time, self._counter, handle))
-        return handle
-
-    def _note_cancel(self) -> None:
-        """Account one newly tombstoned heap entry; compact when the
-        tombstones outnumber the live entries."""
-        self._tombstones += 1
-        if (self._tombstones > _COMPACT_MIN_TOMBSTONES
-                and self._tombstones * 2 > len(self._heap)):
-            # Rebuilding via heapify preserves pop order exactly: entries
-            # compare by the total (time, counter) order regardless of
-            # their internal arrangement.  In-place (slice assignment)
-            # so the run loop's local binding of the heap stays valid.
-            self._heap[:] = [entry for entry in self._heap
-                             if not entry[2].cancelled]
-            heapq.heapify(self._heap)
-            self._tombstones = 0
+        return self.schedule(time, callback)
 
     def call_in(self, delay: float, callback: t.Callable[[], None]) -> Handle:
         """Schedule ``callback()`` after ``delay`` simulated time units."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        # call_at inlined: this is the hot scheduling entry point (burst
-        # completions, sibling re-rates, RPC hops all land here).
-        time = self.now + delay
-        handle = Handle(time, callback, self)
-        self._counter += 1
-        heapq.heappush(self._heap, (time, self._counter, handle))
-        return handle
+        return self.schedule(self.now + delay, callback)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -132,14 +85,13 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event for callback processing.
 
-        The ubiquitous zero-delay case takes the ready-deque fast path;
-        it shares the heap's insertion counter, so processing order is
-        identical to scheduling a heap entry at the current time.
+        The ubiquitous zero-delay case takes the kernel's ready-queue
+        fast path; it shares the heap's insertion counter, so processing
+        order is identical to scheduling a heap entry at the current
+        time.
         """
         if delay == 0.0:
-            self._counter += 1
-            event._qcounter = self._counter
-            self._ready.append(event)
+            self._push_ready(event)
         else:
             self.call_in(delay, lambda: self._process_event(event))
 
@@ -170,105 +122,37 @@ class Simulator:
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
-    def _drop_heap_tombstones(self) -> None:
-        heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)[2]._queued = False
-            self._tombstones -= 1
-
     def peek(self) -> float:
         """Time of the next scheduled entry, or ``inf`` if none remain."""
-        if self._ready:
-            # Ready events process at the current time; no heap entry can
-            # be earlier (scheduling in the past is rejected).
-            return self.now
-        self._drop_heap_tombstones()
-        if not self._heap:
-            return float("inf")
-        return self._heap[0][0]
+        return self._kernel.next_time(self.now)
 
     def step(self) -> None:
         """Process exactly one scheduled entry, advancing the clock."""
-        self._drop_heap_tombstones()
-        heap = self._heap
-        ready = self._ready
-        if ready:
-            # Heap entries scheduled at the current time before the ready
-            # event keep their FIFO precedence via the shared counter.
-            if heap and heap[0][0] == self.now \
-                    and heap[0][1] < ready[0]._qcounter:
-                __, __, handle = heapq.heappop(heap)
-                handle._queued = False
-                handle.callback()
-            else:
-                self._process_event(ready.popleft())
-            return
-        if not heap:
-            raise SimulationError("nothing scheduled")
-        time, __, handle = heapq.heappop(heap)
-        handle._queued = False
-        self.now = time
-        handle.callback()
+        self._kernel.step(self)
 
     def run(self, until: float | None = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
 
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, mirroring SimPy semantics.
+
+        The dispatch loop itself belongs to the kernel backend.  Cyclic
+        GC is suspended for the duration: the loop allocates millions of
+        short-lived acyclic objects (events, handles, heap entries)
+        whose refcounts free them immediately, while repeated gen-2
+        scans of the long-lived process graph would buy nothing.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
-        # One merged loop instead of peek()/step() pairs: identical
-        # processing order, half the call overhead and one tombstone
-        # scan per iteration on the engine's hottest loop.  The heap is
-        # bound once — compaction mutates the list in place.  Cyclic GC
-        # is suspended for the duration: the loop allocates millions of
-        # short-lived acyclic objects (events, handles, heap tuples)
-        # whose refcounts free them immediately, while repeated gen-2
-        # scans of the long-lived process graph would buy nothing.
-        ready = self._ready
-        heap = self._heap
-        heappop = heapq.heappop
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
             if until is not None and until < self.now:
                 raise SimulationError(
                     f"until={until} is in the past (now={self.now})")
-            while True:
-                while heap and heap[0][2].cancelled:
-                    heappop(heap)[2]._queued = False
-                    self._tombstones -= 1
-                if ready:
-                    # Ready events process at the current time; heap
-                    # entries already scheduled at this time keep FIFO
-                    # precedence via the shared counter.
-                    if (heap and heap[0][0] == self.now
-                            and heap[0][1] < ready[0]._qcounter):
-                        __, __, handle = heappop(heap)
-                        handle._queued = False
-                        handle.callback()
-                    else:
-                        # _process_event, inlined.
-                        event = ready.popleft()
-                        callbacks = event.callbacks
-                        event.callbacks = None
-                        assert callbacks is not None, "event processed twice"
-                        for callback in callbacks:
-                            callback(event)
-                        if not event._ok and not event._defused:
-                            raise t.cast(BaseException, event._value)
-                    continue
-                if not heap:
-                    break
-                time = heap[0][0]
-                if until is not None and time > until:
-                    break
-                __, __, handle = heappop(heap)
-                handle._queued = False
-                self.now = time
-                handle.callback()
+            self._kernel.run(self,
+                             float("inf") if until is None else until)
             if until is not None:
                 self.now = max(self.now, until)
         finally:
@@ -277,8 +161,8 @@ class Simulator:
                 gc.enable()
 
     def __repr__(self) -> str:
-        pending = len(self._heap) + len(self._ready) - self._tombstones
-        return f"<Simulator now={self.now:.6f} pending={pending}>"
+        return (f"<Simulator now={self.now:.6f} "
+                f"pending={self._kernel.pending()}>")
 
 
 class Process(Event):
@@ -337,7 +221,8 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         # Direct slot reads and an inlined _advance throughout: this runs
         # once per process wakeup, the single most frequent callback in
-        # the simulator.
+        # the simulator.  The compiled kernel executes an equivalent
+        # inline fast path in C; this body is the reference semantics.
         if self._value is not _PENDING:
             if not event._ok:
                 event._defused = True

@@ -55,9 +55,11 @@ class Event:
         self._ok: bool | None = None
         self._defused = False
         #: Insertion-counter stamp assigned when the triggered event is
-        #: queued on the simulator's ready deque (shared with the time
-        #: heap for FIFO interleaving); carried on the event itself so
-        #: enqueueing allocates no tuple.
+        #: queued on the pure-Python kernel's ready deque (shared with
+        #: the time heap for FIFO interleaving); carried on the event
+        #: itself so enqueueing allocates no tuple.  The compiled kernel
+        #: keeps the stamp in its own ring buffer and leaves this slot
+        #: untouched.
         self._qcounter = 0
 
     @property
@@ -102,11 +104,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        # Inlined Simulator._schedule_event zero-delay fast path: this is
-        # the single hottest call in the engine.
-        sim = self.sim
-        sim._counter = self._qcounter = sim._counter + 1
-        sim._ready.append(self)
+        # Simulator._schedule_event zero-delay fast path: this is the
+        # single hottest call in the engine, so it goes straight to the
+        # kernel's ready queue via the bound method cached on the sim.
+        self.sim._push_ready(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -117,9 +118,7 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        sim = self.sim
-        sim._counter = self._qcounter = sim._counter + 1
-        sim._ready.append(self)
+        self.sim._push_ready(self)
         return self
 
     def add_callback(self, callback: t.Callable[["Event"], None]) -> None:

@@ -142,6 +142,20 @@ class RandomStreams:
         state = self._state(name, "exponential")
         return float(mean * state.next_standard(_standard_exponential))
 
+    def exponential_sampler(self, name: str,
+                            mean: float) -> t.Callable[[], float]:
+        """A zero-argument sampler equivalent to repeated
+        :meth:`exponential` calls with this mean.
+
+        Stream-state resolution happens once at creation; the sampler
+        draws from exactly the same stream state, so mixing it with
+        direct calls preserves the draw sequence.  Closed-loop users
+        use this for their think-time stream, trading the per-draw
+        dict lookup and kind check for one bound call.
+        """
+        draw = self._state(name, "exponential").next_standard
+        return lambda: float(mean * draw(_standard_exponential))
+
     def lognormal_mean_cv(self, name: str, mean: float, cv: float) -> float:
         """One lognormal draw parameterized by mean and coefficient of variation.
 

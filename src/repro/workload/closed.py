@@ -53,16 +53,19 @@ class ClosedLoopWorkload:
         deployment = self.deployment
         sim = deployment.sim
         session = self.session_factory(user_id)
-        stream = f"user.think.{user_id}"
+        # Bound once per user: the sampler draws from the same stream
+        # state as repeated exponential() calls, so the draw sequence
+        # (and every golden digest) is unchanged.
+        think = (deployment.streams.exponential_sampler(
+            f"user.think.{user_id}", self.think_time)
+            if self.think_time > 0 else None)
         # Desynchronize user start times across one think period.
         initial_delay = deployment.streams.uniform(
             f"user.start.{user_id}", 0.0, max(self.think_time, 1e-3))
         yield sim.timeout(initial_delay)
         for service, endpoint, payload in session:
-            if self.think_time > 0:
-                delay = deployment.streams.exponential(stream,
-                                                       self.think_time)
-                yield sim.timeout(delay)
+            if think is not None:
+                yield sim.timeout(think())
             issued_at = sim.now
             # Users are clients outside the service fabric: their
             # requests take the plain path so measured latency reflects

@@ -1,0 +1,25 @@
+"""Kernel-backend parametrization shared by backend-sensitive suites.
+
+``backend_params()`` yields one param per registered event-loop backend.
+The compiled backend is *always* listed: when the extension is built the
+tests run against it, and when it is absent the param shows up as an
+explicit skip — so a CI job that must exercise the compiled path fails
+visibly (skipped test) rather than silently testing pure Python twice.
+"""
+
+import pytest
+
+from repro.sim import kernel
+
+
+def backend_params() -> list:
+    params = [pytest.param("python", id="kernel-python")]
+    if kernel.compiled_available():
+        params.append(pytest.param("compiled", id="kernel-compiled"))
+    else:
+        params.append(pytest.param(
+            "compiled", id="kernel-compiled",
+            marks=pytest.mark.skip(
+                reason="repro.sim._ckernel not built; run "
+                       "'python setup.py build_ext --inplace'")))
+    return params

@@ -79,3 +79,25 @@ def test_run_with_markdown_report(tmp_path, capsys):
     text = target.read_text()
     assert text.startswith("# TeaStore")
     assert "### E1" in text
+
+
+def test_run_with_explicit_kernel(capsys, monkeypatch):
+    from repro.sim import kernel
+
+    monkeypatch.delenv(kernel.KERNEL_ENV, raising=False)
+    monkeypatch.setattr(kernel, "_default_backend", None)
+    assert main(["run", "e1", "--fast", "--kernel", "python"]) == 0
+    import os
+    assert os.environ[kernel.KERNEL_ENV] == "python"
+    assert kernel.resolve_backend() == "python"
+
+
+def test_perfbench_profile_prints_report(capsys, monkeypatch):
+    from repro.sim import kernel
+
+    monkeypatch.delenv(kernel.KERNEL_ENV, raising=False)
+    assert main(["perfbench", "--mode", "smoke", "--slice", "e13",
+                 "--profile", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile smoke/e13" in out
+    assert "cumulative" in out

@@ -6,29 +6,46 @@ for every (experiment, seed) case, and under ``run_sweep(jobs=4)``
 (worker processes) for one seed per experiment.  This is the oracle
 that keeps hot-path optimizations behavior-preserving; see
 ``tests/golden/cases.py``.
+
+Every case runs once per registered kernel backend: the compiled
+event-loop kernel must reproduce the same bytes as the pure-Python
+reference (the compiled param skips, visibly, when the extension is
+not built).  The sweep variant pins the backend through the
+environment so worker processes inherit the choice.
 """
 
 import pytest
 
 from repro.orchestrator import run_sweep
+from repro.sim import kernel
 
+from tests._kernels import backend_params
 from tests.golden import cases
 
 GOLDEN = cases.load_digests()
+
+BACKENDS = backend_params()
 
 RUN_CASES = [(experiment, seed) for experiment in sorted(cases.CASES)
              for seed in cases.seeds_for(experiment)]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("experiment,seed", RUN_CASES)
-def test_run_reproduces_golden_digest(experiment, seed):
-    assert cases.run_case(experiment, seed) == GOLDEN[f"{experiment}:{seed}"]
+def test_run_reproduces_golden_digest(experiment, seed, backend):
+    with kernel.use_backend(backend):
+        digest = cases.run_case(experiment, seed)
+    assert digest == GOLDEN[f"{experiment}:{seed}"]
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("experiment", sorted(cases.CASES))
-def test_sweep_jobs4_reproduces_golden_digest(experiment):
+def test_sweep_jobs4_reproduces_golden_digest(experiment, backend,
+                                              monkeypatch):
+    monkeypatch.setenv(kernel.KERNEL_ENV, backend)
     seed = cases.seeds_for(experiment)[0]
     settings = cases.settings_for(experiment, seed)
-    outcome = run_sweep(experiment, settings, jobs=4, cache=None)
+    with kernel.use_backend(backend):
+        outcome = run_sweep(experiment, settings, jobs=4, cache=None)
     digest = cases.result_digest(outcome.result)
     assert digest == GOLDEN[f"{experiment}:{seed}"]

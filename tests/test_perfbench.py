@@ -76,6 +76,30 @@ def test_baseline_entry_filters_by_metric(tmp_path):
         perfbench.baseline_entry(target, "full", metric="mem")
 
 
+def test_entries_tag_active_kernel_backend():
+    from repro.sim import kernel
+    entry = make_entry()
+    assert entry["kernel"] == kernel.active_backend()
+    assert make_entry(metric="mem")["kernel"] == kernel.active_backend()
+
+
+def test_baseline_entry_filters_by_kernel(tmp_path):
+    target = tmp_path / "bench.json"
+    # Legacy entry with no kernel field: counts as pure Python.
+    legacy = make_entry(label="legacy")
+    legacy.pop("kernel")
+    perfbench.append_trajectory(target, legacy)
+    tagged = make_entry(label="tagged")
+    tagged["kernel"] = "compiled"
+    perfbench.append_trajectory(target, tagged)
+    assert perfbench.baseline_entry(
+        target, "smoke", kernel="python")["label"] == "legacy"
+    assert perfbench.baseline_entry(
+        target, "smoke", kernel="compiled")["label"] == "tagged"
+    with pytest.raises(ConfigurationError, match="backend"):
+        perfbench.baseline_entry(target, "smoke", kernel="martian")
+
+
 # ---------------------------------------------------------------------------
 # Memory gate
 # ---------------------------------------------------------------------------
@@ -100,6 +124,20 @@ def test_profile_slice_memory_smoke():
     assert result.traced_peak_bytes > 0
     assert result.ru_maxrss_kb > 0
     assert result.points == 1
+
+
+# ---------------------------------------------------------------------------
+# cProfile report
+# ---------------------------------------------------------------------------
+
+def test_profile_slice_reports_hot_functions():
+    from repro.sim import kernel
+    report = perfbench.profile_slice("smoke", "e13", top=5)
+    assert f"[kernel={kernel.active_backend()}]" in report
+    assert "e13" in report
+    assert "cumulative" in report
+    with pytest.raises(ConfigurationError):
+        perfbench.profile_slice("smoke", "e13", top=0)
 
 
 # ---------------------------------------------------------------------------

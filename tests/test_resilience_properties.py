@@ -15,6 +15,7 @@ hold once the simulation drains:
   stopped accepting while another accepting replica exists.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,8 +23,17 @@ from repro._units import ms
 from repro.cpu import FlatFrequencyModel, SmtModel
 from repro.memory import WorkloadProfile
 from repro.services import Deployment, ResilienceConfig, ServiceSpec
+from repro.sim import kernel
 from repro.topology import tiny_machine
 from repro.workload import FaultInjector
+
+from tests._kernels import backend_params
+
+#: Every property runs on every kernel backend: the resilience layer is
+#: the most control-flow-dense consumer of the event loop (timeouts,
+#: cancellations, interrupts under random faults), so it doubles as a
+#: randomized equivalence oracle for the compiled kernel.
+BACKENDS = backend_params()
 
 STOP_AT = 0.4
 
@@ -101,6 +111,7 @@ def apply_faults(deployment, injector, replicas, entries, kill):
         injector.kill_at(0.35, "svc", replica_index=0, restore_after=0.1)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=2**16),
        replicas=st.integers(min_value=1, max_value=3),
@@ -108,14 +119,15 @@ def apply_faults(deployment, injector, replicas, entries, kill):
        fallback=st.booleans(),
        entries=fault_entries,
        kill=st.booleans())
-def test_property_conservation_and_budget(seed, replicas, config,
+def test_property_conservation_and_budget(backend, seed, replicas, config,
                                           fallback, entries, kill):
-    deployment = build_system(seed, replicas, config, fallback)
-    injector = FaultInjector(deployment)
-    apply_faults(deployment, injector, replicas, entries, kill)
-    outcomes = {"ok": 0, "degraded": 0, "err": 0}
-    drive(deployment, n_clients=4, outcomes=outcomes)
-    deployment.run()
+    with kernel.use_backend(backend):
+        deployment = build_system(seed, replicas, config, fallback)
+        injector = FaultInjector(deployment)
+        apply_faults(deployment, injector, replicas, entries, kill)
+        outcomes = {"ok": 0, "degraded": 0, "err": 0}
+        drive(deployment, n_clients=4, outcomes=outcomes)
+        deployment.run()
 
     stats = deployment.resilience_stats
     if deployment.resilience is None:
@@ -141,29 +153,33 @@ def test_property_conservation_and_budget(seed, replicas, config,
         assert stats.timeouts == 0
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=2**16),
        replicas=st.integers(min_value=2, max_value=3),
        config=configs,
        entries=fault_entries)
 def test_property_never_delivers_to_dead_replica_with_live_peers(
-        seed, replicas, config, entries):
-    deployment = build_system(seed, replicas, config, fallback=True)
-    injector = FaultInjector(deployment)
-    apply_faults(deployment, injector, replicas, entries, kill=True)
-    violations = []
-    original_deliver = deployment.rpc.deliver
+        backend, seed, replicas, config, entries):
+    with kernel.use_backend(backend):
+        deployment = build_system(seed, replicas, config, fallback=True)
+        injector = FaultInjector(deployment)
+        apply_faults(deployment, injector, replicas, entries, kill=True)
+        violations = []
+        original_deliver = deployment.rpc.deliver
 
-    def spying_deliver(request, instance):
-        peers = deployment.registry.instances_of(request.service_name)
-        if (not instance.accepting
-                and any(p.accepting for p in peers if p is not instance)):
-            violations.append((deployment.sim.now, instance.instance_id))
-        return original_deliver(request, instance)
+        def spying_deliver(request, instance):
+            peers = deployment.registry.instances_of(request.service_name)
+            if (not instance.accepting
+                    and any(p.accepting
+                            for p in peers if p is not instance)):
+                violations.append(
+                    (deployment.sim.now, instance.instance_id))
+            return original_deliver(request, instance)
 
-    deployment.rpc.deliver = spying_deliver
-    outcomes = {"ok": 0, "degraded": 0, "err": 0}
-    drive(deployment, n_clients=4, outcomes=outcomes)
-    deployment.run()
+        deployment.rpc.deliver = spying_deliver
+        outcomes = {"ok": 0, "degraded": 0, "err": 0}
+        drive(deployment, n_clients=4, outcomes=outcomes)
+        deployment.run()
     assert violations == []
     assert sum(outcomes.values()) > 0

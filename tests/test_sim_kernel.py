@@ -1,0 +1,300 @@
+"""Kernel-backend tests: selection, equivalence, and tombstone edges.
+
+The event-loop core lives behind :mod:`repro.sim.kernel` with a
+pure-Python reference backend and an optional compiled backend.  These
+tests pin the selection logic (precedence, hard failure, fallback) and
+drive both backends through the heap-tombstone edge cases that the
+regular engine suite only exercises incidentally: all-tombstone heaps,
+cancel-heavy workloads crossing the compaction threshold, and
+pending-count accuracy across compactions.
+"""
+
+import pytest
+
+from repro._errors import ConfigurationError, SimulationError
+from repro.sim import kernel
+from repro.sim.engine import Simulator
+
+from tests._kernels import backend_params
+
+BACKENDS = backend_params()
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+def test_python_backend_always_available():
+    assert "python" in kernel.available_backends()
+
+
+def test_explicit_name_beats_default_and_env(monkeypatch):
+    monkeypatch.setenv(kernel.KERNEL_ENV, "python")
+    with kernel.use_backend("python"):
+        assert kernel.resolve_backend("python") == "python"
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv(kernel.KERNEL_ENV, "python")
+    assert kernel.resolve_backend() == "python"
+
+
+def test_default_backend_beats_env(monkeypatch):
+    monkeypatch.setenv(kernel.KERNEL_ENV, "bogus")
+    with kernel.use_backend("python"):
+        assert kernel.resolve_backend() == "python"
+
+
+def test_use_backend_restores_previous_default():
+    before = kernel._default_backend
+    with kernel.use_backend("python"):
+        assert kernel._default_backend == "python"
+    assert kernel._default_backend == before
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError):
+        kernel.resolve_backend("fortran")
+    with pytest.raises(ConfigurationError):
+        kernel.set_default_backend("fortran")
+
+
+def test_unknown_env_value_rejected(monkeypatch):
+    monkeypatch.setenv(kernel.KERNEL_ENV, "bogus")
+    with pytest.raises(ConfigurationError):
+        kernel.resolve_backend()
+
+
+def test_compiled_is_hard_requirement_when_missing(monkeypatch):
+    monkeypatch.setattr(kernel, "_compiled_checked", True)
+    monkeypatch.setattr(kernel, "_compiled_module", None)
+    assert kernel.resolve_backend("auto") == "python"
+    assert kernel.available_backends() == ("python",)
+    with pytest.raises(ConfigurationError, match="not built"):
+        kernel.resolve_backend("compiled")
+
+
+def test_simulator_honors_explicit_kernel():
+    assert Simulator(kernel="python").kernel_backend == "python"
+
+
+def test_active_backend_matches_new_simulator():
+    assert Simulator().kernel_backend == kernel.active_backend()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_reports_its_name(backend):
+    sim = Simulator(kernel=backend)
+    assert sim.kernel_backend == backend
+    assert sim._kernel.backend == backend
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence on a mixed workload
+# ----------------------------------------------------------------------
+
+def _mixed_trace(backend):
+    """Callbacks, timeouts, processes, and cancellations interleaved."""
+    sim = Simulator(kernel=backend)
+    trace = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        trace.append((name, sim.now))
+        value = yield sim.timeout(delay, value=f"{name}-done")
+        trace.append((value, sim.now))
+        return name.upper()
+
+    first = sim.process(proc("a", 0.5))
+    sim.process(proc("b", 0.25))
+    sim.call_in(0.25, lambda: trace.append(("cb", sim.now)))
+    doomed = sim.call_in(0.3, lambda: trace.append(("doomed", sim.now)))
+    doomed.cancel()
+    event = sim.event()
+    event.add_callback(lambda ev: trace.append(("ev", ev.value, sim.now)))
+    sim.call_in(0.75, lambda: event.succeed("late"))
+    sim.run()
+    trace.append(("final", first.value, sim.now))
+    return trace
+
+
+def test_backends_produce_identical_traces():
+    traces = {backend: _mixed_trace(backend)
+              for backend in kernel.available_backends()}
+    reference = traces.pop("python")
+    for backend, trace in traces.items():
+        assert trace == reference, backend
+
+
+# ----------------------------------------------------------------------
+# Heap-tombstone edge cases (both backends)
+# ----------------------------------------------------------------------
+
+def _noop():
+    return None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_peek_on_all_tombstone_heap_is_inf(backend):
+    sim = Simulator(kernel=backend)
+    handles = [sim.call_in(float(i + 1), _noop) for i in range(10)]
+    for handle in handles:
+        handle.cancel()
+    assert sim.peek() == float("inf")
+    assert sim._kernel.pending() == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_on_all_tombstone_heap_leaves_clock(backend):
+    sim = Simulator(kernel=backend)
+    for handle in [sim.call_in(float(i + 1), _noop) for i in range(10)]:
+        handle.cancel()
+    sim.run()
+    assert sim.now == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_step_on_all_tombstone_heap_raises(backend):
+    sim = Simulator(kernel=backend)
+    for handle in [sim.call_in(float(i + 1), _noop) for i in range(10)]:
+        handle.cancel()
+    with pytest.raises(SimulationError, match="nothing scheduled"):
+        sim.step()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancelling_every_entry_past_threshold_compacts(backend):
+    sim = Simulator(kernel=backend)
+    count = kernel._COMPACT_MIN_TOMBSTONES * 3
+    handles = [sim.call_in(float(i + 1), _noop) for i in range(count)]
+    for handle in handles:
+        handle.cancel()
+    # Compaction triggered at least once: tombstones cannot still equal
+    # the full cancellation count.
+    assert sim._kernel.tombstones < count
+    assert sim._kernel.pending() == 0
+    assert sim.peek() == float("inf")
+    sim.run()
+    assert sim.now == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_heavy_workload_preserves_survivor_order(backend):
+    sim = Simulator(kernel=backend)
+    count = kernel._COMPACT_MIN_TOMBSTONES * 3
+    fired = []
+    handles = []
+    for i in range(count):
+        time = float(i + 1)
+        handles.append(sim.call_at(
+            time, lambda time=time: fired.append(time)))
+    survivors = [h for i, h in enumerate(handles) if i % 10 == 0]
+    for i, handle in enumerate(handles):
+        if i % 10 != 0:
+            handle.cancel()
+    assert sim._kernel.pending() == len(survivors)
+    sim.run()
+    assert fired == sorted(h.time for h in survivors)
+    assert sim._kernel.tombstones == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repr_pending_count_accurate_after_compaction(backend):
+    sim = Simulator(kernel=backend)
+    count = kernel._COMPACT_MIN_TOMBSTONES * 3
+    handles = [sim.call_in(float(i + 1), _noop) for i in range(count)]
+    live = count
+    for i, handle in enumerate(handles):
+        if i % 3 != 0:
+            handle.cancel()
+            live -= 1
+            assert sim._kernel.pending() == live
+    assert f"pending={live}>" in repr(sim)
+    sim.run()
+    assert f"pending=0>" in repr(sim)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancellation_during_run_crossing_threshold(backend):
+    """Callbacks cancelling en masse mid-run: the heap compacts under
+    the dispatch loop's feet without dropping or reordering work."""
+    sim = Simulator(kernel=backend)
+    fired = []
+    doomed = [sim.call_in(10.0 + i, _noop)
+              for i in range(kernel._COMPACT_MIN_TOMBSTONES * 3)]
+
+    def massacre():
+        for handle in doomed:
+            handle.cancel()
+        fired.append(("massacre", sim.now))
+
+    sim.call_in(1.0, massacre)
+    sim.call_in(2.0, lambda: fired.append(("after", sim.now)))
+    sim.run()
+    assert fired == [("massacre", 1.0), ("after", 2.0)]
+    assert sim._kernel.pending() == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_after_pop_does_not_corrupt_tombstones(backend):
+    """Cancelling a handle whose callback already ran (or is running)
+    must not decrement live accounting for an entry no longer queued."""
+    sim = Simulator(kernel=backend)
+    fired = []
+    handle = sim.call_in(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    handle.cancel()   # idempotent, post-hoc: no tombstone appears
+    assert fired == [1.0]
+    assert sim._kernel.tombstones == 0
+    assert sim._kernel.pending() == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_handle_surface_parity(backend):
+    sim = Simulator(kernel=backend)
+    handle = sim.call_in(0.25, _noop)
+    assert handle.time == 0.25
+    assert handle.cancelled is False
+    assert "t=0.250000" in repr(handle)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled is True
+    assert repr(handle) == "<Handle cancelled>"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_ready_queue_counts_in_pending(backend):
+    sim = Simulator(kernel=backend)
+    event = sim.event()
+    event.succeed("v")
+    assert sim._kernel.pending() == 1
+    assert sim.peek() == sim.now
+    sim.run()
+    assert sim._kernel.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# exponential_sampler: draw-sequence equivalence
+# ----------------------------------------------------------------------
+
+def test_exponential_sampler_matches_direct_calls():
+    from repro.sim.rand import RandomStreams
+
+    direct = RandomStreams(seed=7)
+    sampled = RandomStreams(seed=7)
+    sampler = sampled.exponential_sampler("think", 0.5)
+    for __ in range(2000):   # spans several prefetch-batch refills
+        assert sampler() == direct.exponential("think", 0.5)
+
+
+def test_exponential_sampler_interleaves_with_direct_calls():
+    from repro.sim.rand import RandomStreams
+
+    plain = RandomStreams(seed=11)
+    mixed = RandomStreams(seed=11)
+    sampler = mixed.exponential_sampler("s", 2.0)
+    expected = [plain.exponential("s", 2.0) for __ in range(40)]
+    got = []
+    for i in range(40):
+        got.append(sampler() if i % 2 else mixed.exponential("s", 2.0))
+    assert got == expected
