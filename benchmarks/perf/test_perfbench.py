@@ -96,3 +96,73 @@ class TestSlices:
         assert result.repeats == (result.wall_seconds,)
         entry = perfbench.trajectory_entry(results, "smoke", label="test")
         assert perfbench.check_against_baseline(results, entry) == []
+
+
+class TestExtendedSlices:
+
+    def test_registry_lists_scale_slices(self):
+        rows = perfbench.list_slices()
+        by_key = {(row["mode"], row["name"]): row for row in rows}
+        assert by_key[("smoke", "e2")]["extended"] is False
+        assert by_key[("full", "e2-100k")]["extended"] is True
+        assert by_key[("full", "e2-100k")]["scale"] == {
+            "shards": 4, "cohort_factor": 100}
+        assert by_key[("full", "e2-1m")]["scale"] == {
+            "shards": 8, "cohort_factor": 250}
+        assert by_key[("smoke", "e2-100k")]["scale"] == {
+            "shards": 4, "cohort_factor": 100}
+        assert by_key[("full", "e2-10k")]["scale"] is None
+
+    def test_duplicate_registration_rejected(self):
+        existing = perfbench._EXTENDED_SLICES["full"]["e2-100k"]
+        with pytest.raises(ConfigurationError):
+            perfbench.register_extended_slice(existing)
+
+    def test_extended_slices_resolve_to_points(self):
+        for mode, name in (("full", "e2-10k"), ("full", "e2-100k"),
+                           ("full", "e2-1m"), ("smoke", "e2-100k")):
+            points = perfbench.slice_points(mode, name)
+            assert points, (mode, name)
+
+    def test_scale_tag_serialized_only_when_present(self):
+        tagged = perfbench.SliceResult(
+            "e2-100k", 1.0, (1.0,), 1,
+            scale={"shards": 4, "cohort_factor": 100})
+        assert tagged.to_dict()["scale"] == {
+            "shards": 4, "cohort_factor": 100}
+        assert "scale" not in _result("e2", 1.0).to_dict()
+
+    def test_gate_skips_scale_mismatched_baselines(self):
+        # A sharded measurement must never be gated against a
+        # single-process reference (or vice versa).
+        baseline = {"slices": {"e2-100k": {"wall_seconds": 1.0}}}
+        sharded = perfbench.SliceResult(
+            "e2-100k", 100.0, (100.0,), 1,
+            scale={"shards": 4, "cohort_factor": 100})
+        assert perfbench.check_against_baseline([sharded], baseline) == []
+        matching = {"slices": {"e2-100k": {
+            "wall_seconds": 1.0,
+            "scale": {"shards": 4, "cohort_factor": 100}}}}
+        failures = perfbench.check_against_baseline([sharded], matching)
+        assert len(failures) == 1
+
+    def test_memory_gate_skips_scale_mismatched_baselines(self):
+        baseline = {"slices": {"e2-100k": {"traced_peak_bytes": 1000}}}
+        sharded = perfbench.MemSliceResult(
+            "e2-100k", 10_000_000, 20_000, 1,
+            scale={"shards": 4, "cohort_factor": 100})
+        assert perfbench.check_memory_against_baseline(
+            [sharded], baseline) == []
+        matching = {"slices": {"e2-100k": {
+            "traced_peak_bytes": 1000,
+            "scale": {"shards": 4, "cohort_factor": 100}}}}
+        failures = perfbench.check_memory_against_baseline(
+            [sharded], matching)
+        assert len(failures) == 1
+
+    def test_smoke_scale_slice_runs_end_to_end(self):
+        results = perfbench.run_perfbench("smoke", slices=["e2-100k"])
+        [result] = results
+        assert result.name == "e2-100k"
+        assert result.scale == {"shards": 4, "cohort_factor": 100}
+        assert result.wall_seconds > 0

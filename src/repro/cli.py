@@ -84,6 +84,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the machine preset")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--users", type=int, default=None)
+    _add_scale_arguments(run)
     run.add_argument("--markdown", metavar="FILE", default=None,
                      help="also write a markdown report to FILE")
     run.add_argument("--figures", metavar="DIR", default=None,
@@ -104,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the machine preset")
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--users", type=int, default=None)
+    _add_scale_arguments(sweep)
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the result cache entirely")
     sweep.add_argument("--rerun", action="store_true",
@@ -167,8 +169,23 @@ def _build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--top", type=int, default=20, metavar="N",
                            help="functions shown per --profile report "
                                 "(default 20)")
+    perfbench.add_argument("--list-slices", action="store_true",
+                           help="print every known mode*slice (standard "
+                                "and extended) and exit")
     _add_kernel_argument(perfbench)
     return parser
+
+
+def _add_scale_arguments(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--cohort-factor", type=int, default=1, metavar="N",
+        help="collapse N statistically identical users per weighted "
+             "cohort (1 = exact per-user baseline)")
+    subparser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the population across N sharded deployments "
+             "with window-synced shared services (1 = single process; "
+             "set REPRO_SCALE_JOBS to fan shards out over processes)")
 
 
 def _add_kernel_argument(subparser: argparse.ArgumentParser) -> None:
@@ -206,6 +223,10 @@ def _settings_for(args: argparse.Namespace,
         overrides["preset"] = "rome-2s"  # E10 needs two NUMA nodes
     if args.users is not None:
         overrides["users"] = args.users
+    if getattr(args, "cohort_factor", 1) != 1:
+        overrides["cohort_factor"] = args.cohort_factor
+    if getattr(args, "shards", 1) != 1:
+        overrides["shards"] = args.shards
     if args.fast:
         if experiment_id == "e10" and "preset" not in overrides:
             overrides["preset"] = "small"  # smallest 2-node machine
@@ -331,6 +352,16 @@ def _run_perfbench(args: argparse.Namespace) -> int:
     """The ``repro perfbench`` verb: wall/memory trajectory + gates."""
     from repro.orchestrator import perfbench
 
+    if args.list_slices:
+        for row in perfbench.list_slices():
+            kind = "extended" if row["extended"] else "standard"
+            scale = ""
+            if row["scale"] is not None:
+                scale = (f" [shards={row['scale']['shards']} "
+                         f"cohort_factor={row['scale']['cohort_factor']}]")
+            print(f"{row['mode']}/{row['name']:10s} {kind:8s} "
+                  f"{row['description']}{scale}")
+        return 0
     if args.profile:
         for name in perfbench._resolve_names(args.mode, args.slices,
                                              args.extended):

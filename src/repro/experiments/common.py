@@ -14,7 +14,7 @@ from repro.teastore.store import TeaStore, build_teastore
 from repro.topology.cpuset import CpuSet
 from repro.topology.model import Machine
 from repro.topology.presets import machine_from_preset
-from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.cohorts import closed_workload
 from repro.workload.runner import RunResult, run_experiment
 
 #: One output row of an experiment table.
@@ -35,6 +35,12 @@ class ExperimentSettings:
     think_time: float = 0.125
     warmup: float = 1.5
     duration: float = 3.0
+    #: Users collapsed per weighted cohort (1 = uncompressed; see
+    #: :mod:`repro.workload.cohorts`).
+    cohort_factor: int = 1
+    #: Deployment shards the population is partitioned across (1 = the
+    #: classic single-deployment run; see :mod:`repro.scale`).
+    shards: int = 1
     memory_config: MemoryConfig = dataclasses.field(
         default_factory=MemoryConfig)
 
@@ -171,7 +177,26 @@ def run_store(settings: ExperimentSettings,
               smt_model: t.Any | None = None,
               frequency_model: t.Any | None = None,
               ) -> tuple[RunResult, Deployment, TeaStore]:
-    """Deploy TeaStore per ``allocation`` and measure one browse-load run."""
+    """Deploy TeaStore per ``allocation`` and measure one browse-load run.
+
+    With ``settings.shards > 1`` the run is partitioned across shard
+    deployments by :func:`repro.scale.executor.run_sharded`; the merged
+    result is returned together with shard 0's deployment and store
+    (the shard the driver executes in-process).  Sharding covers the
+    tuned-baseline path only — machine/placement overrides require
+    ``shards == 1``.
+    """
+    if settings.shards > 1:
+        if any(override is not None
+               for override in (machine, online, allocation, store_config,
+                                counter_sink, smt_model, frequency_model)):
+            raise ConfigurationError(
+                "sharded execution (settings.shards > 1) supports the "
+                "tuned-baseline run_store path only; drop the "
+                "machine/placement overrides or run with shards=1")
+        from repro.scale.executor import run_sharded
+        outcome = run_sharded(settings, users=users, seed=seed)
+        return outcome.result, outcome.deployment, outcome.store
     machine = machine or settings.machine()
     deployment = Deployment(
         machine,
@@ -184,10 +209,11 @@ def run_store(settings: ExperimentSettings,
     config = store_config or settings.store_config()
     placement = allocation.as_placement() if allocation is not None else None
     store = build_teastore(deployment, config, placement=placement)
-    workload = ClosedLoopWorkload(
+    workload = closed_workload(
         deployment, store.browse_session_factory(),
         n_users=users if users is not None else settings.users,
-        think_time=settings.think_time)
+        think_time=settings.think_time,
+        cohort_factor=settings.cohort_factor)
     result = run_experiment(deployment, workload,
                             warmup=settings.warmup,
                             duration=settings.duration)

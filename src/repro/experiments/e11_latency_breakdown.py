@@ -22,7 +22,7 @@ from repro.orchestrator import plan
 from repro.services.deployment import Deployment
 from repro.teastore.store import build_teastore
 from repro.tracing.collector import TraceCollector
-from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.cohorts import closed_workload
 
 TITLE = "Per-service latency decomposition (traced, buy profile)"
 
@@ -59,10 +59,11 @@ def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
     # lacks.  Moderate load (quarter of the saturating population): the
     # decomposition should expose the *structure* of page latency, not
     # the depth of saturation queues.
-    workload = ClosedLoopWorkload(
+    workload = closed_workload(
         deployment, store.buy_session_factory(),
         n_users=max(64, settings.users // 4),
-        think_time=settings.think_time)
+        think_time=settings.think_time,
+        cohort_factor=settings.cohort_factor)
     workload.start()
     deployment.run(until=deployment.sim.now + settings.warmup)
     tracer = TraceCollector()

@@ -33,7 +33,7 @@ from repro.spec.kernels import batch_kernel_profiles
 from repro.teastore.store import build_teastore
 from repro.topology.cpuset import CpuSet
 from repro.workload.batch import BatchKernelWorkload
-from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.cohorts import closed_workload
 from repro.workload.runner import run_experiment
 
 TITLE = "Co-location with a streaming batch neighbor"
@@ -113,9 +113,10 @@ def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
             affinity=neighbor_affinity,
             concurrency=point.param("concurrency"))
         neighbor.start()
-    workload = ClosedLoopWorkload(
+    workload = closed_workload(
         deployment, store.browse_session_factory(),
-        n_users=settings.users, think_time=settings.think_time)
+        n_users=settings.users, think_time=settings.think_time,
+        cohort_factor=settings.cohort_factor)
     workload.start()
     deployment.run(until=deployment.sim.now + settings.warmup)
     if neighbor is not None:

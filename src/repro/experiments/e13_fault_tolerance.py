@@ -44,7 +44,7 @@ from repro.orchestrator import plan
 from repro.services.deployment import Deployment
 from repro.services.resilience import ResilienceConfig
 from repro.teastore.store import build_teastore
-from repro.workload.closed import ClosedLoopWorkload
+from repro.workload.cohorts import closed_workload
 from repro.workload.faults import FaultInjector
 from repro.workload.runner import run_experiment
 
@@ -141,9 +141,10 @@ def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
     store = build_teastore(deployment, settings.store_config())
     injector = FaultInjector(deployment)
     injector.apply(fault_schedule(scenario, settings))
-    workload = ClosedLoopWorkload(
+    workload = closed_workload(
         deployment, store.browse_session_factory(),
-        n_users=settings.users, think_time=settings.think_time)
+        n_users=settings.users, think_time=settings.think_time,
+        cohort_factor=settings.cohort_factor)
     result = run_experiment(deployment, workload,
                             warmup=settings.warmup,
                             duration=settings.duration)

@@ -40,6 +40,11 @@ def sweep_points(settings: ExperimentSettings,
         user_counts = (DEFAULT_USER_COUNTS
                        if settings.preset.startswith("rome")
                        else (25, 50, 100, 200, 400))
+        # An explicit population above the grid (repro run e2 --users
+        # 1000000 --shards 8 --cohort-factor 250) extends the curve
+        # with that point instead of being silently ignored.
+        if settings.users > user_counts[-1]:
+            user_counts = (*user_counts, settings.users)
     return [plan.SweepPoint("e2", index, "load", f"users={users}",
                             settings, params=(("users", int(users)),))
             for index, users in enumerate(user_counts)]

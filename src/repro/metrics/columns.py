@@ -122,5 +122,15 @@ class StringInterner:
         """The string for ``code`` (NONE decodes to the empty string)."""
         return self._names[code]
 
+    @property
+    def names(self) -> list[str]:
+        """All interned strings indexed by code (slot 0 = the NONE slot).
+
+        This is the vocabulary a serialized column needs to travel with:
+        ``names[code]`` decodes every stored code, and re-encoding the
+        list into another interner yields a code remap table.
+        """
+        return list(self._names)
+
     def __repr__(self) -> str:
         return f"<StringInterner {len(self)} names>"

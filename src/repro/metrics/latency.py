@@ -61,6 +61,35 @@ class LatencyRecorder:
         self._codes.clear()
         self._version += 1
 
+    def to_payload(self) -> dict:
+        """JSON-native dump of every sample: values, codes, tag vocab.
+
+        The samples cross process boundaries in sharded runs, so the
+        dump must survive a canonical-JSON round trip exactly — values
+        are plain floats and the tag dimension stays interned (codes +
+        vocabulary) rather than exploding into one string per sample.
+        """
+        return {
+            "values": self._values.as_array().tolist(),
+            "codes": self._codes.as_array().tolist(),
+            "tags": self._interner.names,
+        }
+
+    def extend_from_payload(self, payload: dict) -> None:
+        """Append another recorder's :meth:`to_payload` samples.
+
+        Tag codes are remapped through this recorder's interner, so
+        recorders with different tag-arrival orders merge correctly.
+        Appending shard payloads in shard order makes the merged sample
+        sequence — and therefore every percentile — deterministic.
+        """
+        names = payload["tags"]
+        remap = [StringInterner.NONE]
+        remap.extend(self._interner.encode(name) for name in names[1:])
+        self._values.extend(payload["values"])
+        self._codes.extend([remap[code] for code in payload["codes"]])
+        self._version += 1
+
     @property
     def count(self) -> int:
         """Number of recorded samples."""

@@ -94,25 +94,129 @@ _SLICES: dict[str, dict[str, SliceSpec]] = {
     },
 }
 
-#: Extended slices: expensive points excluded from default runs, opted
-#: into with ``--extended`` (or named explicitly via ``--slice``).  Each
-#: entry builds its sweep points directly because the stock experiment
-#: plans do not carry them.
-_EXTENDED_SLICES: dict[str, dict[
-    str, t.Callable[[], list[plan_mod.SweepPoint]]]] = {
-    "full": {
-        # The memory-scaling point: 10k closed-loop users exercises the
-        # columnar measurement plane and the adaptive RNG prefetch far
-        # beyond the regular load curve.
-        "e2-10k": lambda: [plan_mod.SweepPoint(
-            "e2", 0, "load", "users=10000",
-            ExperimentSettings.fast(seed=1),
-            params=(("users", 10000),))],
-    },
-}
+@dataclasses.dataclass(frozen=True)
+class ExtendedSlice:
+    """One opt-in expensive slice of the perf harness.
+
+    Extended slices build their sweep points directly because the stock
+    experiment plans do not carry them; they run only under
+    ``--extended`` or when named explicitly via ``--slice``.  ``scale``
+    tags sharded/cohort-compressed points with their execution-tier
+    config — it travels into every recorded result so the baseline gate
+    never compares a sharded run against a single-process one.
+    """
+
+    name: str
+    mode: str
+    description: str
+    build: t.Callable[[], "list[plan_mod.SweepPoint]"]
+    #: ``{"shards": N, "cohort_factor": M}`` for scale-tier slices,
+    #: ``None`` for single-process ones.
+    scale: dict[str, int] | None = None
+    #: Per-slice repeat override (e.g. 1 for the million-user point);
+    #: ``None`` uses the mode default.
+    repeat: int | None = None
+
+
+#: mode → name → extended slice (populated by register_extended_slice).
+_EXTENDED_SLICES: dict[str, dict[str, ExtendedSlice]] = {}
+
+
+def register_extended_slice(slice_spec: ExtendedSlice) -> None:
+    """Add one extended slice to the registry (data-driven, no lambdas
+    buried in module constants — tests and plugins register the same
+    way the built-ins below do)."""
+    by_name = _EXTENDED_SLICES.setdefault(slice_spec.mode, {})
+    if slice_spec.name in by_name:
+        raise ConfigurationError(
+            f"extended slice {slice_spec.mode}/{slice_spec.name} is "
+            f"already registered")
+    by_name[slice_spec.name] = slice_spec
+
+
+def _e2_extended_points(users: int, settings: ExperimentSettings
+                        ) -> list[plan_mod.SweepPoint]:
+    """One out-of-plan E2 load point at ``users``."""
+    return [plan_mod.SweepPoint("e2", 0, "load", f"users={users}",
+                                settings, params=(("users", users),))]
+
+
+# The memory-scaling point: 10k closed-loop users exercises the
+# columnar measurement plane and the adaptive RNG prefetch far beyond
+# the regular load curve — still a single process, no cohorts.
+register_extended_slice(ExtendedSlice(
+    name="e2-10k", mode="full",
+    description="10k users, single process (columnar-plane memory point)",
+    build=lambda: _e2_extended_points(
+        10_000, ExperimentSettings.fast(seed=1))))
+
+# The scale tier (repro.scale): cohort-compressed users on sharded
+# deployments with conservative window sync.
+register_extended_slice(ExtendedSlice(
+    name="e2-100k", mode="full",
+    description="100k users as 4 shards x cohort factor 100",
+    build=lambda: _e2_extended_points(
+        100_000, ExperimentSettings.fast(seed=1, shards=4,
+                                         cohort_factor=100)),
+    scale={"shards": 4, "cohort_factor": 100}))
+
+register_extended_slice(ExtendedSlice(
+    name="e2-1m", mode="full",
+    description="1M users as 8 shards x cohort factor 250 (local only)",
+    build=lambda: _e2_extended_points(
+        1_000_000, ExperimentSettings.fast(seed=1, shards=8,
+                                           cohort_factor=250)),
+    scale={"shards": 8, "cohort_factor": 250},
+    repeat=1))
+
+register_extended_slice(ExtendedSlice(
+    name="e2-100k", mode="smoke",
+    description="CI-sized 100k-user sharded point (short windows)",
+    build=lambda: _e2_extended_points(
+        100_000, ExperimentSettings.fast(seed=1, warmup=0.2, duration=0.4,
+                                         shards=4, cohort_factor=100)),
+    scale={"shards": 4, "cohort_factor": 100},
+    repeat=1))
 
 #: Repeats per slice, by mode.
 _REPEATS = {"full": 3, "smoke": 2}
+
+
+def list_slices() -> list[dict[str, t.Any]]:
+    """Every known mode×slice, standard and extended, as sorted rows.
+
+    Each row carries ``mode``, ``name``, ``extended``, ``description``,
+    and the ``scale`` tag (``None`` for single-process slices) — what
+    ``repro perfbench --list-slices`` prints.
+    """
+    rows: list[dict[str, t.Any]] = []
+    for mode in sorted(_SLICES):
+        for name in sorted(_SLICES[mode]):
+            experiment, labels, __ = _SLICES[mode][name]
+            rows.append({
+                "mode": mode, "name": name, "extended": False,
+                "description": (f"{experiment} plan labels: "
+                                + ", ".join(labels)),
+                "scale": None,
+            })
+    for mode in sorted(_EXTENDED_SLICES):
+        for name in sorted(_EXTENDED_SLICES[mode]):
+            slice_spec = _EXTENDED_SLICES[mode][name]
+            rows.append({
+                "mode": mode, "name": name, "extended": True,
+                "description": slice_spec.description,
+                "scale": (dict(slice_spec.scale)
+                          if slice_spec.scale is not None else None),
+            })
+    return rows
+
+
+def _slice_scale(mode: str, name: str) -> dict[str, int] | None:
+    """The scale tag of one slice (``None`` for single-process)."""
+    slice_spec = _EXTENDED_SLICES.get(mode, {}).get(name)
+    if slice_spec is None or slice_spec.scale is None:
+        return None
+    return dict(slice_spec.scale)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,20 +227,26 @@ class SliceResult:
     wall_seconds: float          # min over repeats
     repeats: tuple[float, ...]   # every repeat, in order
     points: int
+    #: Execution-tier tag for sharded/cohort slices (``None`` =
+    #: single-process); recorded so gates only compare like with like.
+    scale: dict[str, int] | None = None
 
     def to_dict(self) -> dict[str, t.Any]:
-        return {
+        payload: dict[str, t.Any] = {
             "wall_seconds": self.wall_seconds,
             "repeats": list(self.repeats),
             "points": self.points,
         }
+        if self.scale is not None:
+            payload["scale"] = dict(self.scale)
+        return payload
 
 
 def slice_points(mode: str, name: str) -> list[plan_mod.SweepPoint]:
     """Resolve one slice's sweep points from its experiment's plan."""
     extended = _EXTENDED_SLICES.get(mode, {}).get(name)
     if extended is not None:
-        return extended()
+        return extended.build()
     try:
         experiment, labels, settings_factory = _SLICES[mode][name]
     except KeyError:
@@ -160,7 +270,11 @@ def time_slice(mode: str, name: str,
                repeat: int | None = None) -> SliceResult:
     """Execute one slice ``repeat`` times and keep every wall time."""
     points = slice_points(mode, name)
-    repeat = repeat if repeat is not None else _REPEATS[mode]
+    if repeat is None:
+        slice_spec = _EXTENDED_SLICES.get(mode, {}).get(name)
+        repeat = (slice_spec.repeat
+                  if slice_spec is not None and slice_spec.repeat is not None
+                  else _REPEATS[mode])
     if repeat < 1:
         raise ConfigurationError(f"repeat must be >= 1: {repeat}")
     walls = []
@@ -169,7 +283,8 @@ def time_slice(mode: str, name: str,
         for point in points:
             execute_point(point)
         walls.append(time.perf_counter() - started)
-    return SliceResult(name, min(walls), tuple(walls), len(points))
+    return SliceResult(name, min(walls), tuple(walls), len(points),
+                       scale=_slice_scale(mode, name))
 
 
 def _resolve_names(mode: str, slices: t.Sequence[str] | None,
@@ -245,13 +360,18 @@ class MemSliceResult:
     traced_peak_bytes: int   # tracemalloc high-water during the slice
     ru_maxrss_kb: int        # process RSS high-water after the slice
     points: int
+    #: Execution-tier tag (see :class:`SliceResult`).
+    scale: dict[str, int] | None = None
 
     def to_dict(self) -> dict[str, t.Any]:
-        return {
+        payload: dict[str, t.Any] = {
             "traced_peak_bytes": self.traced_peak_bytes,
             "ru_maxrss_kb": self.ru_maxrss_kb,
             "points": self.points,
         }
+        if self.scale is not None:
+            payload["scale"] = dict(self.scale)
+        return payload
 
 
 def profile_slice_memory(mode: str, name: str) -> MemSliceResult:
@@ -270,7 +390,8 @@ def profile_slice_memory(mode: str, name: str) -> MemSliceResult:
     finally:
         tracemalloc.stop()
     ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return MemSliceResult(name, int(peak), int(ru_maxrss), len(points))
+    return MemSliceResult(name, int(peak), int(ru_maxrss), len(points),
+                          scale=_slice_scale(mode, name))
 
 
 def run_membench(mode: str = "smoke",
@@ -404,7 +525,10 @@ def check_against_baseline(results: t.Sequence[SliceResult],
 
     Returns the list of failure messages (empty = gate passes).  A slice
     missing from the baseline is skipped — new slices must not fail the
-    gate on their first appearance.
+    gate on their first appearance — and so is a slice whose ``scale``
+    tag differs from the baseline's: a sharded/cohort run is never
+    comparable to a single-process point of the same name (mirrors the
+    kernel tagging on whole entries).
     """
     if threshold <= 0:
         raise ConfigurationError(f"threshold must be positive: {threshold}")
@@ -413,6 +537,8 @@ def check_against_baseline(results: t.Sequence[SliceResult],
     for result in results:
         reference = baseline_slices.get(result.name)
         if reference is None:
+            continue
+        if reference.get("scale") != result.scale:
             continue
         allowed = reference["wall_seconds"] * (1.0 + threshold)
         if result.wall_seconds > allowed:
@@ -430,8 +556,8 @@ def check_memory_against_baseline(results: t.Sequence[MemSliceResult],
     """Memory-regression report over peak traced allocation.
 
     Same contract as :func:`check_against_baseline`: returns failure
-    messages (empty = gate passes); slices absent from the baseline are
-    skipped.
+    messages (empty = gate passes); slices absent from the baseline —
+    or carrying a different ``scale`` tag — are skipped.
     """
     if threshold <= 0:
         raise ConfigurationError(f"threshold must be positive: {threshold}")
@@ -440,6 +566,8 @@ def check_memory_against_baseline(results: t.Sequence[MemSliceResult],
     for result in results:
         reference = baseline_slices.get(result.name)
         if reference is None:
+            continue
+        if reference.get("scale") != result.scale:
             continue
         allowed = reference["traced_peak_bytes"] * (1.0 + threshold)
         if result.traced_peak_bytes > allowed:

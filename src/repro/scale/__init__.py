@@ -1,0 +1,46 @@
+"""Scale-out execution tier: cohort-compressed users on sharded
+deployments.
+
+Two cooperating layers take the closed-loop experiments from thousands
+to a million simulated users:
+
+* :mod:`repro.workload.cohorts` collapses statistically identical users
+  into weighted cohorts (one event stream per cohort, weight-1 cohorts
+  byte-identical to the per-user baseline);
+* this package partitions the population across full TeaStore
+  deployments (:mod:`repro.scale.plan`), couples them at the
+  shared-resource tier with conservative window synchronization
+  (:mod:`repro.scale.sync`), and merges per-shard columnar results into
+  one :class:`~repro.workload.runner.RunResult`
+  (:mod:`repro.scale.executor`).
+
+See ``docs/SCALE.md`` for the model and its accuracy caveats.
+"""
+
+from repro.scale.executor import ScaleOutcome, ShardTask, run_sharded
+from repro.scale.plan import (
+    ScaleConfig,
+    ShardPlan,
+    ShardSpec,
+    plan_shards,
+    window_boundaries,
+)
+from repro.scale.sync import (
+    SyncReport,
+    inflation_profiles,
+    merge_demand,
+)
+
+__all__ = [
+    "ScaleConfig",
+    "ScaleOutcome",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardTask",
+    "SyncReport",
+    "inflation_profiles",
+    "merge_demand",
+    "plan_shards",
+    "run_sharded",
+    "window_boundaries",
+]

@@ -1,0 +1,176 @@
+"""Shard planning: partitioning a user population across deployments.
+
+A sharded run models cluster scale-out: each shard is a complete
+TeaStore deployment (its own machine, scheduler, and replicas) serving a
+contiguous slice of the global user population.  Users keep their
+*global* ids inside a shard, so every named random stream
+(``user.think.<id>``, ``session.<id>``, …) draws exactly what it would
+draw in any other partitioning — the partition boundaries move work
+between processes without moving a single random draw.
+
+The plan also fixes the synchronization grid: a shared set of window
+boundaries every shard steps through in lockstep (see
+:mod:`repro.scale.sync`), with the warmup/measure split always landing
+exactly on a boundary so windowed execution reproduces
+:func:`repro.workload.runner.run_experiment`'s phase semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro._errors import ConfigurationError
+from repro.workload.cohorts import Cohort, plan_cohorts
+
+#: Default number of sync windows the measure phase is divided into
+#: when :attr:`ScaleConfig.window` is left unset.
+_DEFAULT_MEASURE_WINDOWS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of the sharded execution tier.
+
+    ``alpha`` and ``f_max`` parametrize the shared-resource coupling
+    model (see :mod:`repro.scale.sync`): per window, a shard's
+    shared-service demand is inflated by
+    ``clamp(1 + alpha * foreign / own, 1, f_max)`` computed from the
+    *previous* window's published demand — conservative one-window-lag
+    synchronization, so no shard ever waits on another mid-window.
+    """
+
+    shards: int = 1
+    cohort_factor: int = 1
+    #: Sync window length in simulated seconds; ``None`` divides the
+    #: measure phase into :data:`_DEFAULT_MEASURE_WINDOWS` windows.
+    window: float | None = None
+    #: Demand-exchange iterations before the measured round (1 = one
+    #: discovery round feeding one measured round).
+    sync_rounds: int = 1
+    #: Coupling strength of cross-shard shared-resource contention.
+    alpha: float = 0.25
+    #: Upper clamp on the per-window demand inflation factor.
+    f_max: float = 4.0
+    #: Services treated as one logical shared tier across shards
+    #: (TeaStore's Persistence + DB back ends).
+    shared_services: tuple[str, ...] = ("persistence", "db")
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1: {self.shards}")
+        if self.cohort_factor < 1:
+            raise ConfigurationError(
+                f"cohort_factor must be >= 1: {self.cohort_factor}")
+        if self.window is not None and self.window <= 0:
+            raise ConfigurationError(
+                f"window must be positive: {self.window}")
+        if self.sync_rounds < 1:
+            raise ConfigurationError(
+                f"sync_rounds must be >= 1: {self.sync_rounds}")
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0: {self.alpha}")
+        if self.f_max < 1:
+            raise ConfigurationError(f"f_max must be >= 1: {self.f_max}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a contiguous slice of the global user population."""
+
+    index: int
+    user_base: int
+    n_users: int
+    cohorts: tuple[Cohort, ...]
+
+    @property
+    def users(self) -> range:
+        """The global user ids this shard simulates."""
+        return range(self.user_base, self.user_base + self.n_users)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """The full partitioning plus the shared synchronization grid."""
+
+    n_users: int
+    config: ScaleConfig
+    shards: tuple[ShardSpec, ...]
+    #: Absolute window-end times; ``boundaries[warmup_windows - 1]`` is
+    #: exactly the warmup/measure split and the last entry is exactly
+    #: ``warmup + duration``.
+    boundaries: tuple[float, ...]
+    #: How many leading windows belong to the warmup phase.
+    warmup_windows: int
+
+    @property
+    def n_windows(self) -> int:
+        """Total sync windows (warmup + measure)."""
+        return len(self.boundaries)
+
+    @property
+    def n_cohorts(self) -> int:
+        """Representative event streams across all shards."""
+        return sum(len(spec.cohorts) for spec in self.shards)
+
+
+def window_boundaries(warmup: float, duration: float,
+                      window: float | None) -> tuple[tuple[float, ...], int]:
+    """The shared sync grid: ``(absolute boundaries, warmup windows)``.
+
+    Both phases are divided into equal windows no longer than
+    ``window`` (phase length / :data:`_DEFAULT_MEASURE_WINDOWS` when
+    unset), with the phase edges themselves always exact boundaries —
+    window arithmetic must never smear the warmup/measure split.
+    """
+    if warmup < 0 or duration <= 0:
+        raise ConfigurationError(
+            f"need warmup >= 0 and duration > 0 (got {warmup}, {duration})")
+    if window is None:
+        window = duration / _DEFAULT_MEASURE_WINDOWS
+    warmup_windows = (max(1, math.ceil(warmup / window))
+                      if warmup > 0 else 0)
+    measure_windows = max(1, math.ceil(duration / window))
+    # The phase edges are written down verbatim, not recomputed via
+    # division: `warmup * n / n` can land an ulp off `warmup`, which
+    # would shift the measurement window and break bit-identity with
+    # the unsharded runner.
+    boundaries = [warmup * (k + 1) / warmup_windows
+                  for k in range(warmup_windows - 1)]
+    if warmup_windows:
+        boundaries.append(warmup)
+    boundaries.extend(warmup + duration * (k + 1) / measure_windows
+                      for k in range(measure_windows - 1))
+    boundaries.append(warmup + duration)
+    return tuple(boundaries), warmup_windows
+
+
+def plan_shards(n_users: int, config: ScaleConfig,
+                warmup: float, duration: float) -> ShardPlan:
+    """Partition ``n_users`` into contiguous shard populations.
+
+    Shard sizes differ by at most one user (the remainder spreads over
+    the leading shards); each shard's cohorts are planned over its own
+    slice with global ids, so a cohort never spans shards and every
+    member keeps its global seed-derived streams.
+    """
+    if n_users < 1:
+        raise ConfigurationError(f"n_users must be >= 1: {n_users}")
+    if config.shards > n_users:
+        raise ConfigurationError(
+            f"cannot split {n_users} users across {config.shards} shards; "
+            f"each shard needs at least one user")
+    base_size, remainder = divmod(n_users, config.shards)
+    specs = []
+    user_base = 0
+    for index in range(config.shards):
+        size = base_size + (1 if index < remainder else 0)
+        cohorts = tuple(plan_cohorts(size, config.cohort_factor,
+                                     base=user_base))
+        specs.append(ShardSpec(index=index, user_base=user_base,
+                               n_users=size, cohorts=cohorts))
+        user_base += size
+    boundaries, warmup_windows = window_boundaries(
+        warmup, duration, config.window)
+    return ShardPlan(n_users=n_users, config=config, shards=tuple(specs),
+                     boundaries=boundaries, warmup_windows=warmup_windows)

@@ -1,0 +1,107 @@
+"""Conservative time-window synchronization at shared-resource
+boundaries.
+
+Shards run independent deployments, but TeaStore's Persistence/DB tier
+(and the service registry) model one logical shared back end: foreign
+shards' traffic contends with ours there.  Rather than exchanging live
+events — which would serialize the shards and make results depend on
+wall-clock interleaving — shards synchronize through *demand profiles*:
+
+1. **Discovery round.**  Every shard runs the full timeline alone and
+   publishes, per sync window, how many requests its shared-service
+   replicas completed (plus registry lookups, as boundary telemetry).
+2. **Exchange.**  The driver merges the profiles and derives, per shard
+   × shared service × window, a demand inflation factor from the
+   *previous* window's foreign/own demand ratio (one-window lag — the
+   conservative discipline: a window only ever depends on information
+   that existed before it started, so no shard waits on another
+   mid-window and the result is a pure function of the round's inputs).
+3. **Measured round.**  Shards re-run the same seeds with the factors
+   applied through :attr:`ServiceInstance.demand_factor` — the same
+   multiplier the fault injector uses — so shared-tier service times
+   stretch as if the foreign traffic were locally present.
+
+Everything here is plain arithmetic over JSON-native profiles; given
+the same per-shard demand (which is deterministic per seed), the
+factors are bit-identical no matter how many worker processes computed
+the rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.scale.plan import ScaleConfig
+
+#: Per-shard demand profile: service name → completions per window.
+DemandProfile = dict[str, list[int]]
+
+#: Per-shard inflation profile: service name → factor per window.
+InflationProfile = dict[str, tuple[float, ...]]
+
+
+def merge_demand(profiles: t.Sequence[DemandProfile],
+                 n_windows: int) -> dict[str, list[int]]:
+    """Total per-window demand across shards, per shared service."""
+    totals: dict[str, list[int]] = {}
+    for profile in profiles:
+        for service, counts in profile.items():
+            bucket = totals.setdefault(service, [0] * n_windows)
+            for k, count in enumerate(counts):
+                bucket[k] += count
+    return totals
+
+
+def inflation_profiles(profiles: t.Sequence[DemandProfile],
+                       config: ScaleConfig,
+                       n_windows: int) -> list[InflationProfile]:
+    """Per-shard demand-factor schedules from published profiles.
+
+    For shard ``s``, service ``v``, window ``k``::
+
+        factor = clamp(1 + alpha * foreign[v][k-1] / max(own[v][k-1], 1),
+                       1, f_max)
+
+    where ``foreign`` is every other shard's window demand.  Window 0
+    has no predecessor and stays at 1.0 — the conservative cold start.
+    A lone shard (or ``alpha == 0``) degenerates to all-ones: sharding
+    one deployment changes nothing.
+    """
+    totals = merge_demand(profiles, n_windows)
+    result: list[InflationProfile] = []
+    for profile in profiles:
+        factors: InflationProfile = {}
+        for service, total_counts in totals.items():
+            own_counts = profile.get(service, [0] * n_windows)
+            schedule = [1.0]
+            for k in range(1, n_windows):
+                own = own_counts[k - 1]
+                foreign = total_counts[k - 1] - own
+                factor = 1.0 + config.alpha * foreign / max(own, 1)
+                schedule.append(min(max(factor, 1.0), config.f_max))
+            factors[service] = tuple(schedule)
+        result.append(factors)
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncReport:
+    """What one demand exchange saw — surfaced for telemetry/tests."""
+
+    #: Absolute window-end times of the sync grid.
+    boundaries: tuple[float, ...]
+    #: Merged per-window shared-service demand across shards.
+    total_demand: dict[str, list[int]]
+    #: Per-shard registry lookups per window (boundary telemetry).
+    registry_lookups: list[list[int]]
+    #: The factor schedules applied in the measured round.
+    factors: list[InflationProfile]
+
+    def max_factor(self) -> float:
+        """The largest inflation any shard saw (1.0 = no coupling)."""
+        values = [factor
+                  for profile in self.factors
+                  for schedule in profile.values()
+                  for factor in schedule]
+        return max(values, default=1.0)

@@ -23,6 +23,11 @@ class ServiceRegistry:
     def __init__(self, default_policy: str = "round_robin"):
         self.default_policy = default_policy
         self._balancers: dict[str, LoadBalancer] = {}
+        #: Lifetime count of :meth:`lookup` calls.  The registry is a
+        #: shared-resource boundary in sharded runs (see
+        #: :mod:`repro.scale`): per-window deltas of this counter are
+        #: part of each shard's published demand profile.
+        self.lookups = 0
 
     @property
     def service_names(self) -> list[str]:
@@ -56,6 +61,7 @@ class ServiceRegistry:
         ``now`` is the simulated time, forwarded to the balancer so
         circuit-breaker recovery windows resolve against the clock.
         """
+        self.lookups += 1
         balancer = self._balancers.get(service_name)
         if balancer is None:
             raise ConfigurationError(

@@ -90,6 +90,78 @@ class SpanTable:
         self.children_rows.clear()
         self.root_rows.clear()
 
+    def to_payload(self) -> dict:
+        """JSON-native columnar dump (codes + vocabularies, not strings).
+
+        Sharded runs ship each shard's spans across the process boundary
+        in this form; :meth:`from_payload` restores a table and
+        :meth:`merged` folds several into one.
+        """
+        return {
+            "request_id": self.request_id.as_array().tolist(),
+            "parent_id": self.parent_id.as_array().tolist(),
+            "instance_id": self.instance_id.as_array().tolist(),
+            "service_code": self.service_code.as_array().tolist(),
+            "endpoint_code": self.endpoint_code.as_array().tolist(),
+            "created": self.created.as_array().tolist(),
+            "enqueued": self.enqueued.as_array().tolist(),
+            "started": self.started.as_array().tolist(),
+            "completed": self.completed.as_array().tolist(),
+            "services": self.services.names,
+            "endpoints": self.endpoints.names,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SpanTable":
+        """Inverse of :meth:`to_payload`."""
+        table = cls()
+        table.extend_from_payload(payload)
+        return table
+
+    def extend_from_payload(self, payload: dict,
+                            id_offset: int = 0) -> None:
+        """Append another table's rows, shifting ids by ``id_offset``.
+
+        Request ids are process-local counters, so tables produced by
+        different shard processes collide; the offset relocates each
+        incoming table into a disjoint id range (``-1`` "no parent"
+        stays ``-1``).  Row-derived indexes (``row_of``,
+        ``children_rows``, ``root_rows``) are rebuilt through the
+        ordinary append path.
+        """
+        services = payload["services"]
+        endpoints = payload["endpoints"]
+        for (request_id, parent_id, instance_id, service_code,
+             endpoint_code, created, enqueued, started,
+             completed) in zip(
+                payload["request_id"], payload["parent_id"],
+                payload["instance_id"], payload["service_code"],
+                payload["endpoint_code"], payload["created"],
+                payload["enqueued"], payload["started"],
+                payload["completed"]):
+            self.append(request_id + id_offset,
+                        None if parent_id < 0 else parent_id + id_offset,
+                        services[service_code], endpoints[endpoint_code],
+                        None if instance_id < 0 else instance_id,
+                        created, enqueued, started, completed)
+
+    @classmethod
+    def merged(cls, payloads: t.Sequence[dict]) -> "SpanTable":
+        """One table from several :meth:`to_payload` dumps, in order.
+
+        Each dump is relocated past the previous ones' highest request
+        id, so spans from independent shard processes keep distinct ids
+        and parent links stay internally consistent per dump.
+        """
+        table = cls()
+        offset = 0
+        for payload in payloads:
+            table.extend_from_payload(payload, id_offset=offset)
+            ids = payload["request_id"]
+            if ids:
+                offset += max(ids) + 1
+        return table
+
 
 class Span:
     """One completed request hop — a lazy view over a table row."""
@@ -260,6 +332,19 @@ class TraceCollector:
     def reset(self) -> None:
         """Drop all spans (end of warmup)."""
         self._table.clear()
+
+    @classmethod
+    def merged(cls, payloads: t.Sequence[dict]) -> "TraceCollector":
+        """A collector over the merge of several shard span dumps.
+
+        Accepts :meth:`SpanTable.to_payload` dicts in shard order; the
+        merged table relocates each shard's request ids into a disjoint
+        range so the usual queries (roots, breakdown, chrome export)
+        work on the union.
+        """
+        collector = cls()
+        collector._table = SpanTable.merged(payloads)
+        return collector
 
     # ------------------------------------------------------------------
     # Queries

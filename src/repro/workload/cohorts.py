@@ -1,0 +1,227 @@
+"""Cohort compression: weighted user cohorts for million-user runs.
+
+A closed-loop population of statistically identical users is an
+expensive way to compute an aggregate: each user carries three named
+random streams, one generator process, and one in-flight request, yet
+all of them walk the same session profile with the same think-time
+distribution.  :class:`CohortWorkload` collapses ``cohort_factor``
+consecutive users into one *cohort*: a single representative event
+stream whose think-time draws are compressed by the cohort's weight, so
+the representative issues requests at the cohort's aggregate offered
+rate.  Simulator state then scales with ``n_users / cohort_factor``
+while the services still see (approximately) the demand of the full
+population.
+
+Exactness contract
+------------------
+A cohort of weight 1 *is* the per-user baseline: its generator delegates
+to :meth:`ClosedLoopWorkload._user` verbatim, so every random draw,
+event, and recorded sample is byte-identical to an uncompressed run.
+The experiment funnel (:func:`repro.experiments.common.run_store` and
+the direct construction sites in E11/E12/E13) always goes through
+:func:`closed_workload`, which means the 16-case golden-digest suite
+pins the weight-1 cohort path on both kernel backends.
+
+Accuracy caveats (weight > 1) are spelled out in ``docs/SCALE.md``: the
+aggregate offered rate is preserved exactly in the think-dominated
+regime and saturated throughput is preserved past the knee, but
+in-flight concurrency is compressed by the weight, so queueing delay
+reflects ``n_cohorts`` rather than ``n_users`` outstanding requests.
+
+Recoverability
+--------------
+Compression never destroys individual behavior: every user — member of
+any cohort, representative or not — draws its session walk from its own
+named stream (``session.<user_id>``), derived from the deployment seed
+alone.  :func:`expand_member` replays any member's exact request
+sequence from ``(seed, user_id)`` without running the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as t
+
+from repro._errors import WorkloadError
+from repro.sim.rand import RandomStreams
+from repro.workload.closed import ClosedLoopWorkload, SessionFactory
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.deployment import Deployment
+    from repro.workload.sessions import Step
+
+
+@dataclasses.dataclass(frozen=True)
+class Cohort:
+    """``weight`` consecutive users represented by user ``rep``.
+
+    The members are the global user ids ``rep .. rep + weight - 1``;
+    ``rep`` doubles as the cohort's seed key (its named streams drive
+    the compressed event stream).
+    """
+
+    rep: int
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.rep < 0:
+            raise WorkloadError(f"cohort rep must be >= 0: {self.rep}")
+        if self.weight < 1:
+            raise WorkloadError(
+                f"cohort weight must be >= 1: {self.weight}")
+
+    @property
+    def members(self) -> range:
+        """The global user ids this cohort stands for."""
+        return range(self.rep, self.rep + self.weight)
+
+
+def plan_cohorts(n_users: int, cohort_factor: int,
+                 base: int = 0) -> list[Cohort]:
+    """Partition users ``base .. base + n_users - 1`` into cohorts.
+
+    Full cohorts of ``cohort_factor`` members, plus one trailing partial
+    cohort when the population does not divide evenly.  A factor of 1
+    yields one weight-1 cohort per user — the uncompressed layout.
+    """
+    if n_users < 1:
+        raise WorkloadError(f"n_users must be >= 1: {n_users}")
+    if cohort_factor < 1:
+        raise WorkloadError(
+            f"cohort_factor must be >= 1: {cohort_factor}")
+    cohorts = []
+    for first in range(base, base + n_users, cohort_factor):
+        weight = min(cohort_factor, base + n_users - first)
+        cohorts.append(Cohort(first, weight))
+    return cohorts
+
+
+class CohortWorkload(ClosedLoopWorkload):
+    """``n_users`` closed-loop users compressed into weighted cohorts.
+
+    Behaves exactly like :class:`ClosedLoopWorkload` when every cohort
+    has weight 1 (the generator delegates to the parent's ``_user``).
+    With weight ``w > 1`` the representative's think-time mean shrinks
+    to ``think_time / w``, so one event stream carries the cohort's
+    aggregate request count.
+    """
+
+    def __init__(self, deployment: "Deployment",
+                 session_factory: SessionFactory,
+                 n_users: int,
+                 think_time: float = 0.5,
+                 cohort_factor: int = 1,
+                 cohorts: t.Sequence[Cohort] | None = None):
+        super().__init__(deployment, session_factory, n_users,
+                         think_time=think_time)
+        if cohorts is None:
+            cohorts = plan_cohorts(n_users, cohort_factor)
+        else:
+            cohorts = list(cohorts)
+            total = sum(cohort.weight for cohort in cohorts)
+            if total != n_users:
+                raise WorkloadError(
+                    f"cohort weights sum to {total}, not n_users="
+                    f"{n_users}")
+        self.cohorts: tuple[Cohort, ...] = tuple(cohorts)
+
+    @property
+    def n_cohorts(self) -> int:
+        """How many representative event streams actually run."""
+        return len(self.cohorts)
+
+    def start(self) -> None:
+        """Launch one representative process per cohort."""
+        if self._started:
+            raise WorkloadError("workload already started")
+        self._started = True
+        for cohort in self.cohorts:
+            self.deployment.sim.process(
+                self._cohort(cohort.rep, cohort.weight))
+
+    def _cohort(self, rep: int, weight: int) -> t.Generator:
+        # Weight 1 is the exactness contract: reuse the per-user
+        # generator verbatim so the draw sequence cannot drift.
+        if weight == 1:
+            yield from self._user(rep)
+            return
+        deployment = self.deployment
+        sim = deployment.sim
+        session = self.session_factory(rep)
+        # The representative stands for `weight` users: compressing the
+        # think-time mean by the weight makes its request rate the
+        # cohort's aggregate offered rate.  Start jitter stays spread
+        # over the *original* think period so cohorts desynchronize the
+        # way individual users would.
+        think = (deployment.streams.exponential_sampler(
+            f"user.think.{rep}", self.think_time / weight)
+            if self.think_time > 0 else None)
+        initial_delay = deployment.streams.uniform(
+            f"user.start.{rep}", 0.0, max(self.think_time, 1e-3))
+        yield sim.timeout(initial_delay)
+        for service, endpoint, payload in session:
+            if think is not None:
+                yield sim.timeout(think())
+            issued_at = sim.now
+            done = deployment.dispatch(service, endpoint, payload=payload,
+                                       protected=False)
+            try:
+                yield done
+            except Exception:
+                self.errors += 1
+                continue
+            self.latency.record(sim.now - issued_at, tag=endpoint)
+            self.meter.mark()
+
+    def __repr__(self) -> str:
+        return (f"<CohortWorkload {self.n_users} users in "
+                f"{self.n_cohorts} cohorts, think={self.think_time}s>")
+
+
+def closed_workload(deployment: "Deployment",
+                    session_factory: SessionFactory,
+                    n_users: int,
+                    think_time: float = 0.5,
+                    cohort_factor: int = 1,
+                    cohorts: t.Sequence[Cohort] | None = None
+                    ) -> ClosedLoopWorkload:
+    """The experiment funnel for closed-loop load generation.
+
+    Always returns a :class:`CohortWorkload` so the cohort layer sits
+    under the golden-digest contract even at factor 1 (where it is
+    byte-identical to :class:`ClosedLoopWorkload` by delegation).
+    """
+    return CohortWorkload(deployment, session_factory, n_users,
+                          think_time=think_time,
+                          cohort_factor=cohort_factor,
+                          cohorts=cohorts)
+
+
+class _StreamsShim:
+    """The minimal deployment surface a session factory may touch when
+    replayed outside a simulation: its named random streams."""
+
+    __slots__ = ("streams",)
+
+    def __init__(self, streams: RandomStreams):
+        self.streams = streams
+
+
+def expand_member(profile: t.Any, seed: int, user_id: int,
+                  n_steps: int) -> "list[Step]":
+    """Replay user ``user_id``'s first ``n_steps`` session steps by seed.
+
+    ``profile`` is anything with ``session_factory(deployment)`` that
+    only consumes the deployment's named streams (the Markov profiles
+    qualify: a walk touches only ``session.<user_id>``).  Because
+    streams are independent by name, the replay draws exactly what the
+    user draws inside a full run — compressed or not — so any cohort
+    member's individual behavior is recoverable from ``(seed, user_id)``
+    without simulating anything.
+    """
+    if n_steps < 0:
+        raise WorkloadError(f"n_steps must be >= 0: {n_steps}")
+    shim = _StreamsShim(RandomStreams(seed))
+    factory = profile.session_factory(shim)
+    return list(itertools.islice(factory(user_id), n_steps))

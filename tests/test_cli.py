@@ -101,3 +101,45 @@ def test_perfbench_profile_prints_report(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "profile smoke/e13" in out
     assert "cumulative" in out
+
+
+def test_run_with_scale_flags(capsys):
+    assert main(["run", "e2", "--fast", "--users", "60",
+                 "--shards", "2", "--cohort-factor", "5"]) == 0
+    assert "[E2]" in capsys.readouterr().out
+
+
+def test_scale_flags_reach_settings():
+    from repro import cli
+
+    args = cli._build_parser().parse_args(
+        ["run", "e1", "--fast", "--shards", "4",
+         "--cohort-factor", "250"])
+    settings = cli._settings_for(args, "e1")
+    assert settings.shards == 4
+    assert settings.cohort_factor == 250
+
+    defaults = cli._build_parser().parse_args(["run", "e1", "--fast"])
+    plain = cli._settings_for(defaults, "e1")
+    assert plain.shards == 1
+    assert plain.cohort_factor == 1
+
+
+def test_sweep_accepts_scale_flags():
+    from repro import cli
+
+    args = cli._build_parser().parse_args(
+        ["sweep", "e2", "--fast", "--shards", "2",
+         "--cohort-factor", "10"])
+    settings = cli._settings_for(args, "e2")
+    assert settings.shards == 2
+    assert settings.cohort_factor == 10
+
+
+def test_perfbench_list_slices(capsys):
+    assert main(["perfbench", "--list-slices"]) == 0
+    out = capsys.readouterr().out
+    assert "e2-100k" in out
+    assert "e2-1m" in out
+    assert "extended" in out
+    assert "shards=8" in out and "cohort_factor=250" in out

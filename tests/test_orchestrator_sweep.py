@@ -14,7 +14,14 @@ from repro.orchestrator import (
     run_sweep,
     sweep_experiments,
 )
-from repro.orchestrator.bench import bench_payload
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.orchestrator.bench import (
+    append_bench_entry,
+    bench_entry,
+    bench_payload,
+)
 from repro.report import build_report, sweep_section
 
 
@@ -85,13 +92,64 @@ def test_progress_reporter_events_and_lines():
 
 def test_bench_payload_shape():
     stats = run_sweep("e1", tiny()).stats
-    payload = bench_payload([stats], jobs=3)
-    assert payload["artifact"] == "repro-sweep-bench"
-    assert payload["jobs"] == 3
-    assert payload["experiments"][0]["experiment"] == "e1"
-    totals = payload["totals"]
+    entry = bench_payload([stats], jobs=3)
+    assert entry["jobs"] == 3
+    assert entry["experiments"][0]["experiment"] == "e1"
+    totals = entry["totals"]
     assert totals["points"] >= 1
-    assert json.dumps(payload)
+    assert json.dumps(entry)
+
+
+def _fake_entry(experiment, jobs, marker):
+    return {"recorded_at": marker, "jobs": jobs,
+            "experiments": [{"experiment": experiment, "executed": 1}],
+            "totals": {"points": 1}}
+
+
+def test_bench_migrates_v1_snapshot(tmp_path):
+    target = tmp_path / "bench.json"
+    v1 = {"artifact": "repro-sweep-bench", "version": 1,
+          "recorded_at": "2026-01-01T00:00:00Z", "jobs": 4,
+          "experiments": [{"experiment": "e2", "executed": 9}],
+          "totals": {"points": 9}}
+    target.write_text(json.dumps(v1))
+    append_bench_entry(target, _fake_entry("e2", 4, "new"))
+    artifact = json.loads(target.read_text())
+    assert artifact["version"] == 2
+    # The v1 snapshot survives as the trajectory's first-ever entry.
+    assert artifact["trajectory"][0]["recorded_at"] == "2026-01-01T00:00:00Z"
+    assert artifact["trajectory"][0]["experiments"][0]["executed"] == 9
+    assert artifact["trajectory"][1]["recorded_at"] == "new"
+    assert "artifact" not in artifact["trajectory"][0]
+
+
+def test_bench_rotation_keeps_first_and_newest_per_group(tmp_path):
+    target = tmp_path / "bench.json"
+    append_bench_entry(target, _fake_entry("e2", 1, "origin"))
+    for index in range(25):
+        append_bench_entry(target, _fake_entry("e2", 4, f"e2-{index}"))
+    append_bench_entry(target, _fake_entry("e8", 4, "e8-only"))
+    trajectory = json.loads(target.read_text())["trajectory"]
+    markers = [entry["recorded_at"] for entry in trajectory]
+    assert markers[0] == "origin"  # first-ever entry is immortal
+    assert "e8-only" in markers  # a burst of e2 cannot evict e8 history
+    e2_markers = [m for m in markers if m.startswith("e2-")]
+    assert e2_markers == [f"e2-{index}" for index in range(5, 25)]
+
+
+def test_bench_rejects_foreign_artifacts(tmp_path):
+    target = tmp_path / "bench.json"
+    target.write_text(json.dumps({"artifact": "something-else"}))
+    with pytest.raises(ConfigurationError):
+        append_bench_entry(target, _fake_entry("e2", 1, "x"))
+    target.write_text(json.dumps({"artifact": "repro-sweep-bench",
+                                  "version": 99}))
+    with pytest.raises(ConfigurationError):
+        append_bench_entry(target, _fake_entry("e2", 1, "x"))
+
+
+def test_bench_entry_alias_is_stable():
+    assert bench_payload is bench_entry
 
 
 def test_report_includes_sweep_telemetry():
@@ -116,17 +174,20 @@ def test_cli_sweep_end_to_end(tmp_path, capsys):
 
     artifact = json.loads(bench.read_text())
     assert artifact["artifact"] == "repro-sweep-bench"
-    assert artifact["experiments"][0]["executed"] >= 1
+    assert artifact["version"] == 2
+    assert artifact["trajectory"][-1]["experiments"][0]["executed"] >= 1
     assert "## Sweep telemetry" in markdown.read_text()
     log_lines = (tmp_path / "cache" / "last-sweep.jsonl").read_text()
     assert '"sweep_start"' in log_lines and '"sweep_end"' in log_lines
 
-    # Second invocation replays entirely from the cache.
+    # Second invocation replays entirely from the cache and appends a
+    # second trajectory entry rather than overwriting the first.
     assert cli.main(argv) == 0
     capsys.readouterr()
     replay = json.loads(bench.read_text())
-    assert replay["experiments"][0]["executed"] == 0
-    assert replay["experiments"][0]["cache_hits"] >= 1
+    assert len(replay["trajectory"]) == 2
+    assert replay["trajectory"][-1]["experiments"][0]["executed"] == 0
+    assert replay["trajectory"][-1]["experiments"][0]["cache_hits"] >= 1
 
 
 def test_cli_sweep_rejects_bad_jobs(capsys):

@@ -1,0 +1,221 @@
+"""The sharded execution tier: partitioning, the sync grid, the
+coupling model, payload merge hooks, and end-to-end determinism of
+:func:`repro.scale.run_sharded`."""
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.experiments import ExperimentSettings
+from repro.experiments.common import run_store
+from repro.metrics.latency import LatencyRecorder
+from repro.orchestrator import ResultCache
+from repro.scale import (
+    ScaleConfig,
+    inflation_profiles,
+    merge_demand,
+    plan_shards,
+    run_sharded,
+    window_boundaries,
+)
+from repro.services.deployment import Deployment
+from repro.sim import kernel
+from repro.tracing.collector import SpanTable, TraceCollector
+
+from ._kernels import backend_params
+
+
+def tiny(**overrides):
+    overrides.setdefault("preset", "tiny")
+    overrides.setdefault("users", 48)
+    overrides.setdefault("warmup", 0.1)
+    overrides.setdefault("duration", 0.3)
+    return ExperimentSettings.fast(**overrides)
+
+
+class TestPlan:
+    def test_partition_is_contiguous_and_balanced(self):
+        plan = plan_shards(10, ScaleConfig(shards=3), warmup=0.1,
+                           duration=0.3)
+        sizes = [spec.n_users for spec in plan.shards]
+        assert sizes == [4, 3, 3]  # remainder on the leading shards
+        covered = [uid for spec in plan.shards for uid in spec.users]
+        assert covered == list(range(10))
+
+    def test_cohorts_keep_global_ids(self):
+        plan = plan_shards(10, ScaleConfig(shards=2, cohort_factor=3),
+                           warmup=0.1, duration=0.3)
+        second = plan.shards[1]
+        assert second.user_base == 5
+        assert [c.rep for c in second.cohorts] == [5, 8]
+        members = [uid for c in second.cohorts for uid in c.members]
+        assert members == list(range(5, 10))
+        assert plan.n_cohorts == 4
+
+    def test_more_shards_than_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(2, ScaleConfig(shards=3), warmup=0.1, duration=0.3)
+
+    def test_window_grid_hits_phase_edges_exactly(self):
+        boundaries, warmup_windows = window_boundaries(
+            warmup=0.8, duration=1.5, window=0.25)
+        assert boundaries[warmup_windows - 1] == 0.8
+        assert boundaries[-1] == 0.8 + 1.5
+        assert warmup_windows == 4
+        assert all(b2 > b1 for b1, b2 in zip(boundaries, boundaries[1:]))
+
+    def test_zero_warmup_has_no_warmup_windows(self):
+        boundaries, warmup_windows = window_boundaries(
+            warmup=0.0, duration=1.0, window=None)
+        assert warmup_windows == 0
+        assert len(boundaries) == 8  # default measure split
+        assert boundaries[-1] == 1.0
+
+    def test_config_validation(self):
+        for bad in (dict(shards=0), dict(cohort_factor=0),
+                    dict(window=0.0), dict(sync_rounds=0),
+                    dict(alpha=-0.1), dict(f_max=0.5)):
+            with pytest.raises(ConfigurationError):
+                ScaleConfig(**bad)
+        with pytest.raises(ConfigurationError):
+            window_boundaries(warmup=-0.1, duration=1.0, window=None)
+        with pytest.raises(ConfigurationError):
+            window_boundaries(warmup=0.0, duration=0.0, window=None)
+
+
+class TestSync:
+    def test_merge_demand_totals(self):
+        profiles = [{"db": [1, 2, 3]}, {"db": [10, 20, 30],
+                                        "persistence": [5, 5, 5]}]
+        totals = merge_demand(profiles, 3)
+        assert totals == {"db": [11, 22, 33], "persistence": [5, 5, 5]}
+
+    def test_inflation_formula_and_lag(self):
+        config = ScaleConfig(shards=2, alpha=0.25, f_max=4.0)
+        profiles = [{"db": [100, 100, 100]}, {"db": [300, 100, 100]}]
+        first, second = inflation_profiles(profiles, config, 3)
+        # Window 0 is the conservative cold start; window k sees the
+        # merged demand of window k-1.
+        assert first["db"][0] == 1.0
+        assert first["db"][1] == 1.0 + 0.25 * 300 / 100
+        assert second["db"][1] == 1.0 + 0.25 * 100 / 300
+        assert first["db"][2] == second["db"][2] == 1.25
+
+    def test_inflation_clamps_at_f_max(self):
+        config = ScaleConfig(shards=2, alpha=1.0, f_max=2.0)
+        profiles = [{"db": [1, 1]}, {"db": [1000, 1000]}]
+        factors = inflation_profiles(profiles, config, 2)
+        assert factors[0]["db"][1] == 2.0
+
+    def test_single_shard_degenerates_to_ones(self):
+        config = ScaleConfig(shards=1)
+        factors = inflation_profiles([{"db": [50, 50, 50]}], config, 3)
+        assert factors[0]["db"] == (1.0, 1.0, 1.0)
+
+
+class TestMergeHooks:
+    def test_latency_payload_round_trip(self):
+        source = LatencyRecorder()
+        source.record(0.1, tag="home")
+        source.record(0.2, tag="login")
+        source.record(0.3)
+        sink = LatencyRecorder()
+        sink.record(0.4, tag="login")
+        sink.extend_from_payload(source.to_payload())
+        assert sink.count == 4
+        assert sorted(sink.tags) == ["home", "login"]
+        assert sink.percentile(0.0, tag="login") == 0.2  # imported sample
+        assert sink.max(tag="login") == 0.4  # local sample survives
+
+    def test_span_merge_relocates_request_ids(self):
+        def table_with(ids):
+            table = SpanTable()
+            for request_id in ids:
+                table.append(request_id, None, "web", "home", 0,
+                             0.0, 0.0, 0.1, 0.2)
+            table.append(ids[-1] + 1, ids[0], "db", "query", 1,
+                         0.1, 0.1, 0.15, 0.18)
+            return table
+
+        # Two shard processes both start their request counter at 0.
+        payloads = [table_with([0, 1]).to_payload(),
+                    table_with([0, 1]).to_payload()]
+        merged = SpanTable.merged(payloads)
+        assert len(merged) == 6
+        ids = merged.request_id.as_array().tolist()
+        assert len(set(ids)) == len(ids)  # no collisions after merge
+        collector = TraceCollector.merged(payloads)
+        roots = collector.roots
+        assert len(roots) == 4
+        child_services = {span.service
+                          for root in roots
+                          for span in collector.children_of(root)}
+        assert child_services <= {"db"}
+
+    def test_registry_counts_lookups(self):
+        settings = tiny(users=12)
+        __, deployment, __ = run_store(settings)
+        assert deployment.registry.lookups > 0
+
+
+class TestShardedRun:
+    @pytest.mark.parametrize("backend", backend_params())
+    def test_single_shard_matches_plain_run(self, backend):
+        settings = tiny()
+        with kernel.use_backend(backend):
+            plain, __, __ = run_store(settings)
+            outcome = run_sharded(settings)
+        # Bit-identity, not approximation: the windowed driver replays
+        # run_experiment's phase semantics exactly.
+        assert outcome.result == plain
+        assert outcome.plan.n_windows >= 1
+        assert outcome.sync.max_factor() == 1.0
+
+    def test_worker_count_does_not_change_results(self):
+        settings = tiny(shards=3, cohort_factor=4)
+        sequential = run_sharded(settings, jobs=1)
+        parallel = run_sharded(settings, jobs=2)
+        assert sequential.result == parallel.result
+        assert sequential.sync.factors == parallel.sync.factors
+        assert sequential.sync.total_demand == parallel.sync.total_demand
+
+    def test_cache_replays_identically(self, tmp_path):
+        settings = tiny(shards=2, cohort_factor=4)
+        first = run_sharded(settings, cache=ResultCache(tmp_path))
+        again = run_sharded(settings, cache=ResultCache(tmp_path))
+        assert first.result == again.result
+        assert any(tmp_path.iterdir())  # shard payloads were persisted
+
+    def test_coupling_inflates_shared_tier(self):
+        settings = tiny(shards=3, cohort_factor=4)
+        outcome = run_sharded(settings)
+        assert outcome.sync.max_factor() > 1.0
+        for profile in outcome.sync.factors:
+            assert set(profile) == {"persistence", "db"}
+            for schedule in profile.values():
+                assert schedule[0] == 1.0
+                assert all(1.0 <= f <= 4.0 for f in schedule)
+        assert len(outcome.sync.registry_lookups) == 3
+        assert sum(map(sum, outcome.sync.registry_lookups)) > 0
+
+    def test_traced_run_merges_spans_across_shards(self):
+        settings = tiny(shards=2, cohort_factor=4)
+        outcome = run_sharded(settings, trace=True)
+        assert outcome.spans is not None and len(outcome.spans) > 0
+        ids = outcome.spans.request_id.as_array().tolist()
+        assert len(set(ids)) == len(ids)
+        shard_rows = [len(payload["spans"]["request_id"])
+                      for payload in outcome.shard_payloads]
+        assert len(outcome.spans) == sum(shard_rows)
+        assert all(rows > 0 for rows in shard_rows)
+
+    def test_run_store_routes_sharded_settings(self):
+        settings = tiny(shards=2, cohort_factor=4)
+        via_store, deployment, store = run_store(settings)
+        direct = run_sharded(settings)
+        assert via_store == direct.result
+        assert deployment is not None and store is not None
+
+    def test_run_store_rejects_overrides_when_sharded(self):
+        settings = tiny(shards=2)
+        with pytest.raises(ConfigurationError):
+            run_store(settings, machine=settings.machine())
