@@ -1,0 +1,57 @@
+"""Chaos campaigns: scenario catalog, cascade analysis, graded verdicts.
+
+The package grows :class:`~repro.workload.faults.FaultInjector` into a
+campaign engine organized by the chaosprobe bottleneck taxonomy:
+
+* :mod:`repro.chaos.catalog` — data-driven fault scenarios spanning the
+  four bottleneck classes (execution saturation, critical-path
+  contention, I/O contention, bandwidth saturation) plus a healthy
+  control, each with an injection schedule, a target-selection policy,
+  and an expected-blast-radius spec;
+* :mod:`repro.chaos.cascade` — the analyzer that walks the columnar
+  :class:`~repro.tracing.collector.SpanTable` to attribute
+  victim-service latency back to the injected fault: blast radius,
+  propagation depth along the observed call graph, time-to-recover;
+* :mod:`repro.chaos.grading` — PASS/DEGRADED/FAIL verdicts per scenario
+  against its expectation spec;
+* :mod:`repro.chaos.campaign` — the runner executing catalog ×
+  resilience-config grids through the orchestrator pool/cache
+  (byte-identical at any ``--jobs``), registered as the ``chaos`` sweep
+  provider behind the ``repro chaos`` CLI verb.
+"""
+
+from repro.chaos.campaign import (
+    TITLE,
+    execute_cell,
+    run,
+    run_sweep_point,
+    sweep_points,
+)
+from repro.chaos.cascade import CascadeReport, ServiceImpact, analyze_cascade
+from repro.chaos.catalog import (
+    BOTTLENECK_CLASSES,
+    Expectation,
+    Scenario,
+    builtin_catalog,
+    scenario_by_name,
+)
+from repro.chaos.grading import GRADES, GradeResult, grade_scenario
+
+__all__ = [
+    "BOTTLENECK_CLASSES",
+    "CascadeReport",
+    "Expectation",
+    "GRADES",
+    "GradeResult",
+    "Scenario",
+    "ServiceImpact",
+    "TITLE",
+    "analyze_cascade",
+    "builtin_catalog",
+    "execute_cell",
+    "grade_scenario",
+    "run",
+    "run_sweep_point",
+    "scenario_by_name",
+    "sweep_points",
+]

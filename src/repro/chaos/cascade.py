@@ -1,0 +1,310 @@
+"""Cascade analysis: attribute victim latency to an injected fault.
+
+Given the :class:`~repro.tracing.collector.SpanTable` of one measured
+run and the fault window a scenario injected, :func:`analyze_cascade`
+answers the three questions a chaos verdict needs:
+
+* **blast radius** — which services' latency degraded while the fault
+  was active, relative to their own pre-fault baseline in the same run;
+* **propagation depth** — how far upstream of the fault target the
+  degradation travelled along the *observed* call graph (the analyzer
+  trusts only :meth:`SpanTable.service_edges`, never an assumed
+  topology);
+* **time-to-recover** — how long after the fault lifted each attributed
+  service needed before its latency returned to baseline, and whether
+  it recovered at all inside the observed window.
+
+Everything is vectorized: phase assignment is three boolean masks over
+the ``created`` column, per-service means are ``np.bincount`` sweeps
+over interned service codes, and recovery detection bins the post-fault
+phase into per-``(service, bin)`` means with one flattened bincount —
+no per-span Python loops, so a million-span table analyzes in
+milliseconds.
+
+Attribution is *by construction* limited to the fault's upstream
+closure: a service whose requests never transit the target cannot have
+been degraded by the fault, so it is reported under ``anomalies``
+(something else happened) rather than inside the blast radius.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro._errors import AnalysisError
+from repro.workload.faults import FABRIC
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.collector import SpanTable
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceImpact:
+    """One attributed victim service's degradation and recovery."""
+
+    service: str
+    #: Hops upstream from the fault target along observed call edges
+    #: (the target itself is 1; fabric faults touch every hop directly,
+    #: so every victim of a fabric fault has depth 1).
+    depth: int
+    pre_mean_ms: float
+    during_mean_ms: float
+    #: during/pre mean-latency ratio.
+    ratio: float
+    recovered: bool
+    #: Seconds after the fault lifted until latency sustainedly returned
+    #: to baseline (the observed post-window length when it never did).
+    recovery_s: float
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """Canonical JSON-native form."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class CascadeReport:
+    """The full cascade attribution for one scenario run."""
+
+    #: The fault's concrete target (service name, or ``*`` for fabric).
+    target: str
+    #: Attributed victims (inside the upstream closure), by depth then
+    #: name.
+    impacts: tuple[ServiceImpact, ...]
+    #: Attributed victim service names, sorted.
+    blast_radius: tuple[str, ...]
+    #: Degraded services *outside* the fault's upstream closure — real
+    #: degradation the fault cannot explain.
+    anomalies: tuple[str, ...]
+    #: Max attributed depth (0 when the blast radius is empty).
+    propagation_depth: int
+    #: Max attributed recovery time (0.0 when the blast radius is empty).
+    time_to_recover_s: float
+    #: True when every attributed victim recovered inside the window.
+    recovered: bool
+    #: Root-span p99 during/pre ratio (1.0 when either phase is empty).
+    root_p99_ratio: float
+    #: Total spans analyzed.
+    spans: int
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """Canonical JSON-native form (report and grader input)."""
+        return {
+            "target": self.target,
+            "impacts": [impact.to_dict() for impact in self.impacts],
+            "blast_radius": list(self.blast_radius),
+            "anomalies": list(self.anomalies),
+            "propagation_depth": self.propagation_depth,
+            "time_to_recover_s": self.time_to_recover_s,
+            "recovered": self.recovered,
+            "root_p99_ratio": self.root_p99_ratio,
+            "spans": self.spans,
+        }
+
+
+def _empty_report(target: str, spans: int) -> CascadeReport:
+    return CascadeReport(target=target, impacts=(), blast_radius=(),
+                         anomalies=(), propagation_depth=0,
+                         time_to_recover_s=0.0, recovered=True,
+                         root_p99_ratio=1.0, spans=spans)
+
+
+def _phase_means(codes: np.ndarray, latency: np.ndarray,
+                 mask: np.ndarray, n_services: int
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """(counts, means) per service code over one phase mask."""
+    counts = np.bincount(codes[mask], minlength=n_services)
+    sums = np.bincount(codes[mask], weights=latency[mask],
+                       minlength=n_services)
+    means = np.divide(sums, counts,
+                      out=np.zeros(n_services), where=counts > 0)
+    return counts, means
+
+
+def _upstream_depths(table: "SpanTable", target: str
+                     ) -> dict[int, int]:
+    """Service code → hops upstream of ``target`` over observed edges.
+
+    The target is depth 1; a fabric target puts every observed service
+    at depth 1 (the fault sits on every hop).  An unobserved target
+    yields an empty closure: nothing can be attributed to a fault on a
+    service that never served a traced request.
+    """
+    if target == FABRIC:
+        codes = np.unique(table.service_code.as_array())
+        return {int(code): 1 for code in codes}
+    target_code = table.services.code_if_known(target)
+    if target_code is None:
+        return {}
+    callers_of: dict[int, list[int]] = {}
+    for caller, callee in table.service_edges():
+        callers_of.setdefault(callee, []).append(caller)
+    depths = {int(target_code): 1}
+    frontier = [int(target_code)]
+    while frontier:
+        code = frontier.pop(0)
+        for caller in callers_of.get(code, ()):
+            if caller not in depths:
+                depths[caller] = depths[code] + 1
+                frontier.append(caller)
+    return depths
+
+
+def _root_p99_ratio(table: "SpanTable", latency: np.ndarray,
+                    pre_mask: np.ndarray,
+                    during_mask: np.ndarray) -> float:
+    roots = table.parent_id.as_array() < 0
+    pre = latency[roots & pre_mask]
+    during = latency[roots & during_mask]
+    if len(pre) == 0 or len(during) == 0:
+        return 1.0
+    p99_pre = float(np.percentile(pre, 99))
+    if p99_pre <= 0:
+        return 1.0
+    return float(np.percentile(during, 99)) / p99_pre
+
+
+def analyze_cascade(table: "SpanTable", *,
+                    target: str,
+                    window_start: float,
+                    window_end: float,
+                    fault_start: float | None = None,
+                    fault_end: float | None = None,
+                    degraded_ratio: float = 1.5,
+                    min_abs_s: float = 1e-3,
+                    recover_ratio: float = 1.25,
+                    recovery_bins: int = 12) -> CascadeReport:
+    """Attribute per-service degradation in ``table`` to one fault window.
+
+    Spans are phased by *issue* time (``created``): pre-fault spans in
+    ``[window_start, fault_start)`` give each service its own baseline,
+    spans in ``[fault_start, fault_end)`` are the fault phase, and spans
+    in ``[fault_end, window_end]`` drive recovery detection.  A service
+    is **degraded** when its fault-phase mean latency exceeds
+    ``max(baseline * degraded_ratio, baseline + min_abs_s)`` — the
+    absolute floor keeps microsecond-scale baselines from flagging
+    noise.  Degraded services inside the target's upstream closure form
+    the blast radius; the rest are anomalies.
+
+    Recovery bins the post phase into ``recovery_bins`` equal slices and
+    finds, per attributed service, the earliest bin from which every
+    later non-empty bin stays at or below
+    ``max(baseline * recover_ratio, baseline + min_abs_s)`` — a
+    *sustained* return to baseline, immune to one lucky bin mid-storm.
+    A scenario whose fault window runs to the end of the measurement
+    window has no post phase, so its victims count as not recovered.
+
+    Passing no fault window (the healthy control) yields the empty
+    report: no blast, depth 0, recovered.
+    """
+    if window_end <= window_start:
+        raise AnalysisError(
+            f"need window_end > window_start "
+            f"(got {window_start}, {window_end})")
+    if (fault_start is None) != (fault_end is None):
+        raise AnalysisError(
+            "fault_start and fault_end must be given together")
+    spans = len(table)
+    if fault_start is None or spans == 0:
+        return _empty_report(target, spans)
+    if t.cast(float, fault_end) <= fault_start:
+        raise AnalysisError(
+            f"need fault_end > fault_start "
+            f"(got {fault_start}, {fault_end})")
+    fault_end = t.cast(float, fault_end)
+
+    codes = table.service_code.as_array().astype(np.int64)
+    created = table.created.as_array()
+    latency = table.completed.as_array() - created
+    n_services = len(table.services.names)
+
+    pre_mask = (created >= window_start) & (created < fault_start)
+    during_mask = (created >= fault_start) & (created < fault_end)
+    post_mask = (created >= fault_end) & (created <= window_end)
+
+    pre_cnt, pre_mean = _phase_means(codes, latency, pre_mask, n_services)
+    during_cnt, during_mean = _phase_means(codes, latency, during_mask,
+                                           n_services)
+    degraded_floor = np.maximum(pre_mean * degraded_ratio,
+                                pre_mean + min_abs_s)
+    degraded = (pre_cnt > 0) & (during_cnt > 0) \
+        & (during_mean >= degraded_floor)
+
+    depths = _upstream_depths(table, target)
+    degraded_codes = [int(code) for code in np.flatnonzero(degraded)]
+    attributed_codes = [c for c in degraded_codes if c in depths]
+    anomalies = tuple(sorted(table.services.decode(c)
+                             for c in degraded_codes if c not in depths))
+
+    # ------------------------------------------------------------------
+    # Recovery: per-(service, bin) means over the post phase in one
+    # flattened bincount.
+    # ------------------------------------------------------------------
+    post_len = window_end - fault_end
+    recovered_of: dict[int, bool] = {}
+    recovery_of: dict[int, float] = {}
+    if attributed_codes and post_len > 0:
+        bin_width = post_len / recovery_bins
+        post_rows = np.flatnonzero(post_mask)
+        bin_idx = np.minimum(
+            ((created[post_rows] - fault_end) / bin_width).astype(np.int64),
+            recovery_bins - 1)
+        keys = codes[post_rows] * recovery_bins + bin_idx
+        size = n_services * recovery_bins
+        bin_cnt = np.bincount(keys, minlength=size)
+        bin_sum = np.bincount(keys, weights=latency[post_rows],
+                              minlength=size)
+        bin_mean = np.divide(bin_sum, bin_cnt,
+                             out=np.zeros(size), where=bin_cnt > 0)
+        recover_floor = np.maximum(pre_mean * recover_ratio,
+                                   pre_mean + min_abs_s)
+        for code in attributed_codes:
+            cnt = bin_cnt[code * recovery_bins:(code + 1) * recovery_bins]
+            mean = bin_mean[code * recovery_bins:(code + 1) * recovery_bins]
+            bad = (cnt > 0) & (mean > recover_floor[code])
+            if not bad.any():
+                recovered_of[code] = True
+                recovery_of[code] = 0.0
+                continue
+            first_ok = int(np.flatnonzero(bad)[-1]) + 1
+            if first_ok >= recovery_bins:
+                recovered_of[code] = False
+                recovery_of[code] = post_len
+            else:
+                recovered_of[code] = True
+                recovery_of[code] = first_ok * bin_width
+    else:
+        # Fault ran to the window's edge: no post phase to prove
+        # recovery in, so every victim counts as unrecovered.
+        for code in attributed_codes:
+            recovered_of[code] = False
+            recovery_of[code] = max(post_len, 0.0)
+
+    impacts = tuple(sorted(
+        (ServiceImpact(
+            service=table.services.decode(code),
+            depth=int(depths[code]),
+            pre_mean_ms=float(pre_mean[code] * 1e3),
+            during_mean_ms=float(during_mean[code] * 1e3),
+            ratio=float(during_mean[code] / pre_mean[code])
+            if pre_mean[code] > 0 else float(during_mean[code] > 0),
+            recovered=bool(recovered_of[code]),
+            recovery_s=float(recovery_of[code]))
+         for code in attributed_codes),
+        key=lambda impact: (impact.depth, impact.service)))
+
+    return CascadeReport(
+        target=target,
+        impacts=impacts,
+        blast_radius=tuple(sorted(impact.service for impact in impacts)),
+        anomalies=anomalies,
+        propagation_depth=max((impact.depth for impact in impacts),
+                              default=0),
+        time_to_recover_s=max((impact.recovery_s for impact in impacts),
+                              default=0.0),
+        recovered=all(impact.recovered for impact in impacts),
+        root_p99_ratio=float(
+            _root_p99_ratio(table, latency, pre_mask, during_mask)),
+        spans=spans)

@@ -1,0 +1,106 @@
+"""PASS/DEGRADED/FAIL verdicts for chaos scenarios.
+
+The grader holds one measured scenario cell against its catalog
+:class:`~repro.chaos.catalog.Expectation`:
+
+* **FAIL** — the contract is broken: the blast radius escaped the
+  allowed set, the cascade propagated deeper than permitted, the error
+  rate or root-p99 inflation exceeded the hard ceiling, or an
+  attributed victim never recovered inside the observed window.
+* **DEGRADED** — within contract but visibly hurt: root p99 inflated
+  past the pass ratio, or recovery took longer than the expectation's
+  ``recover_within`` share of the measurement window.
+* **PASS** — within contract and healthy.  The control scenario must
+  additionally show an *empty* blast radius and no anomalies: a healthy
+  run that degrades anything is a failed control, whatever the ratios.
+
+Every verdict carries machine-checkable ``reasons`` so reports and CI
+jobs can say *why* a scenario graded the way it did.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.chaos.cascade import CascadeReport
+from repro.chaos.catalog import Scenario
+
+#: Verdicts from best to worst.
+GRADES = ("PASS", "DEGRADED", "FAIL")
+
+
+@dataclasses.dataclass(frozen=True)
+class GradeResult:
+    """One scenario cell's verdict plus its reasons."""
+
+    scenario: str
+    grade: str
+    #: Human-readable reasons, empty for a clean PASS.
+    reasons: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """Canonical JSON-native form."""
+        return {"scenario": self.scenario, "grade": self.grade,
+                "reasons": list(self.reasons)}
+
+
+def grade_scenario(scenario: Scenario, cascade: CascadeReport, *,
+                   error_rate: float, window: float) -> GradeResult:
+    """Grade one measured scenario cell against its expectation.
+
+    ``error_rate`` is the run's request error rate and ``window`` the
+    measurement duration in seconds (the base for the expectation's
+    relative ``recover_within`` deadline).
+    """
+    expect = scenario.expectation
+    failures: list[str] = []
+    degradations: list[str] = []
+
+    if error_rate > expect.max_error_rate:
+        failures.append(
+            f"error rate {error_rate:.3f} exceeds allowed "
+            f"{expect.max_error_rate:.3f}")
+
+    if scenario.bottleneck_class == "control" or not scenario.faults:
+        # A healthy control must not degrade anything, anywhere.
+        if cascade.blast_radius or cascade.anomalies:
+            touched = tuple(sorted(set(cascade.blast_radius)
+                                   | set(cascade.anomalies)))
+            failures.append(
+                f"control run degraded services {touched}")
+        grade = "FAIL" if failures else "PASS"
+        return GradeResult(scenario.name, grade, tuple(failures))
+
+    escaped = sorted(set(cascade.blast_radius) - set(expect.allowed_blast))
+    if escaped:
+        failures.append(
+            f"blast radius escaped the allowed set: {tuple(escaped)}")
+    if cascade.propagation_depth > expect.max_depth:
+        failures.append(
+            f"cascade propagated {cascade.propagation_depth} hops "
+            f"(allowed {expect.max_depth})")
+    if cascade.root_p99_ratio > expect.fail_p99_ratio:
+        failures.append(
+            f"root p99 inflated {cascade.root_p99_ratio:.1f}x "
+            f"(fail ceiling {expect.fail_p99_ratio:.1f}x)")
+    if cascade.blast_radius and not cascade.recovered:
+        unrecovered = tuple(impact.service for impact in cascade.impacts
+                            if not impact.recovered)
+        failures.append(
+            f"services never recovered inside the window: {unrecovered}")
+    if failures:
+        return GradeResult(scenario.name, "FAIL", tuple(failures))
+
+    if cascade.root_p99_ratio > expect.pass_p99_ratio:
+        degradations.append(
+            f"root p99 inflated {cascade.root_p99_ratio:.1f}x "
+            f"(pass ceiling {expect.pass_p99_ratio:.1f}x)")
+    deadline = expect.recover_within * window
+    if cascade.blast_radius and cascade.time_to_recover_s > deadline:
+        degradations.append(
+            f"recovery took {cascade.time_to_recover_s:.3f}s "
+            f"(deadline {deadline:.3f}s)")
+    if degradations:
+        return GradeResult(scenario.name, "DEGRADED", tuple(degradations))
+    return GradeResult(scenario.name, "PASS")

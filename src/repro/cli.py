@@ -34,9 +34,12 @@ from repro.experiments import (
     e12_colocation,
     e13_fault_tolerance,
 )
+from repro.chaos import campaign as chaos_campaign
 from repro.topology.presets import PRESETS
 
-#: Experiment id → (description, runner).
+#: Experiment id → (description, runner).  The chaos campaign also has
+#: its own verb (``repro chaos``) with catalog/grading flags, but runs
+#: and sweeps like any experiment.
 EXPERIMENTS: dict[str, tuple[str, t.Callable]] = {
     "e1": (e1_platform.TITLE, e1_platform.run),
     "e2": (e2_load_scaling.TITLE, e2_load_scaling.run),
@@ -51,6 +54,7 @@ EXPERIMENTS: dict[str, tuple[str, t.Callable]] = {
     "e11": (e11_latency_breakdown.TITLE, e11_latency_breakdown.run),
     "e12": (e12_colocation.TITLE, e12_colocation.run),
     "e13": (e13_fault_tolerance.TITLE, e13_fault_tolerance.run),
+    "chaos": (chaos_campaign.TITLE, chaos_campaign.run),
     "a1": ("Ablation: CCX code sharing", ablations.run_code_sharing),
     "a2": ("Ablation: frequency boost", ablations.run_frequency_ablation),
     "a3": ("Ablation: SMT yield", ablations.run_smt_yield_ablation),
@@ -128,6 +132,50 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--markdown", metavar="FILE", default=None,
                        help="also write a markdown report to FILE")
     _add_kernel_argument(sweep)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run graded chaos campaigns (bottleneck scenario catalog "
+             "x resilience grid)")
+    chaos.add_argument("action", nargs="?", default="run",
+                       choices=("run",),
+                       help="campaign action (default: run)")
+    chaos.add_argument("--list-scenarios", action="store_true",
+                       help="print the builtin scenario catalog and exit")
+    chaos.add_argument("--grade", metavar="FILE", default=None,
+                       help="re-grade a campaign artifact written by "
+                            "--out; exit 1 if any cell grades FAIL")
+    chaos.add_argument("--scenarios", action="append", default=None,
+                       metavar="NAME",
+                       help="limit to one catalog scenario (repeatable; "
+                            "default: the full catalog)")
+    chaos.add_argument("--modes", action="append", default=None,
+                       metavar="MODE", choices=("none", "timeout", "full"),
+                       help="limit to one resilience mode (repeatable; "
+                            "default: all three)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default: 1; results are "
+                            "byte-identical at any value)")
+    chaos.add_argument("--fast", action="store_true",
+                       help="small machine, short windows")
+    chaos.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                       help="override the machine preset")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--users", type=int, default=None)
+    _add_scale_arguments(chaos)
+    chaos.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    chaos.add_argument("--rerun", action="store_true",
+                       help="execute every cell even on cache hits")
+    chaos.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory "
+                            "(default: .repro-cache)")
+    chaos.add_argument("--out", metavar="FILE", default=None,
+                       help="write the campaign artifact (settings + "
+                            "per-cell payloads) as JSON to FILE")
+    chaos.add_argument("--markdown", metavar="FILE", default=None,
+                       help="also write a markdown report to FILE")
+    _add_kernel_argument(chaos)
 
     perfbench = subparsers.add_parser(
         "perfbench",
@@ -258,6 +306,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     if args.command == "sweep":
         return _run_sweeps(args)
 
+    if args.command == "chaos":
+        return _run_chaos(args)
+
     if args.command == "perfbench":
         return _run_perfbench(args)
 
@@ -342,6 +393,82 @@ def _run_sweeps(args: argparse.Namespace) -> int:
         settings = _settings_for(args, experiment_ids[0])
         report = build_report(results, machine=settings.machine(),
                               sweep_stats=[s.to_dict() for s in stats])
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def _run_chaos(args: argparse.Namespace) -> int:
+    """The ``repro chaos`` verb: graded campaigns over the catalog."""
+    import json
+    import pathlib
+
+    from repro.chaos import campaign, catalog, grading
+    from repro.experiments.common import ExperimentSettings
+    from repro.orchestrator import (
+        ResultCache,
+        SweepInterrupted,
+        SweepTimeout,
+        run_sweep,
+    )
+
+    if args.list_scenarios:
+        for scenario in catalog.builtin_catalog():
+            faults = (", ".join(str(f["kind"]) for f in scenario.faults)
+                      or "none")
+            print(f"{scenario.name:18s} {scenario.bottleneck_class:26s} "
+                  f"target={scenario.target:14s} faults={faults}")
+            print(f"{'':18s} {scenario.description}")
+        return 0
+
+    if args.grade is not None:
+        with open(args.grade, encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        settings = ExperimentSettings.from_dict(artifact["settings"])
+        payloads = artifact["payloads"]
+        reports = campaign.cascades_from_payloads(payloads)
+        failed = False
+        for payload, report in zip(payloads, reports):
+            scenario = catalog.scenario_by_name(payload["scenario"])
+            grade = grading.grade_scenario(
+                scenario, report,
+                error_rate=float(payload["error_rate"]),
+                window=settings.duration)
+            failed = failed or grade.grade == "FAIL"
+            print(f"{payload['scenario']}/{payload['resilience']}: "
+                  f"{grade.grade}")
+            for reason in grade.reasons:
+                print(f"  - {reason}")
+        return 1 if failed else 0
+
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    settings = _settings_for(args, "chaos")
+    points = campaign.campaign_points(settings, args.scenarios, args.modes)
+    cache_dir = pathlib.Path(args.cache_dir or ".repro-cache")
+    cache = None if args.no_cache else ResultCache(cache_dir)
+    try:
+        outcome = run_sweep("chaos", settings, jobs=args.jobs,
+                            cache=cache, rerun=args.rerun, points=points)
+    except SweepInterrupted as interrupted:
+        print(interrupted, file=sys.stderr)
+        return 130
+    except SweepTimeout as timed_out:
+        print(f"chaos campaign timed out: {timed_out}", file=sys.stderr)
+        return 1
+    print(outcome.result.render())
+    if args.out is not None:
+        artifact = {"settings": settings.to_dict(),
+                    "payloads": list(outcome.payloads)}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"campaign artifact written to {args.out}")
+    if args.markdown is not None:
+        from repro.report import build_report
+        report = build_report([outcome.result],
+                              machine=settings.machine())
         with open(args.markdown, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"markdown report written to {args.markdown}")

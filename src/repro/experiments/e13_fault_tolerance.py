@@ -35,18 +35,14 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.chaos.campaign import execute_cell
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSettings,
     Row,
 )
 from repro.orchestrator import plan
-from repro.services.deployment import Deployment
-from repro.services.resilience import ResilienceConfig
-from repro.teastore.store import build_teastore
-from repro.workload.cohorts import closed_workload
-from repro.workload.faults import FaultInjector
-from repro.workload.runner import run_experiment
+from repro.services.resilience import ResilienceConfig, resilience_preset
 
 TITLE = "Fault tolerance under degraded replicas"
 
@@ -63,21 +59,16 @@ CALL_TIMEOUT = 0.25
 
 
 def resilience_config(mode: str) -> ResilienceConfig | None:
-    """The :class:`ResilienceConfig` for one mode name (None = plain)."""
-    if mode == "none":
-        return None
-    if mode == "timeout":
-        return ResilienceConfig(timeout=CALL_TIMEOUT, degradation=True)
-    if mode == "full":
-        return ResilienceConfig(
-            timeout=CALL_TIMEOUT, retries=2,
-            backoff_base=0.01, backoff_factor=2.0, jitter=0.1,
-            retry_budget=0.25,
-            breaker_enabled=True, breaker_failure_threshold=5,
-            breaker_recovery_time=0.25, breaker_half_open_max=1,
-            degradation=True)
-    raise ValueError(f"unknown resilience mode {mode!r}; "
-                     f"choose from {MODES}")
+    """The :class:`ResilienceConfig` for one mode name (None = plain).
+
+    Delegates to the canonical
+    :func:`~repro.services.resilience.resilience_preset`, keeping this
+    module's historical ``ValueError`` contract for unknown names.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown resilience mode {mode!r}; "
+                         f"choose from {MODES}")
+    return resilience_preset(mode, call_timeout=CALL_TIMEOUT)
 
 
 def fault_schedule(scenario: str,
@@ -131,24 +122,19 @@ def sweep_points(settings: ExperimentSettings) -> list[plan.SweepPoint]:
 
 
 def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
-    """Measure one (scenario, resilience) cell."""
+    """Measure one (scenario, resilience) cell.
+
+    A thin wrapper over the chaos campaign engine's
+    :func:`~repro.chaos.campaign.execute_cell` — the same deployment /
+    injector / workload sequence a campaign cell runs, untraced.
+    """
     settings = point.settings
     scenario = point.param("scenario")
     mode = point.param("resilience")
-    deployment = Deployment(settings.machine(), seed=settings.seed,
-                            memory_config=settings.memory_config,
-                            resilience=resilience_config(mode))
-    store = build_teastore(deployment, settings.store_config())
-    injector = FaultInjector(deployment)
-    injector.apply(fault_schedule(scenario, settings))
-    workload = closed_workload(
-        deployment, store.browse_session_factory(),
-        n_users=settings.users, think_time=settings.think_time,
-        cohort_factor=settings.cohort_factor)
-    result = run_experiment(deployment, workload,
-                            warmup=settings.warmup,
-                            duration=settings.duration)
-    stats = deployment.resilience_stats
+    outcome = execute_cell(settings, fault_schedule(scenario, settings),
+                           resilience_config(mode), trace=False)
+    result = outcome.result
+    stats = outcome.deployment.resilience_stats
     served = result.completed + result.errors
     return {
         "scenario": scenario,
@@ -160,8 +146,8 @@ def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
         "retry_amplification": stats.retry_amplification(),
         "timeouts": stats.timeouts,
         "breaker_opens": sum(b.opened_count
-                             for b in deployment.breakers),
-        "faults": len(injector.events),
+                             for b in outcome.deployment.breakers),
+        "faults": len(outcome.injector.events),
     }
 
 

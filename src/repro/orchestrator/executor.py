@@ -95,6 +95,10 @@ class SweepOutcome:
     result: ExperimentResult
     stats: SweepStats
     outcomes: tuple[PointOutcome, ...]
+    #: The ordered canonical point payloads the result was assembled
+    #: from — consumers needing per-point structure (the chaos grader,
+    #: digest tooling) read these instead of re-parsing the table.
+    payloads: tuple[Payload, ...] = ()
 
 
 def execute_point(point: SweepPoint) -> Payload:
@@ -118,15 +122,19 @@ def run_sweep(experiment_id: str, settings: ExperimentSettings, *,
               cache: ResultCache | None = None,
               rerun: bool = False,
               point_timeout: float | None = None,
-              progress: ProgressReporter | None = None) -> SweepOutcome:
+              progress: ProgressReporter | None = None,
+              points: t.Sequence[SweepPoint] | None = None) -> SweepOutcome:
     """Execute one experiment as a parallel, cached sweep.
 
     ``jobs`` bounds the worker processes; ``jobs=1`` runs in-process.
     ``rerun`` executes every point even on a cache hit (and refreshes
-    the entries); ``cache=None`` disables caching entirely.
+    the entries); ``cache=None`` disables caching entirely.  ``points``
+    overrides the provider's default decomposition — the chaos CLI uses
+    this to run catalog subsets; each point still caches on its own
+    identity, so subsets and full campaigns share cache entries.
     """
     provider = plan_mod.provider_for(experiment_id)
-    points = list(provider.points(settings))
+    points = list(provider.points(settings) if points is None else points)
     started = time.monotonic()
     if progress is not None:
         progress.begin(len(points))
@@ -181,9 +189,10 @@ def run_sweep(experiment_id: str, settings: ExperimentSettings, *,
     )
     if progress is not None:
         progress.finish(wall_seconds=wall_seconds, executed=stats.executed)
-    result = provider.assemble(
-        settings, [t.cast(Payload, payload) for payload in payloads])
-    return SweepOutcome(result=result, stats=stats, outcomes=tuple(done))
+    ordered = tuple(t.cast(Payload, payload) for payload in payloads)
+    result = provider.assemble(settings, list(ordered))
+    return SweepOutcome(result=result, stats=stats, outcomes=tuple(done),
+                        payloads=ordered)
 
 
 def _run_pool(points: list[SweepPoint], pending: list[int],

@@ -110,6 +110,7 @@ PROVIDER_MODULES: tuple[str, ...] = (
     "repro.experiments.e12_colocation",
     "repro.experiments.e13_fault_tolerance",
     "repro.experiments.ablations",
+    "repro.chaos.campaign",
 )
 
 

@@ -48,6 +48,10 @@ def build_report(results: t.Sequence[ExperimentResult],
         if result.experiment.lower() == "e13" and result.rows:
             lines.append(fault_tolerance_section(result))
             break
+    for result in results:
+        if result.experiment.lower() == "chaos" and result.rows:
+            lines.append(chaos_section(result))
+            break
     if sweep_stats:
         lines.append(sweep_section(sweep_stats))
     return "\n".join(lines)
@@ -85,6 +89,36 @@ def fault_tolerance_section(result: ExperimentResult) -> str:
     lines.append("")
     lines.append("* tail reduction is p99(none) vs p99(full) under the "
                  "identical fault schedule and seed")
+    return "\n".join(lines) + "\n"
+
+
+def chaos_section(result: ExperimentResult) -> str:
+    """A verdict rollup of a chaos campaign: grades per scenario cell,
+    worst grade per bottleneck class, and the grader's reasons."""
+    order = {"PASS": 0, "DEGRADED": 1, "FAIL": 2}
+    worst: dict[str, str] = {}
+    tally = {"PASS": 0, "DEGRADED": 0, "FAIL": 0}
+    for row in result.rows:
+        grade = t.cast(str, row["grade"])
+        klass = t.cast(str, row["class"])
+        tally[grade] += 1
+        if order[grade] > order.get(worst.get(klass, "PASS"), 0) \
+                or klass not in worst:
+            worst[klass] = grade
+    lines = ["## Chaos verdict rollup", ""]
+    lines.append("| bottleneck class | worst grade | cells |")
+    lines.append("|---|---|---|")
+    for klass in worst:
+        count = sum(1 for row in result.rows if row["class"] == klass)
+        lines.append(f"| {klass} | {worst[klass]} | {count} |")
+    lines.append("")
+    lines.append(f"* {tally['PASS']} PASS / {tally['DEGRADED']} DEGRADED "
+                 f"/ {tally['FAIL']} FAIL over {len(result.rows)} "
+                 f"scenario x resilience cells")
+    reasons = [note for note in result.notes
+               if ": " in note and not note.startswith("verdicts:")]
+    for reason in reasons:
+        lines.append(f"* {reason}")
     return "\n".join(lines) + "\n"
 
 

@@ -154,7 +154,9 @@ class ServiceInstance:
         queue_get = self.queue.get
         while True:
             request: Request = yield queue_get()  # type: ignore[misc]
-            if self._pause is not None:
+            while self._pause is not None:
+                # Loop, not branch: overlapping pause windows re-arm the
+                # gate with the longer window's event before waking us.
                 yield self._pause
             request.started_at = sim.now
             if request.deadline is not None and sim.now >= request.deadline:

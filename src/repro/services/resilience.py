@@ -35,6 +35,39 @@ if t.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.rand import RandomStreams
 
 
+#: Canonical resilience modes used by E13 and the chaos campaign engine,
+#: in table order.
+RESILIENCE_MODES = ("none", "timeout", "full")
+
+
+def resilience_preset(mode: str,
+                      call_timeout: float = 0.25
+                      ) -> "ResilienceConfig | None":
+    """The canonical :class:`ResilienceConfig` for one mode name.
+
+    ``none`` is the plain dispatch path (returns ``None``), ``timeout``
+    arms per-call deadlines plus graceful degradation only, and ``full``
+    adds budgeted retries with backoff jitter and per-replica circuit
+    breakers.  These are the configurations experiment E13 and every
+    chaos campaign cross against fault scenarios, so they live here —
+    next to the knobs they set — rather than in any one experiment.
+    """
+    if mode == "none":
+        return None
+    if mode == "timeout":
+        return ResilienceConfig(timeout=call_timeout, degradation=True)
+    if mode == "full":
+        return ResilienceConfig(
+            timeout=call_timeout, retries=2,
+            backoff_base=0.01, backoff_factor=2.0, jitter=0.1,
+            retry_budget=0.25,
+            breaker_enabled=True, breaker_failure_threshold=5,
+            breaker_recovery_time=0.25, breaker_half_open_max=1,
+            degradation=True)
+    raise ConfigurationError(f"unknown resilience mode {mode!r}; "
+                             f"choose from {RESILIENCE_MODES}")
+
+
 @dataclasses.dataclass(frozen=True)
 class ResilienceConfig:
     """All resilience knobs for one deployment (JSON-native, hashable).

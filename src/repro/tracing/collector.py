@@ -145,6 +145,47 @@ class SpanTable:
                         None if instance_id < 0 else instance_id,
                         created, enqueued, started, completed)
 
+    def parent_rows(self) -> np.ndarray:
+        """Row index of each span's parent span, ``-1`` when absent.
+
+        Vectorized: one argsort over the request-id column plus a
+        searchsorted of the parent ids into it — no per-row dict
+        lookups.  A parent id that never completed (and so has no row)
+        maps to ``-1`` like a true root.
+        """
+        ids = self.request_id.as_array()
+        parents = self.parent_id.as_array()
+        result = np.full(len(ids), -1, dtype=np.int64)
+        mask = parents >= 0
+        if not mask.any():
+            return result
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        pos = np.searchsorted(sorted_ids, parents[mask])
+        pos = np.minimum(pos, len(ids) - 1)
+        candidates = order[pos]
+        found = ids[candidates] == parents[mask]
+        rows = np.flatnonzero(mask)
+        result[rows[found]] = candidates[found]
+        return result
+
+    def service_edges(self) -> list[tuple[int, int]]:
+        """Unique observed call-graph edges as service-code pairs.
+
+        Each edge is ``(caller_code, callee_code)`` derived from the
+        parent links — the measured topology the cascade analyzer walks,
+        rather than an assumed one.  Sorted for determinism.
+        """
+        parent_row = self.parent_rows()
+        mask = parent_row >= 0
+        if not mask.any():
+            return []
+        codes = self.service_code.as_array().astype(np.int64)
+        callers = codes[parent_row[mask]]
+        callees = codes[mask]
+        keys = np.unique((callers << 32) | callees)
+        return [(int(key >> 32), int(key & 0xFFFFFFFF)) for key in keys]
+
     @classmethod
     def merged(cls, payloads: t.Sequence[dict]) -> "SpanTable":
         """One table from several :meth:`to_payload` dumps, in order.

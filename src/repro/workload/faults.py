@@ -1,7 +1,7 @@
-"""Fault injection: crashes, slow replicas, and stalls on a schedule.
+"""Fault injection: crashes, slow replicas, stalls, hogs, and net delays.
 
 The scale-up study assumes healthy replicas; production deployments do
-not.  :class:`FaultInjector` schedules three fault classes against a
+not.  :class:`FaultInjector` schedules five fault classes against a
 deployment:
 
 * **kill** — the replica crashes: new requests shed, queued ones fail,
@@ -12,11 +12,29 @@ deployment:
   (:meth:`FaultInjector.slow_at`);
 * **pause** — the replica stops processing newly dequeued requests for a
   window while they age in its queue (GC pause, SIGSTOP, IO freeze)
-  (:meth:`FaultInjector.pause_at`).
+  (:meth:`FaultInjector.pause_at`);
+* **hog** — background CPU bursts compete inside the replica's task
+  group for a window (a noisy co-tenant saturating the execution
+  substrate) (:meth:`FaultInjector.hog_at`);
+* **netdelay** — the RPC fabric's hop latency inflates by a factor for
+  a window (bandwidth saturation / packet loss retransmits), fabric-wide
+  (:meth:`FaultInjector.netdelay_at`).
+
+Windowed faults stack deterministically: overlapping **slow** windows on
+one replica multiply their factors (each recovery removes exactly its
+own contribution), overlapping **pause** windows keep the replica parked
+until the last window ends, and overlapping **netdelay** windows
+multiply on top of the fabric's base latency, restored exactly when the
+last one lifts.  A windowed fault whose target replica was already
+killed by an earlier fault in the same schedule is a deterministic
+no-op: it records a ``skipped`` event instead of corrupting injector
+state (an out-of-range replica index with *no* prior kill of that
+service is still a configuration error).
 
 :meth:`FaultInjector.apply` takes the same faults as a JSON-native
-schedule — the form experiment E13 carries inside its sweep points, so
-fault scenarios are cacheable and reproducible like any other parameter.
+schedule — the form experiments E13 and the chaos campaign engine carry
+inside their sweep points, so fault scenarios are cacheable and
+reproducible like any other parameter.
 """
 
 from __future__ import annotations
@@ -25,11 +43,16 @@ import dataclasses
 import typing as t
 
 from repro._errors import ConfigurationError
+from repro.cpu.burst import CpuBurst
 from repro.services.deployment import Deployment
 from repro.services.instance import ServiceInstance
+from repro.sim.events import Event
 
 #: Fault kinds accepted by :meth:`FaultInjector.apply`.
-FAULT_KINDS = ("kill", "slow", "pause")
+FAULT_KINDS = ("kill", "slow", "pause", "hog", "netdelay")
+
+#: Service label recorded for fabric-wide faults (netdelay).
+FABRIC = "*"
 
 
 @dataclasses.dataclass
@@ -37,7 +60,9 @@ class FaultEvent:
     """One executed fault transition, for post-run inspection."""
 
     time: float
-    kind: str  # "kill" | "restore" | "slow" | "recover" | "pause" | "resume"
+    kind: str  # "kill" | "restore" | "slow" | "recover" | "pause" |
+    #            "resume" | "hog" | "hog_end" | "netdelay" |
+    #            "netrestore" | "skipped"
     service: str
     instance_id: int
 
@@ -48,6 +73,18 @@ class FaultInjector:
     def __init__(self, deployment: Deployment):
         self.deployment = deployment
         self.events: list[FaultEvent] = []
+        #: instance_id → stack of active slow factors (multiplicative).
+        self._active_slows: dict[int, list[float]] = {}
+        #: instance_id → stack of active pause gate events.
+        self._active_pauses: dict[int, list[Event]] = {}
+        #: Active netdelay factors (multiplicative over the base).
+        self._active_netdelays: list[float] = []
+        #: Fabric hop latency before the first active netdelay, restored
+        #: exactly when the stack drains.
+        self._net_base: float | None = None
+        #: Services with at least one executed kill — the condition under
+        #: which an unresolvable replica index becomes a no-op skip.
+        self._killed_services: set[str] = set()
 
     # ------------------------------------------------------------------
     # Crash faults
@@ -68,7 +105,9 @@ class FaultInjector:
                 f"restore_after must be positive: {restore_after}")
 
         def fire() -> None:
-            instance = self._resolve(service, replica_index)
+            instance = self._resolve_or_skip(service, replica_index)
+            if instance is None:
+                return
             self._kill(instance)
             if restore_after is not None:
                 self.deployment.sim.call_in(
@@ -87,8 +126,10 @@ class FaultInjector:
 
         Every demand the replica's handlers submit is multiplied by
         ``factor`` while the fault is active; with ``duration`` the
-        replica recovers (factor back to 1.0) that many seconds later,
-        otherwise it stays slow for the rest of the run.
+        replica recovers that many seconds later, otherwise it stays slow
+        for the rest of the run.  Overlapping slow windows on the same
+        replica compose multiplicatively, and each recovery removes
+        exactly its own factor from the stack.
         """
         self._check_schedule(time)
         if factor <= 0:
@@ -99,16 +140,27 @@ class FaultInjector:
                 f"duration must be positive: {duration}")
 
         def fire() -> None:
-            instance = self._resolve(service, replica_index)
-            instance.demand_factor = factor
+            instance = self._resolve_or_skip(service, replica_index)
+            if instance is None:
+                return
+            stack = self._active_slows.setdefault(instance.instance_id, [])
+            stack.append(factor)
+            self._apply_slow_stack(instance)
             self._record("slow", instance)
             if duration is not None:
                 def recover() -> None:
-                    instance.demand_factor = 1.0
+                    stack.remove(factor)
+                    self._apply_slow_stack(instance)
                     self._record("recover", instance)
                 self.deployment.sim.call_in(duration, recover)
 
         self.deployment.sim.call_at(time, fire)
+
+    def _apply_slow_stack(self, instance: ServiceInstance) -> None:
+        product = 1.0
+        for factor in self._active_slows.get(instance.instance_id, ()):
+            product *= factor
+        instance.demand_factor = product
 
     # ------------------------------------------------------------------
     # Pause faults (temporary stalls)
@@ -121,7 +173,8 @@ class FaultInjector:
         Workers finish in-flight handlers but park before touching the
         next dequeued request; queued requests age toward their
         deadlines.  Processing resumes automatically when the window
-        ends.
+        ends.  Overlapping pause windows keep the replica parked until
+        the *last* active window ends.
         """
         self._check_schedule(time)
         if duration <= 0:
@@ -129,13 +182,24 @@ class FaultInjector:
                 f"duration must be positive: {duration}")
 
         def fire() -> None:
-            instance = self._resolve(service, replica_index)
+            instance = self._resolve_or_skip(service, replica_index)
+            if instance is None:
+                return
             resume = self.deployment.sim.event()
+            stack = self._active_pauses.setdefault(
+                instance.instance_id, [])
+            stack.append(resume)
             instance.pause(resume)
             self._record("pause", instance)
 
             def end() -> None:
-                instance.unpause()
+                stack.remove(resume)
+                if stack:
+                    # Workers woken below re-check the gate and park on
+                    # a still-active window's event.
+                    instance.pause(stack[-1])
+                else:
+                    instance.unpause()
                 resume.succeed()
                 self._record("resume", instance)
 
@@ -144,16 +208,124 @@ class FaultInjector:
         self.deployment.sim.call_at(time, fire)
 
     # ------------------------------------------------------------------
+    # CPU-hog faults (execution saturation)
+    # ------------------------------------------------------------------
+    def hog_at(self, time: float, service: str,
+               replica_index: int = 0,
+               duration: float = 0.5,
+               intensity: float = 1.0,
+               workers: int = 1,
+               slice_seconds: float = 0.002) -> None:
+        """Run background CPU hogs inside one replica's task group.
+
+        ``workers`` hog loops each submit back-to-back CPU bursts of
+        ``slice_seconds * intensity`` demand through the real scheduler
+        until ``duration`` elapses, competing with the replica's request
+        handlers for its CPU affinity — the chaosprobe ``pod-cpu-hog``
+        analog.  The last burst in flight when the window closes runs to
+        completion.
+        """
+        self._check_schedule(time)
+        if duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive: {duration}")
+        if intensity <= 0:
+            raise ConfigurationError(
+                f"intensity must be positive: {intensity}")
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1: {workers}")
+        if slice_seconds <= 0:
+            raise ConfigurationError(
+                f"slice_seconds must be positive: {slice_seconds}")
+
+        def fire() -> None:
+            instance = self._resolve_or_skip(service, replica_index)
+            if instance is None:
+                return
+            sim = self.deployment.sim
+            scheduler = self.deployment.scheduler
+            end_time = sim.now + duration
+            demand = slice_seconds * intensity
+
+            def hog_loop() -> t.Generator:
+                while sim.now < end_time:
+                    burst = CpuBurst(demand, instance.group, Event(sim))
+                    scheduler.submit(burst)
+                    yield burst.done
+
+            for __ in range(workers):
+                sim.process(hog_loop())
+            self._record("hog", instance)
+            sim.call_in(duration,
+                        lambda: self._record("hog_end", instance))
+
+        self.deployment.sim.call_at(time, fire)
+
+    # ------------------------------------------------------------------
+    # Network-delay faults (bandwidth saturation)
+    # ------------------------------------------------------------------
+    def netdelay_at(self, time: float,
+                    factor: float = 4.0,
+                    duration: float | None = None) -> None:
+        """Inflate the RPC fabric's hop latency by ``factor`` at ``time``.
+
+        Fabric-wide: every request and response hop pays the inflated
+        latency while the window is active — the simulated equivalent of
+        a saturated NIC or loss-induced retransmits.  Overlapping
+        windows compose multiplicatively over the fabric's base latency,
+        which is restored *exactly* when the last window lifts.  With
+        ``duration=None`` the degradation is permanent.
+        """
+        self._check_schedule(time)
+        if factor <= 0:
+            raise ConfigurationError(
+                f"netdelay factor must be positive: {factor}")
+        if duration is not None and duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive: {duration}")
+
+        def fire() -> None:
+            rpc = self.deployment.rpc
+            if not self._active_netdelays:
+                self._net_base = rpc.hop_latency
+            self._active_netdelays.append(factor)
+            self._apply_netdelay_stack()
+            self.events.append(FaultEvent(
+                self.deployment.sim.now, "netdelay", FABRIC, -1))
+            if duration is not None:
+                def end() -> None:
+                    self._active_netdelays.remove(factor)
+                    self._apply_netdelay_stack()
+                    self.events.append(FaultEvent(
+                        self.deployment.sim.now, "netrestore", FABRIC, -1))
+                self.deployment.sim.call_in(duration, end)
+
+        self.deployment.sim.call_at(time, fire)
+
+    def _apply_netdelay_stack(self) -> None:
+        base = t.cast(float, self._net_base)
+        if not self._active_netdelays:
+            self.deployment.rpc.hop_latency = base
+            self._net_base = None
+            return
+        product = 1.0
+        for factor in self._active_netdelays:
+            product *= factor
+        self.deployment.rpc.hop_latency = base * product
+
+    # ------------------------------------------------------------------
     # Declarative schedules (JSON-native, sweep-friendly)
     # ------------------------------------------------------------------
     def apply(self, schedule: t.Sequence[t.Mapping[str, t.Any]]) -> None:
         """Schedule every fault in a JSON-native ``schedule``.
 
         Each entry is a mapping with ``kind`` (one of
-        :data:`FAULT_KINDS`), ``time``, ``service``, optional
-        ``replica`` (default 0), and the kind's own knobs:
-        ``restore_after`` (kill), ``factor``/``duration`` (slow),
-        ``duration`` (pause).
+        :data:`FAULT_KINDS`), ``time``, ``service`` (ignored for
+        ``netdelay``, which is fabric-wide), optional ``replica``
+        (default 0), and the kind's own knobs: ``restore_after`` (kill),
+        ``factor``/``duration`` (slow, netdelay), ``duration`` (pause),
+        ``duration``/``intensity``/``workers`` (hog).
         """
         for fault in schedule:
             kind = fault.get("kind")
@@ -162,8 +334,13 @@ class FaultInjector:
                     f"unknown fault kind {kind!r}; choose from "
                     f"{FAULT_KINDS}")
             time = float(fault["time"])
-            service = str(fault["service"])
             replica = int(fault.get("replica", 0))
+            if kind == "netdelay":
+                self.netdelay_at(time,
+                                 factor=float(fault.get("factor", 4.0)),
+                                 duration=fault.get("duration"))
+                continue
+            service = str(fault["service"])
             if kind == "kill":
                 self.kill_at(time, service, replica,
                              restore_after=fault.get("restore_after"))
@@ -171,6 +348,11 @@ class FaultInjector:
                 self.slow_at(time, service, replica,
                              factor=float(fault.get("factor", 4.0)),
                              duration=fault.get("duration"))
+            elif kind == "hog":
+                self.hog_at(time, service, replica,
+                            duration=float(fault.get("duration", 0.5)),
+                            intensity=float(fault.get("intensity", 1.0)),
+                            workers=int(fault.get("workers", 1)))
             else:
                 self.pause_at(time, service, replica,
                               duration=float(fault.get("duration", 0.5)))
@@ -194,6 +376,24 @@ class FaultInjector:
                 f"index {replica_index} is invalid")
         return instances[replica_index]
 
+    def _resolve_or_skip(self, service: str,
+                         replica_index: int) -> ServiceInstance | None:
+        """Resolve a fault target, or no-op when a prior kill emptied it.
+
+        A replica index this injector's own kills made unresolvable is a
+        legitimate race in a composed schedule, so the fault degrades to
+        a recorded ``skipped`` event; an unresolvable index with no
+        prior kill of that service is still a configuration error.
+        """
+        try:
+            return self._resolve(service, replica_index)
+        except ConfigurationError:
+            if service in self._killed_services:
+                self.events.append(FaultEvent(
+                    self.deployment.sim.now, "skipped", service, -1))
+                return None
+            raise
+
     def _record(self, kind: str, instance: ServiceInstance) -> None:
         self.events.append(FaultEvent(
             self.deployment.sim.now, kind,
@@ -202,6 +402,7 @@ class FaultInjector:
     def _kill(self, instance: ServiceInstance) -> None:
         self.deployment.remove_instance(instance)
         instance.shutdown()
+        self._killed_services.add(instance.spec.name)
         self._record("kill", instance)
 
     def _restore(self, dead: ServiceInstance) -> None:

@@ -65,11 +65,16 @@ class RunResult:
 
 def run_experiment(deployment: Deployment, workload: "Workload",
                    warmup: float = 2.0,
-                   duration: float = 5.0) -> RunResult:
+                   duration: float = 5.0,
+                   on_measure_start: t.Callable[[], None] | None = None
+                   ) -> RunResult:
     """Run ``workload`` against ``deployment`` and measure one window.
 
     The workload is started (if it was not already), warmed up for
     ``warmup`` simulated seconds, then measured for ``duration`` seconds.
+    ``on_measure_start`` runs between the two phases — the hook the
+    chaos campaign engine uses to attach a tracer to the measurement
+    window only, without duplicating this function's discipline.
     """
     if warmup < 0 or duration <= 0:
         raise ConfigurationError(
@@ -80,6 +85,8 @@ def run_experiment(deployment: Deployment, workload: "Workload",
     probe = UtilizationProbe(deployment.scheduler, deployment.groups())
 
     deployment.run(until=deployment.sim.now + warmup)
+    if on_measure_start is not None:
+        on_measure_start()
     workload.latency.reset()
     workload.meter.start_window()
     probe.start()

@@ -22,6 +22,7 @@ import json
 import pathlib
 import typing as t
 
+from repro.chaos import campaign as chaos_campaign
 from repro.experiments import (
     ExperimentSettings,
     e2_load_scaling,
@@ -64,6 +65,10 @@ CASES: dict[str, t.Any] = {
             lambda seed: ExperimentSettings.fast(
                 preset="tiny", users=32, warmup=0.1, duration=0.25,
                 seed=seed)),
+    "chaos": (chaos_campaign,
+              lambda seed: ExperimentSettings.fast(
+                  preset="tiny", users=32, warmup=0.1, duration=0.25,
+                  seed=seed)),
 }
 
 #: Per-experiment seed overrides.  E6 and E7 are the experiments that
@@ -73,6 +78,7 @@ CASES: dict[str, t.Any] = {
 SEEDS_FOR: dict[str, tuple[int, ...]] = {
     "e6": (1,),
     "e7": (1,),
+    "chaos": (1,),
 }
 
 

@@ -1,0 +1,306 @@
+"""Tests for the chaos campaign engine: catalog, grading, CLI, sweeps."""
+
+import json
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.chaos import campaign
+from repro.chaos.cascade import CascadeReport, ServiceImpact
+from repro.chaos.catalog import (
+    BOTTLENECK_CLASSES,
+    Expectation,
+    Scenario,
+    builtin_catalog,
+    resolve_target,
+    scenario_by_name,
+    upstream_closure,
+)
+from repro.chaos.grading import grade_scenario
+from repro.cli import main
+from repro.experiments import e13_fault_tolerance as e13
+from repro.experiments.common import ExperimentSettings
+from repro.orchestrator import run_sweep
+from repro.services.resilience import resilience_preset
+
+
+def tiny_settings(**overrides):
+    values = dict(preset="tiny", users=16, warmup=0.1, duration=0.25,
+                  seed=1)
+    values.update(overrides)
+    return ExperimentSettings.fast(**values)
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+def test_builtin_catalog_covers_every_bottleneck_class():
+    classes = [scenario.bottleneck_class
+               for scenario in builtin_catalog()]
+    assert sorted(classes) == sorted(BOTTLENECK_CLASSES)
+    names = [scenario.name for scenario in builtin_catalog()]
+    assert len(names) == len(set(names))
+
+
+def test_scenario_round_trips_through_dict():
+    for scenario in builtin_catalog():
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+    data = builtin_catalog()[1].to_dict()
+    assert json.loads(json.dumps(data)) == data  # JSON-native
+
+
+def test_target_policies_resolve():
+    assert resolve_target("orchestrator") == "webui"
+    assert resolve_target("hottest") == "auth"
+    assert resolve_target("storage") == "db"
+    assert resolve_target("fabric") == "*"
+    assert resolve_target("service:image") == "image"
+    with pytest.raises(ConfigurationError):
+        resolve_target("service:nope")
+    with pytest.raises(ConfigurationError):
+        resolve_target("loudest")
+
+
+def test_static_upstream_closures():
+    assert upstream_closure("db") == {"db", "persistence", "webui"}
+    assert upstream_closure("auth") == {"auth", "webui"}
+    assert upstream_closure("webui") == {"webui"}
+    assert upstream_closure("*") == set(upstream_closure("*"))
+    assert len(upstream_closure("*")) == 6
+
+
+def test_scenario_validation():
+    expectation = Expectation()
+    with pytest.raises(ConfigurationError):
+        Scenario("x", "made-up-class", "storage", (), expectation)
+    with pytest.raises(ConfigurationError):
+        Scenario("x", "io-contention", "nope", (), expectation)
+    with pytest.raises(ConfigurationError):
+        Scenario("x", "io-contention", "storage",
+                 ({"kind": "meteor", "at": 0.1},), expectation)
+    with pytest.raises(ConfigurationError):
+        Scenario("x", "io-contention", "storage",
+                 ({"kind": "slow", "at": 1.5},), expectation)
+    with pytest.raises(ConfigurationError):  # 'factor' is not a hog knob
+        Scenario("x", "io-contention", "storage",
+                 ({"kind": "hog", "at": 0.1, "factor": 2.0},), expectation)
+    with pytest.raises(ConfigurationError):
+        Expectation(pass_p99_ratio=3.0, fail_p99_ratio=2.0)
+    with pytest.raises(ConfigurationError):
+        scenario_by_name("does-not-exist")
+
+
+def test_relative_schedule_resolves_against_settings():
+    cell_settings = tiny_settings(warmup=2.0, duration=4.0)
+    scenario = scenario_by_name("db-io")
+    [entry] = scenario.schedule(cell_settings)
+    assert entry["kind"] == "slow"
+    assert entry["service"] == "db"
+    assert entry["time"] == pytest.approx(2.0 + 0.10 * 4.0)
+    assert entry["duration"] == pytest.approx(0.60 * 4.0)
+    assert entry["factor"] == 8.0
+    [kill] = scenario_by_name("kill-orchestrator").schedule(cell_settings)
+    assert kill["restore_after"] == pytest.approx(0.40 * 4.0)
+    [net] = scenario_by_name("net-saturation").schedule(cell_settings)
+    assert "service" not in net
+
+
+# ----------------------------------------------------------------------
+# Grading
+# ----------------------------------------------------------------------
+def make_report(**overrides):
+    values = dict(target="db", impacts=(), blast_radius=(),
+                  anomalies=(), propagation_depth=0,
+                  time_to_recover_s=0.0, recovered=True,
+                  root_p99_ratio=1.0, spans=100)
+    values.update(overrides)
+    return CascadeReport(**values)
+
+
+def fault_scenario(**expect_overrides):
+    expect = dict(allowed_blast=("db", "persistence", "webui"),
+                  max_depth=3, max_error_rate=0.05,
+                  pass_p99_ratio=1.5, fail_p99_ratio=50.0,
+                  recover_within=0.5)
+    expect.update(expect_overrides)
+    return Scenario("t", "io-contention", "storage",
+                    ({"kind": "slow", "at": 0.1, "for": 0.5},),
+                    Expectation(**expect))
+
+
+def test_grade_pass_within_contract():
+    report = make_report(blast_radius=("db",), propagation_depth=1,
+                         time_to_recover_s=0.2, root_p99_ratio=1.2,
+                         impacts=(ServiceImpact("db", 1, 1.0, 2.0, 2.0,
+                                                True, 0.2),))
+    grade = grade_scenario(fault_scenario(), report,
+                           error_rate=0.0, window=1.0)
+    assert grade.grade == "PASS"
+    assert grade.reasons == ()
+
+
+def test_grade_fails_when_blast_escapes():
+    report = make_report(blast_radius=("auth", "db"))
+    grade = grade_scenario(fault_scenario(), report,
+                           error_rate=0.0, window=1.0)
+    assert grade.grade == "FAIL"
+    assert any("escaped" in reason for reason in grade.reasons)
+
+
+def test_grade_fails_on_depth_error_rate_and_tail():
+    deep = make_report(blast_radius=("db",), propagation_depth=4)
+    assert grade_scenario(fault_scenario(), deep,
+                          error_rate=0.0, window=1.0).grade == "FAIL"
+    assert grade_scenario(fault_scenario(), make_report(),
+                          error_rate=0.5, window=1.0).grade == "FAIL"
+    hot = make_report(root_p99_ratio=60.0)
+    assert grade_scenario(fault_scenario(), hot,
+                          error_rate=0.0, window=1.0).grade == "FAIL"
+
+
+def test_grade_fails_when_victims_never_recover():
+    report = make_report(
+        blast_radius=("db",), propagation_depth=1, recovered=False,
+        time_to_recover_s=1.0,
+        impacts=(ServiceImpact("db", 1, 1.0, 5.0, 5.0, False, 1.0),))
+    grade = grade_scenario(fault_scenario(), report,
+                           error_rate=0.0, window=1.0)
+    assert grade.grade == "FAIL"
+    assert any("never recovered" in reason for reason in grade.reasons)
+
+
+def test_grade_degraded_on_tail_or_slow_recovery():
+    warm = make_report(root_p99_ratio=3.0)
+    assert grade_scenario(fault_scenario(), warm,
+                          error_rate=0.0, window=1.0).grade == "DEGRADED"
+    slow = make_report(blast_radius=("db",), time_to_recover_s=0.9,
+                       impacts=(ServiceImpact("db", 1, 1.0, 2.0, 2.0,
+                                              True, 0.9),))
+    assert grade_scenario(fault_scenario(), slow,
+                          error_rate=0.0, window=1.0).grade == "DEGRADED"
+
+
+def test_control_fails_if_anything_degrades():
+    control = scenario_by_name("control")
+    clean = make_report(target="webui")
+    assert grade_scenario(control, clean,
+                          error_rate=0.0, window=1.0).grade == "PASS"
+    noisy = make_report(target="webui", anomalies=("db",))
+    assert grade_scenario(control, noisy,
+                          error_rate=0.0, window=1.0).grade == "FAIL"
+    assert grade_scenario(control, clean,
+                          error_rate=0.1, window=1.0).grade == "FAIL"
+
+
+# ----------------------------------------------------------------------
+# Presets and the E13 wrapper
+# ----------------------------------------------------------------------
+def test_resilience_presets_match_e13_configs():
+    for mode in ("none", "timeout", "full"):
+        assert (resilience_preset(mode, call_timeout=e13.CALL_TIMEOUT)
+                == e13.resilience_config(mode))
+    with pytest.raises(ConfigurationError):
+        resilience_preset("nope")
+
+
+def test_tracing_does_not_perturb_the_cell():
+    cell_settings = tiny_settings()
+    schedule = e13.fault_schedule("slow", cell_settings)
+    untraced = campaign.execute_cell(cell_settings, schedule,
+                                     e13.resilience_config("full"))
+    traced = campaign.execute_cell(cell_settings, schedule,
+                                   e13.resilience_config("full"),
+                                   trace=True)
+    assert untraced.tracer is None
+    assert len(traced.tracer.table) > 0
+    # The tracer only reads completed requests: every metric of the
+    # traced run is byte-identical to the untraced one.
+    assert traced.result == untraced.result
+    assert len(traced.injector.events) == len(untraced.injector.events)
+
+
+# ----------------------------------------------------------------------
+# Campaign sweeps
+# ----------------------------------------------------------------------
+def test_campaign_points_subset_and_self_containment():
+    cell_settings = tiny_settings()
+    points = campaign.campaign_points(
+        cell_settings, ["control", "db-io"], ["none", "full"])
+    assert [point.label for point in points] == [
+        "control/none", "control/full", "db-io/none", "db-io/full"]
+    # Points are self-contained: the scenario travels inside params.
+    rebuilt = Scenario.from_dict(points[2].param("scenario"))
+    assert rebuilt == scenario_by_name("db-io")
+    with pytest.raises(ConfigurationError):
+        campaign.campaign_points(cell_settings, ["nope"], None)
+
+
+def test_campaign_parallel_matches_sequential():
+    cell_settings = tiny_settings()
+    points = campaign.campaign_points(
+        cell_settings, ["control", "cpu-hog"], ["none", "full"])
+    sequential = [campaign.run_sweep_point(point) for point in points]
+    outcome = run_sweep("chaos", cell_settings, jobs=4, cache=None,
+                        points=points)
+    assert json.dumps(list(outcome.payloads), sort_keys=True) \
+        == json.dumps(sequential, sort_keys=True)
+    expected = campaign.assemble_sweep(cell_settings, sequential)
+    assert outcome.result.render() == expected.render()
+
+
+def test_run_executes_full_catalog():
+    result = campaign.run(tiny_settings())
+    assert len(result.rows) == len(builtin_catalog()) * 3
+    grades = {row["grade"] for row in result.rows}
+    assert grades <= {"PASS", "DEGRADED", "FAIL"}
+    control_rows = [row for row in result.rows
+                    if row["scenario"] == "control"]
+    assert all(row["grade"] == "PASS" for row in control_rows)
+    assert any(note.startswith("verdicts:") for note in result.notes)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_list_scenarios(capsys):
+    assert main(["chaos", "--list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for scenario in builtin_catalog():
+        assert scenario.name in out
+
+
+def test_cli_campaign_run_grade_and_markdown(tmp_path, capsys):
+    artifact = tmp_path / "campaign.json"
+    markdown = tmp_path / "campaign.md"
+    assert main(["chaos", "run", "--fast", "--preset", "tiny",
+                 "--users", "16", "--scenarios", "control",
+                 "--modes", "none", "--no-cache",
+                 "--out", str(artifact),
+                 "--markdown", str(markdown)]) == 0
+    out = capsys.readouterr().out
+    assert "control" in out and "PASS" in out
+    payloads = json.loads(artifact.read_text())["payloads"]
+    assert len(payloads) == 1
+    assert payloads[0]["grade"]["grade"] == "PASS"
+    report = markdown.read_text()
+    assert "Chaos verdict rollup" in report
+    # Re-grading the artifact passes (exit 0: no FAIL cells).
+    assert main(["chaos", "--grade", str(artifact)]) == 0
+    assert "control/none: PASS" in capsys.readouterr().out
+
+
+def test_cli_grade_fails_on_failed_cells(tmp_path, capsys):
+    artifact = tmp_path / "bad.json"
+    payload = {
+        "scenario": "db-io", "resilience": "none", "error_rate": 0.9,
+        "cascade": make_report(blast_radius=("db",),
+                               propagation_depth=1).to_dict(),
+    }
+    artifact.write_text(json.dumps(
+        {"settings": tiny_settings().to_dict(), "payloads": [payload]}))
+    assert main(["chaos", "--grade", str(artifact)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    assert main(["chaos", "run", "--jobs", "0"]) == 2

@@ -1,0 +1,218 @@
+"""Unit fixtures for the cascade analyzer: hand-built span tables.
+
+A 3-service chain (web → mid → db) with exactly known latencies per
+phase pins down depth, blast-radius, attribution, and time-to-recover
+arithmetic — no simulator in the loop.
+"""
+
+import pytest
+
+from repro._errors import AnalysisError
+from repro.chaos.cascade import analyze_cascade
+from repro.tracing.collector import TraceCollector
+
+#: The analysis window and fault window every fixture uses.
+WINDOW = (0.0, 10.0)
+FAULT = (4.0, 6.0)
+
+
+def chain_request(tracer, rid, start, web_lat, mid_lat, db_lat):
+    """One web → mid → db request tree issued at ``start``."""
+    tracer.add_span(rid, None, "web", "page", 0,
+                    created_at=start, enqueued_at=start,
+                    started_at=start, completed_at=start + web_lat)
+    tracer.add_span(rid + 1, rid, "mid", "op", 1,
+                    created_at=start, enqueued_at=start,
+                    started_at=start, completed_at=start + mid_lat)
+    tracer.add_span(rid + 2, rid + 1, "db", "q", 2,
+                    created_at=start, enqueued_at=start,
+                    started_at=start, completed_at=start + db_lat)
+
+
+def build_chain_table(latencies_at):
+    """A chain request every 0.1 s over the window; ``latencies_at(t)``
+    returns the (web, mid, db) latency triple for issue time ``t``."""
+    tracer = TraceCollector()
+    rid = 0
+    step = 0
+    while True:
+        start = step * 0.1
+        if start >= WINDOW[1]:
+            break
+        web, mid, db = latencies_at(start)
+        chain_request(tracer, rid, start, web, mid, db)
+        rid += 3
+        step += 1
+    return tracer.table
+
+
+def test_three_service_chain_depth_and_recovery():
+    def latencies(start):
+        if FAULT[0] <= start < FAULT[1]:
+            return 2.0, 1.5, 1.0       # everything hurts during the fault
+        if FAULT[1] <= start < 7.0:
+            return 0.5, 1.5, 0.1       # mid lags one second behind
+        return 0.5, 0.3, 0.1           # healthy baseline
+
+    report = analyze_cascade(
+        build_chain_table(latencies), target="db",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+
+    assert report.blast_radius == ("db", "mid", "web")
+    assert report.anomalies == ()
+    # Depth counts hops upstream from the fault target along observed
+    # edges: db is the target (1), mid calls it (2), web calls mid (3).
+    depths = {impact.service: impact.depth for impact in report.impacts}
+    assert depths == {"db": 1, "mid": 2, "web": 3}
+    assert report.propagation_depth == 3
+    # db and web return to baseline at the first post bin; mid stays
+    # degraded through [6, 7), i.e. the first 3 of 12 bins over the
+    # 4-second post window — sustained recovery starts at bin 3.
+    recovery = {impact.service: impact.recovery_s
+                for impact in report.impacts}
+    assert recovery["db"] == pytest.approx(0.0)
+    assert recovery["web"] == pytest.approx(0.0)
+    assert recovery["mid"] == pytest.approx(1.0)
+    assert report.recovered
+    assert report.time_to_recover_s == pytest.approx(1.0)
+    # Roots are constant 0.5 s pre and 2.0 s during: p99 ratio is 4x.
+    assert report.root_p99_ratio == pytest.approx(4.0)
+    assert report.spans == 300
+
+
+def test_unrecovered_victim_is_reported():
+    def latencies(start):
+        if start >= FAULT[0]:
+            return 0.5, 0.3, 1.0       # db never comes back
+        return 0.5, 0.3, 0.1
+
+    report = analyze_cascade(
+        build_chain_table(latencies), target="db",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    assert report.blast_radius == ("db",)
+    assert not report.recovered
+    # The unrecovered victim's recovery time is the whole post window.
+    assert report.time_to_recover_s == pytest.approx(4.0)
+
+
+def test_degradation_outside_closure_is_an_anomaly():
+    tracer = TraceCollector()
+    rid = 0
+    step = 0
+    while True:
+        start = step * 0.1
+        if start >= WINDOW[1]:
+            break
+        during = FAULT[0] <= start < FAULT[1]
+        # web calls mid → db (the faulted chain) and img (a sibling
+        # that degrades for unrelated reasons).
+        chain_request(tracer, rid, start, 0.5, 0.3,
+                      1.0 if during else 0.1)
+        tracer.add_span(rid + 3, rid, "img", "render", 3,
+                        created_at=start, enqueued_at=start,
+                        started_at=start,
+                        completed_at=start + (0.8 if during else 0.05))
+        rid += 4
+        step += 1
+
+    report = analyze_cascade(
+        tracer.table, target="db",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    # img's requests never transit db, so its degradation cannot be
+    # attributed to the db fault.
+    assert "img" not in report.blast_radius
+    assert report.anomalies == ("img",)
+    assert report.blast_radius == ("db",)
+
+
+def test_empty_table_yields_empty_report():
+    report = analyze_cascade(
+        TraceCollector().table, target="db",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    assert report.spans == 0
+    assert report.blast_radius == ()
+    assert report.propagation_depth == 0
+    assert report.time_to_recover_s == 0.0
+    assert report.recovered
+    assert report.root_p99_ratio == 1.0
+
+
+def test_single_span_table():
+    tracer = TraceCollector()
+    tracer.add_span(0, None, "web", "page", 0,
+                    created_at=1.0, enqueued_at=1.0,
+                    started_at=1.0, completed_at=1.5)
+    report = analyze_cascade(
+        tracer.table, target="web",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    # One pre-fault span and nothing during: no degradation to report.
+    assert report.blast_radius == ()
+    assert report.anomalies == ()
+    assert report.recovered
+
+
+def test_no_fault_window_is_the_healthy_control():
+    def latencies(start):
+        return 0.5, 0.3, 0.1
+
+    report = analyze_cascade(
+        build_chain_table(latencies), target="web",
+        window_start=WINDOW[0], window_end=WINDOW[1])
+    assert report.blast_radius == ()
+    assert report.propagation_depth == 0
+    assert report.recovered
+    assert report.root_p99_ratio == 1.0
+
+
+def test_unobserved_target_attributes_nothing():
+    def latencies(start):
+        if FAULT[0] <= start < FAULT[1]:
+            return 2.0, 1.5, 1.0
+        return 0.5, 0.3, 0.1
+
+    report = analyze_cascade(
+        build_chain_table(latencies), target="ghost",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    # Degradation is real but cannot be pinned on a service that never
+    # served a traced request — everything lands in anomalies.
+    assert report.blast_radius == ()
+    assert set(report.anomalies) == {"db", "mid", "web"}
+
+
+def test_fabric_target_attributes_every_service_at_depth_one():
+    def latencies(start):
+        if FAULT[0] <= start < FAULT[1]:
+            return 2.0, 1.5, 1.0
+        return 0.5, 0.3, 0.1
+
+    report = analyze_cascade(
+        build_chain_table(latencies), target="*",
+        window_start=WINDOW[0], window_end=WINDOW[1],
+        fault_start=FAULT[0], fault_end=FAULT[1])
+    assert report.blast_radius == ("db", "mid", "web")
+    assert report.propagation_depth == 1
+    assert report.anomalies == ()
+
+
+def test_window_and_fault_validation():
+    table = TraceCollector().table
+    with pytest.raises(AnalysisError):
+        analyze_cascade(table, target="db",
+                        window_start=5.0, window_end=5.0)
+    with pytest.raises(AnalysisError):
+        analyze_cascade(table, target="db",
+                        window_start=0.0, window_end=10.0,
+                        fault_start=4.0)
+    tracer = TraceCollector()
+    tracer.add_span(0, None, "web", "page", 0, created_at=1.0,
+                    enqueued_at=1.0, started_at=1.0, completed_at=1.5)
+    with pytest.raises(AnalysisError):
+        analyze_cascade(tracer.table, target="web",
+                        window_start=0.0, window_end=10.0,
+                        fault_start=6.0, fault_end=4.0)
