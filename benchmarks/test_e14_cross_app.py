@@ -1,0 +1,27 @@
+"""E14 benchmark: cross-application scale-up characterization."""
+
+from conftest import run_once
+
+from repro.experiments import e14_cross_app
+
+
+def test_e14_cross_app(benchmark, settings, archive):
+    result = run_once(benchmark,
+                      lambda: e14_cross_app.run(settings))
+    archive(result)
+    rows = {row["app"]: row for row in result.rows}
+    # All three bundled applications are characterized side by side.
+    assert set(rows) == {"teastore", "boutique", "socialnet"}
+    assert rows["teastore"]["services"] == 6
+    assert rows["boutique"]["services"] == 11
+    assert rows["socialnet"]["services"] == 11
+    for row in result.rows:
+        # Every app saturates somewhere on the ladder and fits USL
+        # coefficients in their physical ranges.
+        assert row["peak_rps"] > 0
+        assert row["knee_users"] > 0
+        assert 0.0 <= row["usl_sigma"] <= 1.0
+        assert row["usl_kappa"] >= 0.0
+    # The comparative note is present when several apps ran.
+    assert any(note.startswith("topology sensitivity")
+               for note in result.notes)

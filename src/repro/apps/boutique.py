@@ -1,0 +1,276 @@
+"""Google's Online Boutique as an :class:`ApplicationSpec`.
+
+The 11-service e-commerce demo (microservices-demo): a Go frontend
+orchestrating ad, recommendation, product-catalog, cart, checkout,
+currency, payment, shipping, and email services over gRPC, with Redis
+backing the cart.  The topology follows the chaosprobe scenario
+documentation: frontend fans out to most services, checkout composes the
+deepest chain, and currency — single-threaded Node.js, called on every
+price display — is the hottest service, with Redis the in-cluster
+storage bottleneck (its event loop modelled as a serialized fraction).
+
+Demand constants are calibrated stand-ins at the same millisecond scale
+as TeaStore's, preserving the relationships that drive scale-up shape:
+frontend render dominates, currency is cheap but ubiquitous, Redis
+serializes.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._units import mib, ms
+from repro.apps.spec import ApplicationSpec, EndpointDef, ServiceDef, SessionDef
+from repro.memory.profile import WorkloadProfile
+
+
+def _profile(name: str, code: float, data: float, mem: float,
+             frontend: float, ipc: float, l1i: float, l1d: float,
+             l2: float, l3: float, branch: float) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name, code_bytes=mib(code), data_bytes=mib(data),
+        mem_intensity=mem, frontend_intensity=frontend, base_ipc=ipc,
+        l1i_mpki=l1i, l1d_mpki=l1d, l2_mpki=l2, l3_mpki=l3,
+        branch_mpki=branch)
+
+
+#: (replicas, workers, fast_replicas, fast_workers, demand_weight).
+_SIZING: dict[str, tuple[int, int, int, int, float]] = {
+    "frontend": (4, 200, 2, 96, 0.30),
+    "ad": (1, 32, 1, 16, 0.03),
+    "recommendation": (1, 32, 1, 16, 0.06),
+    "productcatalog": (2, 64, 1, 32, 0.12),
+    "cart": (2, 64, 1, 32, 0.08),
+    "checkout": (1, 64, 1, 32, 0.07),
+    "currency": (2, 32, 1, 16, 0.12),
+    "payment": (1, 32, 1, 16, 0.03),
+    "shipping": (1, 32, 1, 16, 0.05),
+    "email": (1, 32, 1, 16, 0.02),
+    "redis": (1, 64, 1, 32, 0.12),
+}
+
+
+def _service(name: str, profile: WorkloadProfile,
+             endpoints: list[EndpointDef],
+             shared_lock: bool = False) -> ServiceDef:
+    replicas, workers, fast_replicas, fast_workers, weight = _SIZING[name]
+    return ServiceDef(
+        name=name, profile=profile, replicas=replicas, workers=workers,
+        fast_replicas=fast_replicas, fast_workers=fast_workers,
+        demand_weight=weight, shared_lock=shared_lock,
+        endpoints=tuple(endpoints))
+
+
+def _page(name: str, parse: float, render: float,
+          body: list[dict[str, t.Any]]) -> EndpointDef:
+    steps = ([{"op": "compute", "demand": ms(parse)}] + body
+             + [{"op": "compute", "demand": ms(render)}])
+    return EndpointDef(name=name, steps=tuple(steps), returns=f"<{name}>")
+
+
+def boutique_app() -> ApplicationSpec:
+    """Google's Online Boutique (11 services)."""
+    frontend = _service("frontend", _profile(
+        "frontend", 2.8, 4.0, 0.40, 0.65, 0.90, 30.0, 22.0, 8.0, 1.0, 8.0), [
+        _page("home", 1.4, 3.6, [
+            {"op": "gather", "calls": [
+                {"service": "productcatalog", "endpoint": "list_products"},
+                {"service": "currency", "endpoint": "convert"},
+                {"service": "cart", "endpoint": "get_cart"},
+                {"service": "ad", "endpoint": "get_ads"}]},
+        ]),
+        _page("product", 1.2, 3.2, [
+            {"op": "gather", "calls": [
+                {"service": "productcatalog", "endpoint": "get_product"},
+                {"service": "recommendation",
+                 "endpoint": "list_recommendations"},
+                {"service": "currency", "endpoint": "convert"},
+                {"service": "ad", "endpoint": "get_ads"}]},
+        ]),
+        _page("add_to_cart", 1.0, 1.8, [
+            {"op": "call", "service": "productcatalog",
+             "endpoint": "get_product"},
+            {"op": "call", "service": "cart", "endpoint": "add_item"},
+        ]),
+        _page("cart_view", 1.2, 2.6, [
+            {"op": "gather", "calls": [
+                {"service": "cart", "endpoint": "get_cart"},
+                {"service": "recommendation",
+                 "endpoint": "list_recommendations"},
+                {"service": "currency", "endpoint": "convert"},
+                {"service": "shipping", "endpoint": "get_quote"}]},
+        ]),
+        _page("checkout", 1.4, 2.8, [
+            {"op": "call", "service": "checkout",
+             "endpoint": "place_order"},
+        ]),
+    ])
+
+    ad = _service("ad", _profile(
+        "ad", 3.2, 3.0, 0.35, 0.60, 0.85, 26.0, 18.0, 7.0, 0.8, 7.0), [
+        EndpointDef(name="get_ads",
+                    steps=({"op": "compute", "demand": ms(0.8)},),
+                    returns=["ad"] * 2,
+                    # Pages render without ads when the ad service is
+                    # unreachable.
+                    fallback=[]),
+    ])
+
+    recommendation = _service("recommendation", _profile(
+        "recommendation", 2.0, 8.0, 0.55, 0.45, 0.85, 18.0, 24.0, 9.0,
+        1.8, 5.0), [
+        EndpointDef(
+            name="list_recommendations",
+            steps=({"op": "compute", "demand": ms(2.4)},
+                   {"op": "call", "service": "productcatalog",
+                    "endpoint": "list_products"}),
+            returns=["item"] * 4,
+            fallback=[]),
+    ])
+
+    productcatalog = _service("productcatalog", _profile(
+        "productcatalog", 1.6, 10.0, 0.50, 0.50, 0.95, 16.0, 22.0, 8.0,
+        1.6, 5.5), [
+        EndpointDef(name="list_products",
+                    steps=({"op": "compute", "demand": ms(1.8)},),
+                    returns=["product"] * 9),
+        EndpointDef(name="get_product",
+                    steps=({"op": "compute", "demand": ms(0.9)},),
+                    returns={"product": "item"}),
+    ])
+
+    cart = _service("cart", _profile(
+        "cart", 2.4, 5.0, 0.45, 0.55, 0.90, 24.0, 20.0, 8.0, 1.2, 6.5), [
+        EndpointDef(
+            name="get_cart",
+            steps=({"op": "compute", "demand": ms(0.9)},
+                   {"op": "call", "service": "redis", "endpoint": "get",
+                    "payload": ms(0.6)}),
+            returns={"items": 3}),
+        EndpointDef(
+            name="add_item",
+            steps=({"op": "compute", "demand": ms(1.1)},
+                   {"op": "call", "service": "redis", "endpoint": "set",
+                    "payload": ms(0.9)}),
+            returns="ok"),
+    ])
+
+    checkout = _service("checkout", _profile(
+        "checkout", 2.6, 4.0, 0.40, 0.60, 0.85, 26.0, 19.0, 8.0, 1.0,
+        7.5), [
+        EndpointDef(
+            name="place_order",
+            steps=({"op": "compute", "demand": ms(1.6)},
+                   {"op": "call", "service": "cart",
+                    "endpoint": "get_cart"},
+                   {"op": "gather", "calls": [
+                       {"service": "productcatalog",
+                        "endpoint": "get_product"},
+                       {"service": "currency", "endpoint": "convert"},
+                       {"service": "shipping", "endpoint": "get_quote"}]},
+                   {"op": "call", "service": "payment",
+                    "endpoint": "charge"},
+                   {"op": "gather", "calls": [
+                       {"service": "shipping", "endpoint": "ship_order"},
+                       {"service": "email",
+                        "endpoint": "send_confirmation"}]},
+                   {"op": "compute", "demand": ms(1.2)}),
+            returns={"order": "confirmed"}),
+    ])
+
+    currency = _service("currency", _profile(
+        "currency", 1.4, 1.2, 0.25, 0.70, 0.75, 32.0, 14.0, 5.0, 0.5,
+        9.0), [
+        EndpointDef(name="convert",
+                    steps=({"op": "compute", "demand": ms(0.7)},),
+                    returns={"units": 1}),
+    ])
+
+    payment = _service("payment", _profile(
+        "payment", 1.2, 1.0, 0.20, 0.60, 0.95, 22.0, 12.0, 4.0, 0.4,
+        6.0), [
+        EndpointDef(name="charge",
+                    steps=({"op": "compute", "demand": ms(1.8)},),
+                    returns={"txn": "ok"}),
+    ])
+
+    shipping = _service("shipping", _profile(
+        "shipping", 1.4, 1.6, 0.25, 0.55, 1.00, 18.0, 13.0, 5.0, 0.5,
+        5.5), [
+        EndpointDef(name="get_quote",
+                    steps=({"op": "compute", "demand": ms(0.8)},),
+                    returns={"quote": 1}),
+        EndpointDef(name="ship_order",
+                    steps=({"op": "compute", "demand": ms(1.4)},),
+                    returns={"tracking": "id"}),
+    ])
+
+    email = _service("email", _profile(
+        "email", 1.8, 2.0, 0.30, 0.50, 0.90, 16.0, 14.0, 5.0, 0.6, 5.0), [
+        EndpointDef(name="send_confirmation",
+                    steps=({"op": "compute", "demand": ms(1.6)},),
+                    returns="sent",
+                    fallback="queued"),
+    ])
+
+    # Redis: in-memory, single-threaded command loop — a high serialized
+    # fraction caps its scaling exactly like the TeaStore DB lock.
+    redis = _service("redis", _profile(
+        "redis", 0.8, 16.0, 0.65, 0.35, 1.10, 8.0, 30.0, 12.0, 2.5,
+        3.0), [
+        EndpointDef(name="get",
+                    steps=({"op": "serialized_query",
+                            "serial_fraction": 0.55},),
+                    returns="value"),
+        EndpointDef(name="set",
+                    steps=({"op": "serialized_query",
+                            "serial_fraction": 0.70},),
+                    returns="ok"),
+    ], shared_lock=True)
+
+    return ApplicationSpec(
+        name="boutique",
+        description="Google's Online Boutique (microservices-demo): an "
+                    "11-service e-commerce application with a gRPC "
+                    "fan-out frontend, a deep checkout chain, and a "
+                    "Redis-backed cart.",
+        services=(frontend, ad, recommendation, productcatalog, cart,
+                  checkout, currency, payment, shipping, email, redis),
+        sessions=(
+            SessionDef(
+                name="browse", service="frontend", start="home",
+                transitions={
+                    "home": (("product", 0.6), ("cart_view", 0.1),
+                             ("home", 0.3)),
+                    "product": (("product", 0.3), ("add_to_cart", 0.25),
+                                ("home", 0.25), ("cart_view", 0.2)),
+                    "add_to_cart": (("product", 0.5), ("cart_view", 0.3),
+                                    ("home", 0.2)),
+                    "cart_view": (("home", 0.4), ("product", 0.4),
+                                  ("checkout", 0.2)),
+                    "checkout": (("home", 1.0),),
+                }),
+            SessionDef(
+                name="purchase", service="frontend", start="home",
+                transitions={
+                    "home": (("product", 0.8), ("home", 0.2)),
+                    "product": (("add_to_cart", 0.55), ("product", 0.25),
+                                ("home", 0.2)),
+                    "add_to_cart": (("cart_view", 0.45),
+                                    ("product", 0.35), ("home", 0.2)),
+                    "cart_view": (("checkout", 0.6), ("product", 0.25),
+                                  ("home", 0.15)),
+                    "checkout": (("home", 1.0),),
+                }),
+        ),
+        default_session="browse",
+        chaos_targets={
+            # The Go frontend orchestrates every page.
+            "orchestrator": "frontend",
+            # Single-threaded Node.js, called on every price display.
+            "hottest": "currency",
+            # The in-cluster storage backend behind the cart.
+            "storage": "redis",
+        },
+        shared_services=("cart", "redis"),
+    )

@@ -1,0 +1,204 @@
+"""Interpret an :class:`ApplicationSpec` onto the services substrate.
+
+``build_service_specs`` compiles each declarative endpoint into a handler
+generator; ``deploy_application`` instantiates the replicas on a
+deployment and returns an :class:`Application` handle (replica lookup,
+session factories, completion counters).
+
+The compiler is careful to reproduce the *exact* runtime behavior of the
+hand-written TeaStore handlers it replaced: the same random-stream names
+(``demand.<service>.<endpoint>``, ``svc.<service>.cache``,
+``svc.<service>.batch.<local_id>``, ``session.<user_id>``), the same
+floating-point arithmetic order (demand constants are pre-multiplied by
+``demand_scale`` at compile time, batch demand is accumulated then
+scaled), and the same event sequence per step.  The committed golden
+digests hold this equivalence byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._errors import ConfigurationError
+from repro.apps.spec import ApplicationSpec, EndpointDef, ServiceDef
+from repro.services.spec import ServiceSpec
+from repro.sim.resources import Resource
+from repro.workload.sessions import MarkovSessionProfile
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.services.deployment import Deployment
+    from repro.services.instance import ServiceContext, ServiceInstance
+    from repro.topology.cpuset import CpuSet
+
+#: service → one (affinity, home_node) pair per replica.  ``home_node``
+#: of ``None`` means first-touch (node of the mask's lowest CPU).
+Placement = t.Mapping[str, t.Sequence[tuple["CpuSet", int | None]]]
+
+
+def _compile_endpoint(app: ApplicationSpec, service: ServiceDef,
+                      endpoint: EndpointDef):
+    """One endpoint's steps → a handler generator function."""
+    scale = app.demand_scale
+    cv = app.demand_cv
+    ops: list[tuple[t.Any, ...]] = []
+    for step in endpoint.steps:
+        kind = step["op"]
+        if kind == "compute":
+            ops.append(("compute", step["demand"] * scale))
+        elif kind == "call":
+            ops.append(("call", step["service"], step["endpoint"],
+                        step.get("payload")))
+        elif kind == "gather":
+            ops.append(("gather", tuple(
+                (call["service"], call["endpoint"], call.get("payload"))
+                for call in step["calls"])))
+        elif kind == "cache":
+            ops.append(("cache", step["hit_rate"],
+                        step["hit_demand"] * scale,
+                        step["miss_demand"] * scale))
+        elif kind == "cached_batch":
+            ops.append(("batch", step["default_count"],
+                        1.0 - step["hit_rate"], step["hit_demand"],
+                        step["miss_demand"],
+                        f"svc.{service.name}.batch."))
+        else:  # serialized_query
+            ops.append(("query", step["serial_fraction"],
+                        f"demand.{service.name}.{endpoint.name}"))
+    plan = tuple(ops)
+    returns = endpoint.returns
+
+    def handler(ctx: "ServiceContext"):
+        for op in plan:
+            kind = op[0]
+            if kind == "compute":
+                yield ctx.compute(op[1], cv)
+            elif kind == "call":
+                yield ctx.call(op[1], op[2], payload=op[3])
+            elif kind == "gather":
+                yield ctx.gather(*[
+                    ctx.call(svc, ep, payload=payload)
+                    for svc, ep, payload in op[1]])
+            elif kind == "cache":
+                if ctx.uniform("cache") < op[1]:
+                    yield ctx.compute(op[2], cv)
+                else:
+                    yield ctx.compute(op[3], cv)
+            elif kind == "batch":
+                count = ctx.payload or op[1]  # type: ignore[assignment]
+                streams = ctx.instance.deployment.streams
+                misses = streams.binomial(
+                    f"{op[5]}{ctx.instance.local_id}", count, op[2])
+                hits = count - misses
+                demand = hits * op[3] + misses * op[4]
+                yield ctx.compute(demand * scale, cv)
+            else:  # query
+                cost = ctx.payload * scale  # type: ignore[operator]
+                demand = ctx.instance.deployment.streams.lognormal_mean_cv(
+                    op[2], cost, cv)
+                parallel_part = demand * (1.0 - op[1])
+                serial_part = demand * op[1]
+                yield ctx.submit_demand(parallel_part)
+                lock = ctx.shared["lock"]  # type: ignore[index]
+                yield lock.acquire()
+                try:
+                    yield ctx.submit_demand(serial_part)
+                finally:
+                    lock.release()
+        return returns
+    return handler
+
+
+def _shared_lock_factory(instance: "ServiceInstance"):
+    return {"lock": Resource(instance.deployment.sim, 1)}
+
+
+def build_service_specs(app: ApplicationSpec) -> dict[str, ServiceSpec]:
+    """All of ``app``'s service specs with compiled handlers."""
+    specs: dict[str, ServiceSpec] = {}
+    for service in app.services:
+        spec = ServiceSpec(
+            service.name, service.profile, workers=service.workers,
+            shared_factory=_shared_lock_factory if service.shared_lock
+            else None)
+        for endpoint in service.endpoints:
+            spec.add_endpoint(endpoint.name,
+                              _compile_endpoint(app, service, endpoint))
+            if endpoint.fallback is not None:
+                spec.add_fallback(endpoint.name, endpoint.fallback)
+        specs[service.name] = spec
+    return specs
+
+
+class Application:
+    """A deployed application: replica handles and session factories."""
+
+    def __init__(self, deployment: "Deployment", spec: ApplicationSpec,
+                 instances: dict[str, list["ServiceInstance"]]):
+        self.deployment = deployment
+        self.spec = spec
+        self.instances = instances
+
+    def replicas(self, service: str) -> list["ServiceInstance"]:
+        """All replicas of one service."""
+        try:
+            return self.instances[service]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown service {service!r}; known: "
+                f"{sorted(self.instances)}") from None
+
+    def replica_counts(self) -> dict[str, int]:
+        """Replica count per service."""
+        return {name: len(instances)
+                for name, instances in self.instances.items()}
+
+    def session_profile(self, name: str | None = None
+                        ) -> MarkovSessionProfile:
+        """One of the application's Markov profiles (default profile
+        when ``name`` is ``None``)."""
+        session = self.spec.session(name or self.spec.default_session)
+        return MarkovSessionProfile(session.transitions,
+                                    start=session.start,
+                                    service=session.service)
+
+    def session_factory(self, name: str | None = None):
+        """A workload session factory bound to this deployment."""
+        return self.session_profile(name).session_factory(self.deployment)
+
+    def total_completed(self) -> int:
+        """Requests completed across all replicas (including internal)."""
+        return sum(instance.completed
+                   for instances in self.instances.values()
+                   for instance in instances)
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{name}×{len(instances)}"
+                           for name, instances in sorted(self.instances.items()))
+        return f"<Application[{self.spec.name}] {counts}>"
+
+
+def deploy_application(deployment: "Deployment", app: ApplicationSpec,
+                       placement: Placement | None = None) -> Application:
+    """Instantiate every service of ``app`` on ``deployment``.
+
+    Without ``placement``, each service gets its spec replica count,
+    unpinned (machine-wide affinity).  With ``placement``, replica count
+    and affinity per service come from the placement mapping.
+    """
+    specs = build_service_specs(app)
+    instances: dict[str, list["ServiceInstance"]] = {}
+    for service in app.services:
+        spec = specs[service.name]
+        replicas: list["ServiceInstance"] = []
+        if placement is not None:
+            if service.name not in placement:
+                raise ConfigurationError(
+                    f"placement is missing service {service.name!r}")
+            for affinity, home_node in placement[service.name]:
+                replicas.append(deployment.add_instance(
+                    spec, affinity=affinity, home_node=home_node))
+        else:
+            for __ in range(service.replicas):
+                replicas.append(deployment.add_instance(spec))
+        instances[service.name] = replicas
+    return Application(deployment, app, instances)

@@ -1,0 +1,260 @@
+"""A DeathStarBench-style social network as an :class:`ApplicationSpec`.
+
+Modelled on DeathStarBench's socialNetwork (Gan et al., ASPLOS 2019): an
+nginx frontend over read-home-timeline / read-user-timeline / compose
+paths, where composing a post fans out to unique-id, text (which chains
+into URL shortening), and media services before persisting to post
+storage and pushing into follower timelines via the social graph.  Post
+storage is the bottom-of-chain storage backend (MongoDB analog) with a
+write-heavy serialized fraction; timeline reads fan out across the
+social graph and storage, giving the deepest read path of the three
+bundled applications.
+
+Demand constants are calibrated stand-ins at TeaStore's millisecond
+scale; the "post" session profile is the buy-analog (write-heavy),
+"browse" is timeline-read-heavy.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro._units import mib, ms
+from repro.apps.spec import ApplicationSpec, EndpointDef, ServiceDef, SessionDef
+from repro.memory.profile import WorkloadProfile
+
+
+def _profile(name: str, code: float, data: float, mem: float,
+             frontend: float, ipc: float, l1i: float, l1d: float,
+             l2: float, l3: float, branch: float) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name, code_bytes=mib(code), data_bytes=mib(data),
+        mem_intensity=mem, frontend_intensity=frontend, base_ipc=ipc,
+        l1i_mpki=l1i, l1d_mpki=l1d, l2_mpki=l2, l3_mpki=l3,
+        branch_mpki=branch)
+
+
+#: (replicas, workers, fast_replicas, fast_workers, demand_weight).
+_SIZING: dict[str, tuple[int, int, int, int, float]] = {
+    "frontend": (4, 200, 2, 96, 0.26),
+    "user": (2, 32, 1, 16, 0.08),
+    "compose": (2, 64, 1, 32, 0.12),
+    "home_timeline": (2, 64, 1, 32, 0.14),
+    "user_timeline": (1, 32, 1, 16, 0.06),
+    "text": (1, 32, 1, 16, 0.05),
+    "url_shorten": (1, 32, 1, 16, 0.02),
+    "media": (1, 32, 1, 16, 0.05),
+    "social_graph": (1, 64, 1, 32, 0.08),
+    "unique_id": (1, 16, 1, 8, 0.01),
+    "post_storage": (1, 64, 1, 32, 0.13),
+}
+
+
+def _service(name: str, profile: WorkloadProfile,
+             endpoints: list[EndpointDef],
+             shared_lock: bool = False) -> ServiceDef:
+    replicas, workers, fast_replicas, fast_workers, weight = _SIZING[name]
+    return ServiceDef(
+        name=name, profile=profile, replicas=replicas, workers=workers,
+        fast_replicas=fast_replicas, fast_workers=fast_workers,
+        demand_weight=weight, shared_lock=shared_lock,
+        endpoints=tuple(endpoints))
+
+
+def _page(name: str, parse: float, render: float,
+          body: list[dict[str, t.Any]]) -> EndpointDef:
+    steps = ([{"op": "compute", "demand": ms(parse)},
+              {"op": "call", "service": "user", "endpoint": "validate"}]
+             + body
+             + [{"op": "compute", "demand": ms(render)}])
+    return EndpointDef(name=name, steps=tuple(steps), returns=f"<{name}>")
+
+
+def socialnet_app() -> ApplicationSpec:
+    """A DeathStarBench-style social network (11 services)."""
+    frontend = _service("frontend", _profile(
+        "frontend", 2.4, 3.5, 0.40, 0.70, 0.80, 32.0, 24.0, 9.0, 1.1,
+        8.5), [
+        _page("home", 1.2, 2.8, [
+            {"op": "call", "service": "home_timeline",
+             "endpoint": "read"},
+        ]),
+        _page("profile", 1.2, 2.6, [
+            {"op": "gather", "calls": [
+                {"service": "user_timeline", "endpoint": "read"},
+                {"service": "social_graph",
+                 "endpoint": "get_followers"}]},
+        ]),
+        _page("compose", 1.4, 2.0, [
+            {"op": "call", "service": "compose",
+             "endpoint": "compose_post"},
+        ]),
+        _page("follow", 1.0, 1.4, [
+            {"op": "call", "service": "social_graph",
+             "endpoint": "follow"},
+        ]),
+    ])
+
+    user = _service("user", _profile(
+        "user", 1.4, 2.0, 0.25, 0.55, 1.00, 20.0, 14.0, 5.0, 0.6, 6.0), [
+        EndpointDef(name="validate",
+                    steps=({"op": "compute", "demand": ms(0.9)},),
+                    returns="ok"),
+    ])
+
+    compose = _service("compose", _profile(
+        "compose", 2.8, 4.5, 0.45, 0.60, 0.85, 28.0, 22.0, 9.0, 1.3,
+        7.5), [
+        EndpointDef(
+            name="compose_post",
+            steps=({"op": "compute", "demand": ms(1.6)},
+                   {"op": "gather", "calls": [
+                       {"service": "unique_id", "endpoint": "generate"},
+                       {"service": "text", "endpoint": "process"},
+                       {"service": "media", "endpoint": "upload"}]},
+                   {"op": "call", "service": "post_storage",
+                    "endpoint": "store_post", "payload": ms(3.2)},
+                   {"op": "call", "service": "home_timeline",
+                    "endpoint": "write"}),
+            returns={"post": "stored"}),
+    ])
+
+    home_timeline = _service("home_timeline", _profile(
+        "home_timeline", 2.0, 9.0, 0.55, 0.50, 0.80, 20.0, 28.0, 11.0,
+        2.0, 6.0), [
+        EndpointDef(
+            name="read",
+            steps=({"op": "compute", "demand": ms(1.2)},
+                   {"op": "gather", "calls": [
+                       {"service": "social_graph",
+                        "endpoint": "get_followers"},
+                       {"service": "post_storage",
+                        "endpoint": "read_posts",
+                        "payload": ms(2.4)}]}),
+            returns=["post"] * 10),
+        EndpointDef(
+            name="write",
+            steps=({"op": "compute", "demand": ms(1.0)},
+                   {"op": "call", "service": "social_graph",
+                    "endpoint": "get_followers"}),
+            returns="ok"),
+    ])
+
+    user_timeline = _service("user_timeline", _profile(
+        "user_timeline", 1.8, 7.0, 0.50, 0.50, 0.85, 18.0, 25.0, 10.0,
+        1.8, 5.5), [
+        EndpointDef(
+            name="read",
+            steps=({"op": "compute", "demand": ms(1.0)},
+                   {"op": "call", "service": "post_storage",
+                    "endpoint": "read_posts", "payload": ms(1.8)}),
+            returns=["post"] * 10),
+    ])
+
+    text = _service("text", _profile(
+        "text", 1.6, 3.0, 0.35, 0.55, 0.90, 18.0, 18.0, 7.0, 0.9, 6.5), [
+        EndpointDef(
+            name="process",
+            steps=({"op": "compute", "demand": ms(1.8)},
+                   {"op": "call", "service": "url_shorten",
+                    "endpoint": "shorten"}),
+            returns={"text": "processed"}),
+    ])
+
+    url_shorten = _service("url_shorten", _profile(
+        "url_shorten", 1.0, 1.5, 0.25, 0.50, 1.05, 14.0, 12.0, 4.0, 0.5,
+        4.5), [
+        EndpointDef(name="shorten",
+                    steps=({"op": "compute", "demand": ms(0.6)},),
+                    returns="short-url"),
+    ])
+
+    media = _service("media", _profile(
+        "media", 1.6, 18.0, 0.65, 0.40, 0.75, 14.0, 32.0, 13.0, 2.8,
+        4.0), [
+        EndpointDef(
+            name="upload",
+            # Most posts carry no media (cheap hit); the rest transcode.
+            steps=({"op": "cache", "hit_rate": 0.8,
+                    "hit_demand": ms(0.4),
+                    "miss_demand": ms(5.6)},),
+            returns="media-id"),
+    ])
+
+    social_graph = _service("social_graph", _profile(
+        "social_graph", 2.0, 14.0, 0.60, 0.45, 0.80, 16.0, 30.0, 12.0,
+        2.4, 5.0), [
+        EndpointDef(name="get_followers",
+                    steps=({"op": "compute", "demand": ms(1.4)},),
+                    returns=["user"] * 8),
+        EndpointDef(name="follow",
+                    steps=({"op": "compute", "demand": ms(2.0)},),
+                    returns="ok"),
+    ])
+
+    unique_id = _service("unique_id", _profile(
+        "unique_id", 0.6, 0.5, 0.15, 0.45, 1.20, 8.0, 8.0, 3.0, 0.3,
+        3.0), [
+        EndpointDef(name="generate",
+                    steps=({"op": "compute", "demand": ms(0.2)},),
+                    returns="id"),
+    ])
+
+    # MongoDB analog: writes pay a heavier serialized fraction than
+    # reads (index + journal), capping storage scaling like TeaStore's
+    # DB lock.
+    post_storage = _service("post_storage", _profile(
+        "post_storage", 3.0, 36.0, 0.75, 0.45, 0.70, 18.0, 38.0, 15.0,
+        3.8, 6.0), [
+        EndpointDef(name="read_posts",
+                    steps=({"op": "serialized_query",
+                            "serial_fraction": 0.08},),
+                    returns=["row"] * 10),
+        EndpointDef(name="store_post",
+                    steps=({"op": "serialized_query",
+                            "serial_fraction": 0.18},),
+                    returns="stored"),
+    ], shared_lock=True)
+
+    return ApplicationSpec(
+        name="socialnet",
+        description="A DeathStarBench-style social network: timeline "
+                    "reads fan out across the social graph and post "
+                    "storage; composing a post chains unique-id, text, "
+                    "URL-shortening, and media before persisting.",
+        services=(frontend, user, compose, home_timeline, user_timeline,
+                  text, url_shorten, media, social_graph, unique_id,
+                  post_storage),
+        sessions=(
+            SessionDef(
+                name="browse", service="frontend", start="home",
+                transitions={
+                    "home": (("home", 0.45), ("profile", 0.25),
+                             ("compose", 0.2), ("follow", 0.1)),
+                    "profile": (("home", 0.5), ("profile", 0.2),
+                                ("compose", 0.15), ("follow", 0.15)),
+                    "compose": (("home", 0.7), ("profile", 0.3)),
+                    "follow": (("home", 0.6), ("profile", 0.4)),
+                }),
+            SessionDef(
+                name="post", service="frontend", start="home",
+                transitions={
+                    "home": (("compose", 0.5), ("home", 0.3),
+                             ("profile", 0.2)),
+                    "profile": (("compose", 0.4), ("home", 0.4),
+                                ("profile", 0.2)),
+                    "compose": (("compose", 0.3), ("home", 0.5),
+                                ("profile", 0.2)),
+                }),
+        ),
+        default_session="browse",
+        chaos_targets={
+            # nginx fronts every request.
+            "orchestrator": "frontend",
+            # Session validation sits on every page's critical path.
+            "hottest": "user",
+            # The post store at the bottom of both read and write chains.
+            "storage": "post_storage",
+        },
+        shared_services=("social_graph", "post_storage"),
+    )

@@ -1,9 +1,10 @@
 """Chaos campaign runner: catalog × resilience grids through the sweeps.
 
-One campaign **cell** is (scenario, resilience mode): deploy TeaStore
-with the mode's :func:`~repro.services.resilience.resilience_preset`,
-inject the scenario's schedule, measure one warmup/measure window with
-the standard browse load, and — for chaos cells — trace the measurement
+One campaign **cell** is (scenario, resilience mode): deploy the active
+application (``settings.app``; TeaStore by default) with the mode's
+:func:`~repro.services.resilience.resilience_preset`, inject the
+scenario's schedule, measure one warmup/measure window with the app's
+default session load, and — for chaos cells — trace the measurement
 window so the :mod:`~repro.chaos.cascade` analyzer can attribute the
 damage and the :mod:`~repro.chaos.grading` grader can pass verdict.
 
@@ -38,6 +39,7 @@ from repro.experiments.common import (
     ExperimentResult,
     ExperimentSettings,
     Row,
+    build_application,
 )
 from repro.orchestrator import plan
 from repro.services.deployment import Deployment
@@ -46,13 +48,24 @@ from repro.services.resilience import (
     ResilienceConfig,
     resilience_preset,
 )
-from repro.teastore.store import build_teastore
 from repro.tracing.collector import TraceCollector
 from repro.workload.cohorts import closed_workload
 from repro.workload.faults import FaultInjector
 from repro.workload.runner import RunResult, run_experiment
 
 TITLE = "Chaos campaign: bottleneck scenarios x resilience grid"
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.spec import ApplicationSpec
+
+
+def _active_app(settings: ExperimentSettings) -> "ApplicationSpec | None":
+    """The spec catalog/targets resolve against (``None`` = TeaStore).
+
+    TeaStore maps to ``None`` so the default path reuses the cached
+    default spec and stays byte-identical to the pre-``--app`` runner.
+    """
+    return None if settings.app == "teastore" else settings.application()
 
 
 @dataclasses.dataclass
@@ -82,11 +95,11 @@ def execute_cell(settings: ExperimentSettings,
     deployment = Deployment(settings.machine(), seed=settings.seed,
                             memory_config=settings.memory_config,
                             resilience=resilience)
-    store = build_teastore(deployment, settings.store_config())
+    store = build_application(settings, deployment)
     injector = FaultInjector(deployment)
     injector.apply(schedule)
     workload = closed_workload(
-        deployment, store.browse_session_factory(),
+        deployment, store.session_factory(),
         n_users=settings.users, think_time=settings.think_time,
         cohort_factor=settings.cohort_factor)
 
@@ -103,7 +116,8 @@ def execute_cell(settings: ExperimentSettings,
                        deployment=deployment, tracer=tracer)
 
 
-def fault_window(scenario: Scenario, settings: ExperimentSettings
+def fault_window(scenario: Scenario, settings: ExperimentSettings,
+                 app: "ApplicationSpec | None" = None
                  ) -> tuple[float, float] | None:
     """The [start, end] envelope of a scenario's faults in sim time.
 
@@ -114,7 +128,7 @@ def fault_window(scenario: Scenario, settings: ExperimentSettings
     clipped to the window so recovery analysis never reaches past the
     observed data.  ``None`` for a fault-free scenario.
     """
-    schedule = scenario.schedule(settings)
+    schedule = scenario.schedule(settings, app)
     if not schedule:
         return None
     window_end = settings.warmup + settings.duration
@@ -136,15 +150,17 @@ def fault_window(scenario: Scenario, settings: ExperimentSettings
 def run_cell(settings: ExperimentSettings, scenario: Scenario,
              mode: str) -> plan.Payload:
     """Execute one (scenario, mode) cell and fold in cascade + grade."""
-    schedule = scenario.schedule(settings)
+    app = _active_app(settings)
+    target = scenario.target_for(app)
+    schedule = scenario.schedule(settings, app)
     outcome = execute_cell(settings, schedule,
                            resilience_preset(mode), trace=True)
     result = outcome.result
-    window = fault_window(scenario, settings)
+    window = fault_window(scenario, settings, app)
     tracer = t.cast(TraceCollector, outcome.tracer)
     cascade = analyze_cascade(
         tracer.table,
-        target=scenario.target_service,
+        target=target,
         window_start=settings.warmup,
         window_end=settings.warmup + settings.duration,
         fault_start=None if window is None else window[0],
@@ -158,7 +174,7 @@ def run_cell(settings: ExperimentSettings, scenario: Scenario,
     return {
         "scenario": scenario.name,
         "bottleneck_class": scenario.bottleneck_class,
-        "target": scenario.target_service,
+        "target": target,
         "resilience": mode,
         "throughput_rps": result.throughput,
         "p99_ms": result.latency_p99 * 1e3,
@@ -186,9 +202,12 @@ def sweep_points(settings: ExperimentSettings,
 
     The scenario's full JSON-native definition rides inside the point's
     parameters, so custom catalogs flow through the pool and cache
-    exactly like the builtin one.
+    exactly like the builtin one.  The default catalog is derived
+    against the active application, so its role bindings are validated
+    eagerly, before any cell runs.
     """
-    scenarios = builtin_catalog() if scenarios is None else scenarios
+    if scenarios is None:
+        scenarios = builtin_catalog(_active_app(settings))
     modes = RESILIENCE_MODES if modes is None else modes
     points = []
     index = 0
@@ -267,7 +286,9 @@ def campaign_points(settings: ExperimentSettings,
     if scenario_names is None:
         scenarios = None
     else:
-        scenarios = [scenario_by_name(name) for name in scenario_names]
+        catalog = builtin_catalog(_active_app(settings))
+        scenarios = [scenario_by_name(name, catalog)
+                     for name in scenario_names]
     return sweep_points(settings, scenarios, modes)
 
 

@@ -8,8 +8,8 @@ A :class:`Scenario` bundles the three things a chaos experiment needs:
   E13's schedules do;
 * a **target-selection policy** — a small vocabulary (``orchestrator``,
   ``hottest``, ``storage``, ``fabric``, ``service:<name>``) resolved
-  against the static TeaStore call graph, so scenarios name *roles*
-  rather than hard-coding service names;
+  against the active application's spec (TeaStore by default), so
+  scenarios name *roles* rather than hard-coding service names;
 * an **expected-blast-radius spec** (:class:`Expectation`) — which
   services are allowed to degrade, how deep the cascade may propagate,
   and the error/tail/recovery thresholds the grader enforces.
@@ -34,12 +34,14 @@ scenario                  bottleneck class            fault
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing as t
 
 from repro._errors import ConfigurationError
 from repro.workload.faults import FABRIC, FAULT_KINDS
 
 if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.spec import ApplicationSpec
     from repro.experiments.common import ExperimentSettings
 
 #: Bottleneck classes, after chaosprobe's taxonomy, plus the healthy
@@ -52,55 +54,76 @@ BOTTLENECK_CLASSES = (
     "bandwidth-saturation",
 )
 
-#: The static TeaStore call graph (caller → callees).  Target policies
-#: and default blast expectations are authored against this; the cascade
-#: analyzer itself trusts only the edges it *observes* in the trace.
-CALL_GRAPH: dict[str, tuple[str, ...]] = {
-    "webui": ("auth", "persistence", "image", "recommender"),
-    "auth": (),
-    "persistence": ("db",),
-    "image": (),
-    "recommender": (),
-    "db": (),
-}
 
-#: Role-based target policies → concrete TeaStore service.  ``fabric``
-#: maps to the wildcard the injector uses for fabric-wide faults.
-TARGET_POLICIES = {
-    #: The service on every request's critical path (the entry point).
-    "orchestrator": "webui",
-    #: The service with the highest inbound page weight (8 calls/page).
-    "hottest": "auth",
-    #: The storage backend at the bottom of the dependency chain.
-    "storage": "db",
-    #: The RPC fabric itself (netdelay faults).
-    "fabric": FABRIC,
-}
+@functools.lru_cache(maxsize=1)
+def _default_app() -> "ApplicationSpec":
+    """TeaStore: the application scenarios resolve against by default."""
+    from repro.apps.teastore_app import teastore_app
+    return teastore_app()
 
 
-def resolve_target(policy: str) -> str:
+def call_graph(app: "ApplicationSpec | None" = None
+               ) -> dict[str, tuple[str, ...]]:
+    """The active application's call graph (caller → callees).
+
+    Target policies and default blast expectations are derived from
+    this; the cascade analyzer itself trusts only the edges it
+    *observes* in the trace.
+    """
+    return (app or _default_app()).call_graph()
+
+
+def target_policies(app: "ApplicationSpec | None" = None
+                    ) -> dict[str, str]:
+    """Role-based target policies → concrete service for ``app``.
+
+    The three service roles come from the application spec's
+    ``chaos_targets`` binding; ``fabric`` maps to the wildcard the
+    injector uses for fabric-wide faults.
+    """
+    spec = app or _default_app()
+    return {
+        "orchestrator": spec.chaos_targets["orchestrator"],
+        "hottest": spec.chaos_targets["hottest"],
+        "storage": spec.chaos_targets["storage"],
+        "fabric": FABRIC,
+    }
+
+
+#: The TeaStore call graph and role bindings — the defaults every
+#: un-parameterized resolution uses (kept as module constants for
+#: backward compatibility; derived from the spec, not hand-written).
+CALL_GRAPH: dict[str, tuple[str, ...]] = call_graph()
+TARGET_POLICIES: dict[str, str] = target_policies()
+
+
+def resolve_target(policy: str,
+                   app: "ApplicationSpec | None" = None) -> str:
     """Resolve a target policy to a service name (or :data:`FABRIC`).
 
-    Accepts the role vocabulary in :data:`TARGET_POLICIES` or an
-    explicit ``service:<name>`` escape hatch validated against the
-    static call graph.
+    Accepts the role vocabulary in :func:`target_policies` or an
+    explicit ``service:<name>`` escape hatch, both resolved against
+    ``app`` (TeaStore when ``None``).
     """
-    if policy in TARGET_POLICIES:
-        return TARGET_POLICIES[policy]
+    policies = target_policies(app)
+    if policy in policies:
+        return policies[policy]
     if policy.startswith("service:"):
         name = policy[len("service:"):]
-        if name not in CALL_GRAPH:
+        graph = call_graph(app)
+        if name not in graph:
             raise ConfigurationError(
                 f"unknown service {name!r} in target policy {policy!r}; "
-                f"choose from {tuple(sorted(CALL_GRAPH))}")
+                f"choose from {tuple(sorted(graph))}")
         return name
     raise ConfigurationError(
         f"unknown target policy {policy!r}; choose from "
-        f"{tuple(sorted(TARGET_POLICIES))} or 'service:<name>'")
+        f"{tuple(sorted(policies))} or 'service:<name>'")
 
 
 def upstream_closure(target: str,
-                     graph: t.Mapping[str, t.Sequence[str]] | None = None
+                     graph: t.Mapping[str, t.Sequence[str]] | None = None,
+                     app: "ApplicationSpec | None" = None
                      ) -> frozenset[str]:
     """Services whose requests transit ``target``: it plus its callers.
 
@@ -108,7 +131,7 @@ def upstream_closure(target: str,
     degradation anywhere else cannot be attributed to the fault.  The
     fabric wildcard closes over every service.
     """
-    graph = CALL_GRAPH if graph is None else graph
+    graph = call_graph(app) if graph is None else graph
     if target == FABRIC:
         return frozenset(graph)
     closure = {target}
@@ -217,7 +240,15 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown bottleneck class {self.bottleneck_class!r}; "
                 f"choose from {BOTTLENECK_CLASSES}")
-        resolve_target(self.target)  # validates the policy eagerly
+        # Validate the policy *syntax* eagerly; the concrete service is
+        # resolved against the active application at catalog load /
+        # schedule time (scenarios are application-portable).
+        if self.target not in TARGET_POLICIES and not (
+                self.target.startswith("service:")
+                and self.target[len("service:"):]):
+            raise ConfigurationError(
+                f"unknown target policy {self.target!r}; choose from "
+                f"{tuple(sorted(TARGET_POLICIES))} or 'service:<name>'")
         for fault in self.faults:
             kind = fault.get("kind")
             if kind not in FAULT_KINDS:
@@ -245,16 +276,22 @@ class Scenario:
         """The resolved concrete target (service name or fabric)."""
         return resolve_target(self.target)
 
-    def schedule(self, settings: "ExperimentSettings"
+    def target_for(self, app: "ApplicationSpec | None" = None) -> str:
+        """The concrete target under ``app`` (TeaStore when ``None``)."""
+        return resolve_target(self.target, app)
+
+    def schedule(self, settings: "ExperimentSettings",
+                 app: "ApplicationSpec | None" = None
                  ) -> list[dict[str, t.Any]]:
         """Resolve relative fault entries to an absolute injector schedule.
 
         ``at`` fractions anchor to the start of the measurement window
         (``settings.warmup``); ``for`` / ``restore_for`` fractions scale
-        by the window length.
+        by the window length.  The target policy resolves against
+        ``app`` (TeaStore when ``None``).
         """
         window = settings.duration
-        service = self.target_service
+        service = self.target_for(app)
         schedule: list[dict[str, t.Any]] = []
         for fault in self.faults:
             kind = str(fault["kind"])
@@ -299,8 +336,62 @@ class Scenario:
         )
 
 
-def builtin_catalog() -> tuple[Scenario, ...]:
-    """The builtin catalog: one scenario per bottleneck class + control."""
+def _caller_chain_depth(service: str,
+                        graph: t.Mapping[str, t.Sequence[str]]) -> int:
+    """Longest caller chain ending at ``service``, counting it (>= 1).
+
+    This is the deepest a fault on ``service`` can propagate upstream
+    along real call edges — the derived ``max_depth`` contract.
+    """
+    callers = {name: tuple(caller for caller, callees in graph.items()
+                           if name in callees)
+               for name in graph}
+
+    def depth(name: str, seen: frozenset[str]) -> int:
+        upstream = [depth(caller, seen | {name})
+                    for caller in callers.get(name, ())
+                    if caller not in seen]
+        return 1 + (max(upstream) if upstream else 0)
+
+    return depth(service, frozenset())
+
+
+def _graph_depth(graph: t.Mapping[str, t.Sequence[str]]) -> int:
+    """The longest call chain anywhere in the graph (services counted)."""
+
+    def depth(name: str, seen: frozenset[str]) -> int:
+        downstream = [depth(callee, seen | {name})
+                      for callee in graph.get(name, ())
+                      if callee not in seen]
+        return 1 + (max(downstream) if downstream else 0)
+
+    return max(depth(name, frozenset()) for name in graph)
+
+
+def builtin_catalog(app: "ApplicationSpec | None" = None
+                    ) -> tuple[Scenario, ...]:
+    """The builtin catalog: one scenario per bottleneck class + control.
+
+    Blast radii and propagation depths are derived from ``app``'s call
+    graph (TeaStore when ``None``), resolved eagerly — an application
+    whose role bindings or graph are broken fails here, at catalog
+    load, not mid-campaign.  For TeaStore the derivation reproduces the
+    original hand-written expectations byte for byte.
+    """
+    spec = app or _default_app()
+    graph = call_graph(spec)
+
+    def derived(policy: str) -> tuple[tuple[str, ...], int]:
+        service = resolve_target(policy, spec)
+        blast = tuple(sorted(upstream_closure(service, graph)))
+        if service == FABRIC:
+            return blast, _graph_depth(graph) + 1
+        return blast, _caller_chain_depth(service, graph)
+
+    hottest_blast, hottest_depth = derived("hottest")
+    orch_blast, orch_depth = derived("orchestrator")
+    storage_blast, storage_depth = derived("storage")
+    fabric_blast, fabric_depth = derived("fabric")
     return (
         Scenario(
             name="control",
@@ -321,8 +412,8 @@ def builtin_catalog() -> tuple[Scenario, ...]:
                 {"kind": "hog", "at": 0.15, "for": 0.50,
                  "workers": 2, "intensity": 1.0},),
             expectation=Expectation(
-                allowed_blast=tuple(sorted(upstream_closure("auth"))),
-                max_depth=2, max_error_rate=0.05,
+                allowed_blast=hottest_blast,
+                max_depth=hottest_depth, max_error_rate=0.05,
                 pass_p99_ratio=1.5, fail_p99_ratio=25.0,
                 recover_within=0.5),
             description="background CPU hogs saturate the hottest "
@@ -334,8 +425,8 @@ def builtin_catalog() -> tuple[Scenario, ...]:
             faults=(
                 {"kind": "kill", "at": 0.15, "restore_for": 0.40},),
             expectation=Expectation(
-                allowed_blast=tuple(sorted(upstream_closure("webui"))),
-                max_depth=1, max_error_rate=0.60,
+                allowed_blast=orch_blast,
+                max_depth=orch_depth, max_error_rate=0.60,
                 pass_p99_ratio=1.5, fail_p99_ratio=50.0,
                 recover_within=0.6),
             description="kill one replica of the orchestrating entry "
@@ -347,8 +438,8 @@ def builtin_catalog() -> tuple[Scenario, ...]:
             faults=(
                 {"kind": "slow", "at": 0.10, "for": 0.60, "factor": 8.0},),
             expectation=Expectation(
-                allowed_blast=tuple(sorted(upstream_closure("db"))),
-                max_depth=3, max_error_rate=0.05,
+                allowed_blast=storage_blast,
+                max_depth=storage_depth, max_error_rate=0.05,
                 pass_p99_ratio=1.5, fail_p99_ratio=50.0,
                 recover_within=0.5),
             description="degraded-disk analog: the storage backend's "
@@ -361,8 +452,8 @@ def builtin_catalog() -> tuple[Scenario, ...]:
                 {"kind": "netdelay", "at": 0.15, "for": 0.50,
                  "factor": 80.0},),
             expectation=Expectation(
-                allowed_blast=tuple(sorted(upstream_closure(FABRIC))),
-                max_depth=4, max_error_rate=0.05,
+                allowed_blast=fabric_blast,
+                max_depth=fabric_depth, max_error_rate=0.05,
                 pass_p99_ratio=1.5, fail_p99_ratio=200.0,
                 recover_within=0.5),
             description="fabric-wide hop-latency inflation (saturated "

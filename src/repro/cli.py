@@ -33,6 +33,7 @@ from repro.experiments import (
     e11_latency_breakdown,
     e12_colocation,
     e13_fault_tolerance,
+    e14_cross_app,
 )
 from repro.chaos import campaign as chaos_campaign
 from repro.topology.presets import PRESETS
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, tuple[str, t.Callable]] = {
     "e11": (e11_latency_breakdown.TITLE, e11_latency_breakdown.run),
     "e12": (e12_colocation.TITLE, e12_colocation.run),
     "e13": (e13_fault_tolerance.TITLE, e13_fault_tolerance.run),
+    "e14": (e14_cross_app.TITLE, e14_cross_app.run),
     "chaos": (chaos_campaign.TITLE, chaos_campaign.run),
     "a1": ("Ablation: CCX code sharing", ablations.run_code_sharing),
     "a2": ("Ablation: frequency boost", ablations.run_frequency_ablation),
@@ -78,6 +80,15 @@ def _build_parser() -> argparse.ArgumentParser:
     platform.add_argument("--json", action="store_true",
                           help="emit the machine spec as JSON")
 
+    apps = subparsers.add_parser(
+        "apps", help="list the bundled application specs")
+    apps.add_argument("--validate", action="store_true",
+                      help="check the committed JSON spec files parse, "
+                           "round-trip byte-stably, and match their "
+                           "builders; exit 1 on any problem")
+    apps.add_argument("--json", metavar="NAME", default=None,
+                      help="print one application's canonical JSON spec")
+
     run = subparsers.add_parser("run", help="run experiments")
     run.add_argument("experiment",
                      choices=sorted(EXPERIMENTS) + ["all"],
@@ -88,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the machine preset")
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--users", type=int, default=None)
+    _add_app_argument(run)
     _add_scale_arguments(run)
     run.add_argument("--markdown", metavar="FILE", default=None,
                      help="also write a markdown report to FILE")
@@ -109,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the machine preset")
     sweep.add_argument("--seed", type=int, default=1)
     sweep.add_argument("--users", type=int, default=None)
+    _add_app_argument(sweep)
     _add_scale_arguments(sweep)
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the result cache entirely")
@@ -162,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the machine preset")
     chaos.add_argument("--seed", type=int, default=1)
     chaos.add_argument("--users", type=int, default=None)
+    _add_app_argument(chaos)
     _add_scale_arguments(chaos)
     chaos.add_argument("--no-cache", action="store_true",
                        help="disable the result cache entirely")
@@ -220,8 +234,16 @@ def _build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--list-slices", action="store_true",
                            help="print every known mode*slice (standard "
                                 "and extended) and exit")
+    _add_app_argument(perfbench)
     _add_kernel_argument(perfbench)
     return parser
+
+
+def _add_app_argument(subparser: argparse.ArgumentParser) -> None:
+    from repro.apps.registry import APP_NAMES
+    subparser.add_argument(
+        "--app", default="teastore", choices=APP_NAMES,
+        help="application under test (default: teastore)")
 
 
 def _add_scale_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -271,6 +293,8 @@ def _settings_for(args: argparse.Namespace,
         overrides["preset"] = "rome-2s"  # E10 needs two NUMA nodes
     if args.users is not None:
         overrides["users"] = args.users
+    if getattr(args, "app", "teastore") != "teastore":
+        overrides["app"] = args.app
     if getattr(args, "cohort_factor", 1) != 1:
         overrides["cohort_factor"] = args.cohort_factor
     if getattr(args, "shards", 1) != 1:
@@ -303,6 +327,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             print(machine.describe())
         return 0
 
+    if args.command == "apps":
+        return _run_apps(args)
+
     if args.command == "sweep":
         return _run_sweeps(args)
 
@@ -333,6 +360,33 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         from repro.experiments.figures import write_figures
         written = write_figures(results, args.figures)
         print(f"{len(written)} figures written to {args.figures}")
+    return 0
+
+
+def _run_apps(args: argparse.Namespace) -> int:
+    """The ``repro apps`` verb: bundled spec listing and lint gate."""
+    from repro.apps.registry import APP_NAMES, get_app, verify_bundled
+
+    if args.validate:
+        problems = verify_bundled()
+        for problem in problems:
+            print(f"SPEC PROBLEM: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{len(APP_NAMES)} bundled specs validated: "
+              f"{', '.join(APP_NAMES)}")
+        return 0
+    if args.json is not None:
+        print(get_app(args.json).dumps(), end="")
+        return 0
+    for name in APP_NAMES:
+        spec = get_app(name)
+        roles = ", ".join(f"{role}={service}"
+                          for role, service in sorted(spec.chaos_targets.items()))
+        print(f"{name:10s} {len(spec.services):2d} services  "
+              f"sessions: {', '.join(s.name for s in spec.sessions)}")
+        print(f"{'':10s} {spec.description}")
+        print(f"{'':10s} chaos roles: {roles}")
     return 0
 
 
@@ -414,11 +468,14 @@ def _run_chaos(args: argparse.Namespace) -> int:
     )
 
     if args.list_scenarios:
-        for scenario in catalog.builtin_catalog():
+        app = (None if args.app == "teastore"
+               else _settings_for(args, "chaos").application())
+        for scenario in catalog.builtin_catalog(app):
             faults = (", ".join(str(f["kind"]) for f in scenario.faults)
                       or "none")
             print(f"{scenario.name:18s} {scenario.bottleneck_class:26s} "
-                  f"target={scenario.target:14s} faults={faults}")
+                  f"target={scenario.target:14s} "
+                  f"({scenario.target_for(app)}) faults={faults}")
             print(f"{'':18s} {scenario.description}")
         return 0
 
@@ -428,9 +485,13 @@ def _run_chaos(args: argparse.Namespace) -> int:
         settings = ExperimentSettings.from_dict(artifact["settings"])
         payloads = artifact["payloads"]
         reports = campaign.cascades_from_payloads(payloads)
+        graded_catalog = catalog.builtin_catalog(
+            None if settings.app == "teastore"
+            else settings.application())
         failed = False
         for payload, report in zip(payloads, reports):
-            scenario = catalog.scenario_by_name(payload["scenario"])
+            scenario = catalog.scenario_by_name(payload["scenario"],
+                                                graded_catalog)
             grade = grading.grade_scenario(
                 scenario, report,
                 error_rate=float(payload["error_rate"]),
@@ -491,21 +552,23 @@ def _run_perfbench(args: argparse.Namespace) -> int:
         return 0
     if args.profile:
         for name in perfbench._resolve_names(args.mode, args.slices,
-                                             args.extended):
-            print(perfbench.profile_slice(args.mode, name, top=args.top))
+                                             args.extended, args.app):
+            print(perfbench.profile_slice(args.mode, name, top=args.top,
+                                          app=args.app))
         return 0
     if args.mem:
         return _run_membench(args)
     results = perfbench.run_perfbench(
         args.mode, slices=args.slices, repeat=args.repeat,
-        extended=args.extended, progress=print)
+        extended=args.extended, progress=print, app=args.app)
     if args.out:
         entry = perfbench.trajectory_entry(results, args.mode,
-                                           label=args.label)
+                                           label=args.label, app=args.app)
         perfbench.append_trajectory(args.out, entry)
         print(f"perf trajectory appended to {args.out}")
     if args.check is not None:
-        baseline = perfbench.baseline_entry(args.check, args.mode)
+        baseline = perfbench.baseline_entry(args.check, args.mode,
+                                            app=args.app)
         threshold = (args.threshold if args.threshold is not None
                      else perfbench.DEFAULT_THRESHOLD)
         failures = perfbench.check_against_baseline(results, baseline,
@@ -525,15 +588,15 @@ def _run_membench(args: argparse.Namespace) -> int:
 
     results = perfbench.run_membench(
         args.mode, slices=args.slices, extended=args.extended,
-        progress=print)
+        progress=print, app=args.app)
     if args.out:
         entry = perfbench.memory_entry(results, args.mode,
-                                       label=args.label)
+                                       label=args.label, app=args.app)
         perfbench.append_trajectory(args.out, entry)
         print(f"memory trajectory appended to {args.out}")
     if args.check is not None:
         baseline = perfbench.baseline_entry(args.check, args.mode,
-                                            metric="mem")
+                                            metric="mem", app=args.app)
         threshold = (args.threshold if args.threshold is not None
                      else perfbench.DEFAULT_MEM_THRESHOLD)
         failures = perfbench.check_memory_against_baseline(

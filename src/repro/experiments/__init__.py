@@ -21,6 +21,7 @@ output next to the paper's claims.
 | E11 | :mod:`~repro.experiments.e11_latency_breakdown` | traced latency decomposition (extension) |
 | E12 | :mod:`~repro.experiments.e12_colocation` | batch-neighbor co-location (extension) |
 | E13 | :mod:`~repro.experiments.e13_fault_tolerance` | fault-tolerance matrix (extension) |
+| E14 | :mod:`~repro.experiments.e14_cross_app` | cross-application scale-up comparison (extension) |
 | A1..A4 | :mod:`~repro.experiments.ablations` | design-choice ablations |
 
 Each module also registers a *sweep provider* with

@@ -6,6 +6,8 @@ import dataclasses
 import typing as t
 
 from repro._errors import ConfigurationError
+from repro.apps.runtime import Application, deploy_application
+from repro.apps.spec import ApplicationSpec
 from repro.memory.config import MemoryConfig
 from repro.placement.allocation import Allocation
 from repro.services.deployment import Deployment
@@ -41,6 +43,8 @@ class ExperimentSettings:
     #: Deployment shards the population is partitioned across (1 = the
     #: classic single-deployment run; see :mod:`repro.scale`).
     shards: int = 1
+    #: The application under test (a :mod:`repro.apps` registry name).
+    app: str = "teastore"
     memory_config: MemoryConfig = dataclasses.field(
         default_factory=MemoryConfig)
 
@@ -92,6 +96,20 @@ class ExperimentSettings:
             values = {}
         values.update(overrides)
         return TeaStoreConfig(**values)
+
+    def application(self) -> ApplicationSpec:
+        """The active application's spec, sized for this machine.
+
+        TeaStore flows through :meth:`store_config`, so its calibration
+        knobs keep working; the other bundled applications carry their
+        fast-preset sizing in the spec itself.
+        """
+        if self.app == "teastore":
+            from repro.apps.teastore_app import teastore_app
+            return teastore_app(self.store_config())
+        from repro.apps.registry import get_app
+        return get_app(self.app,
+                       fast=self.preset in ("medium", "small", "tiny"))
 
 
 @dataclasses.dataclass
@@ -176,8 +194,14 @@ def run_store(settings: ExperimentSettings,
               seed: int | None = None,
               smt_model: t.Any | None = None,
               frequency_model: t.Any | None = None,
-              ) -> tuple[RunResult, Deployment, TeaStore]:
-    """Deploy TeaStore per ``allocation`` and measure one browse-load run.
+              ) -> tuple[RunResult, Deployment, Application]:
+    """Deploy the active application and measure one default-load run.
+
+    TeaStore deploys per ``allocation``/``store_config`` under the
+    browse profile; other applications (``settings.app``) deploy their
+    spec sizing under their default session profile — the
+    allocation/store-config overrides are TeaStore-specific and raise
+    for them.
 
     With ``settings.shards > 1`` the run is partitioned across shard
     deployments by :func:`repro.scale.executor.run_sharded`; the merged
@@ -186,6 +210,11 @@ def run_store(settings: ExperimentSettings,
     tuned-baseline path only — machine/placement overrides require
     ``shards == 1``.
     """
+    if settings.app != "teastore" and (allocation is not None
+                                       or store_config is not None):
+        raise ConfigurationError(
+            f"allocation/store_config overrides are TeaStore-specific; "
+            f"application {settings.app!r} does not support them")
     if settings.shards > 1:
         if any(override is not None
                for override in (machine, online, allocation, store_config,
@@ -206,11 +235,16 @@ def run_store(settings: ExperimentSettings,
         counter_sink=counter_sink,
         smt_model=smt_model,
         frequency_model=frequency_model)
-    config = store_config or settings.store_config()
-    placement = allocation.as_placement() if allocation is not None else None
-    store = build_teastore(deployment, config, placement=placement)
+    if settings.app == "teastore":
+        config = store_config or settings.store_config()
+        placement = (allocation.as_placement()
+                     if allocation is not None else None)
+        store: Application = build_teastore(deployment, config,
+                                            placement=placement)
+    else:
+        store = deploy_application(deployment, settings.application())
     workload = closed_workload(
-        deployment, store.browse_session_factory(),
+        deployment, store.session_factory(),
         n_users=users if users is not None else settings.users,
         think_time=settings.think_time,
         cohort_factor=settings.cohort_factor)
@@ -220,13 +254,29 @@ def run_store(settings: ExperimentSettings,
     return result, deployment, store
 
 
+def build_application(settings: ExperimentSettings,
+                      deployment: Deployment) -> Application:
+    """Deploy the active application, untuned, on ``deployment``."""
+    if settings.app == "teastore":
+        return build_teastore(deployment, settings.store_config())
+    return deploy_application(deployment, settings.application())
+
+
 def default_counts(settings: ExperimentSettings,
                    store_config: TeaStoreConfig | None = None
                    ) -> dict[str, int]:
-    """The tuned-baseline replica counts for this settings profile."""
-    config = store_config or settings.store_config()
-    from repro.teastore.catalog import SERVICE_NAMES
-    return {name: config.replica_count(name) for name in SERVICE_NAMES}
+    """The tuned-baseline replica counts for this settings profile.
+
+    Snapshotted from the active application's services rather than the
+    TeaStore service-name constant, so non-TeaStore graphs report their
+    own services.
+    """
+    if store_config is not None:
+        from repro.apps.teastore_app import teastore_app
+        spec = teastore_app(store_config)
+    else:
+        spec = settings.application()
+    return {service.name: service.replicas for service in spec.services}
 
 
 def percent(value: float) -> float:

@@ -1,0 +1,160 @@
+"""E14 — Cross-application scale-up characterization (extension).
+
+Re-runs the E2-style load ladder on every bundled application
+(:data:`repro.apps.APP_NAMES`) through the same tuned-baseline
+``run_store`` path, then reports the knee, the peak, and the fitted USL
+coefficients of each service graph side by side.  The paper
+characterizes exactly one application; this experiment asks how much of
+its scale-up story is TeaStore-specific: a deeper call graph (Online
+Boutique's checkout chain) or a write-coupled storage tier (the social
+network's post storage) moves the knee and the coherency coefficient
+even under the identical machine, scheduler, and workload harness.
+
+One sweep point per (application, population) pair, so ``repro sweep
+e14`` parallelizes and caches across the full grid.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+from repro.analysis.usl import fit_usl
+from repro.apps.registry import APP_NAMES
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    Row,
+    run_store,
+)
+from repro.orchestrator import plan
+
+TITLE = "Cross-application scale-up: knees & USL per service graph"
+
+#: Load ladder for the paper-scale machine (matches E2's grid).
+DEFAULT_USER_COUNTS = (125, 250, 500, 1000, 2000, 3000)
+
+#: Load ladder for the small presets (four points keep the golden
+#: suite fast; the USL fit needs at least three).
+FAST_USER_COUNTS = (25, 50, 100, 200)
+
+
+def run(settings: ExperimentSettings | None = None,
+        apps: t.Sequence[str] | None = None,
+        user_counts: t.Sequence[int] | None = None) -> ExperimentResult:
+    """One summary row per application."""
+    settings = settings or ExperimentSettings()
+    points = sweep_points(settings, apps, user_counts)
+    return assemble_sweep(settings,
+                          [run_sweep_point(point) for point in points])
+
+
+def sweep_points(settings: ExperimentSettings,
+                 apps: t.Sequence[str] | None = None,
+                 user_counts: t.Sequence[int] | None = None
+                 ) -> list[plan.SweepPoint]:
+    """One independent point per (application, population) pair.
+
+    When the caller pinned ``settings.app`` to a non-default
+    application, only that application's ladder runs; otherwise the
+    whole bundled family is characterized.
+    """
+    if apps is None:
+        apps = ((settings.app,) if settings.app != "teastore"
+                else APP_NAMES)
+    if user_counts is None:
+        user_counts = (DEFAULT_USER_COUNTS
+                       if settings.preset.startswith("rome")
+                       else FAST_USER_COUNTS)
+    points = []
+    index = 0
+    for app in apps:
+        for users in user_counts:
+            points.append(plan.SweepPoint(
+                "e14", index, "load", f"{app}/users={users}",
+                settings, params=(("app", str(app)),
+                                  ("users", int(users)))))
+            index += 1
+    return points
+
+
+def run_sweep_point(point: plan.SweepPoint) -> plan.Payload:
+    """Measure one (application, population) cell."""
+    app = t.cast(str, point.param("app"))
+    users = t.cast(int, point.param("users"))
+    settings = dataclasses.replace(point.settings, app=app)
+    result, __, store = run_store(settings, users=users)
+    return {
+        "app": app,
+        "users": users,
+        "services": len(store.replica_counts()),
+        "throughput_rps": result.throughput,
+        "latency_p99_ms": result.latency_p99 * 1e3,
+        "machine_util": result.machine_utilization,
+    }
+
+
+def _knee(user_levels: t.Sequence[int],
+          throughputs: t.Sequence[float]) -> tuple[int, float]:
+    """The saturation knee: first population within 95% of the peak."""
+    peak = max(throughputs, default=0.0)
+    for users, throughput in zip(user_levels, throughputs):
+        if throughput > 0.95 * peak:
+            return users, peak
+    return user_levels[-1], peak
+
+
+def assemble_sweep(settings: ExperimentSettings,
+                   payloads: t.Sequence[plan.Payload]) -> ExperimentResult:
+    """Fold per-cell payloads into the side-by-side application table."""
+    by_app: dict[str, list[plan.Payload]] = {}
+    for payload in payloads:
+        by_app.setdefault(t.cast(str, payload["app"]), []).append(payload)
+    rows: list[Row] = []
+    notes: list[str] = []
+    knees: dict[str, int] = {}
+    kappas: dict[str, float] = {}
+    for app, cells in by_app.items():
+        user_levels = [t.cast(int, c["users"]) for c in cells]
+        throughputs = [t.cast(float, c["throughput_rps"]) for c in cells]
+        knee_users, peak = _knee(user_levels, throughputs)
+        fit = fit_usl([float(u) for u in user_levels], throughputs)
+        n_star = fit.peak_concurrency()
+        rows.append({
+            "app": app,
+            "services": cells[0]["services"],
+            "points": len(cells),
+            "peak_rps": peak,
+            "knee_users": knee_users,
+            "p99_at_knee_ms": next(
+                t.cast(float, c["latency_p99_ms"]) for c in cells
+                if c["users"] == knee_users),
+            "usl_lambda": fit.lambda_,
+            "usl_sigma": fit.sigma,
+            "usl_kappa": fit.kappa,
+            "usl_r2": fit.r_squared,
+            "usl_peak_n": (-1.0 if math.isinf(n_star) else n_star),
+        })
+        knees[app] = knee_users
+        kappas[app] = fit.kappa
+        curve = ", ".join(f"{u}:{x:.0f}"
+                          for u, x in zip(user_levels, throughputs))
+        notes.append(f"{app}: load curve (users:rps) {curve}")
+    if len(by_app) > 1:
+        first = next(iter(knees))
+        deltas = []
+        for app in knees:
+            if app == first:
+                continue
+            ratio = knees[app] / knees[first] if knees[first] else 0.0
+            deltas.append(f"{app} knee at {ratio:.2f}x {first}'s")
+        most_coherent = max(kappas, key=lambda a: kappas[a])
+        notes.append(
+            "topology sensitivity: " + "; ".join(deltas)
+            + f"; highest coherency penalty (USL kappa): {most_coherent}")
+    return ExperimentResult("E14", TITLE, rows, notes=notes)
+
+
+plan.register_sweep("e14", TITLE, points=sweep_points,
+                    run_point=run_sweep_point, assemble=assemble_sweep)

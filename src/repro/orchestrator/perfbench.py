@@ -242,11 +242,17 @@ class SliceResult:
         return payload
 
 
-def slice_points(mode: str, name: str) -> list[plan_mod.SweepPoint]:
-    """Resolve one slice's sweep points from its experiment's plan."""
+def slice_points(mode: str, name: str,
+                 app: str = "teastore") -> list[plan_mod.SweepPoint]:
+    """Resolve one slice's sweep points from its experiment's plan.
+
+    ``app`` retargets the slice's settings at another bundled
+    application; the default is the TeaStore numbers every committed
+    baseline was recorded on.
+    """
     extended = _EXTENDED_SLICES.get(mode, {}).get(name)
     if extended is not None:
-        return extended.build()
+        return _retarget(extended.build(), app)
     try:
         experiment, labels, settings_factory = _SLICES[mode][name]
     except KeyError:
@@ -263,13 +269,25 @@ def slice_points(mode: str, name: str) -> list[plan_mod.SweepPoint]:
         raise ConfigurationError(
             f"perf slice {name!r}: labels {missing} not in the "
             f"{experiment} plan ({sorted(by_label)})")
-    return [by_label[label] for label in labels]
+    return _retarget([by_label[label] for label in labels], app)
+
+
+def _retarget(points: "list[plan_mod.SweepPoint]",
+              app: str) -> "list[plan_mod.SweepPoint]":
+    """Re-point a slice's settings at ``app`` (no-op for TeaStore)."""
+    if app == "teastore":
+        return points
+    return [dataclasses.replace(
+                point,
+                settings=dataclasses.replace(point.settings, app=app))
+            for point in points]
 
 
 def time_slice(mode: str, name: str,
-               repeat: int | None = None) -> SliceResult:
+               repeat: int | None = None,
+               app: str = "teastore") -> SliceResult:
     """Execute one slice ``repeat`` times and keep every wall time."""
-    points = slice_points(mode, name)
+    points = slice_points(mode, name, app)
     if repeat is None:
         slice_spec = _EXTENDED_SLICES.get(mode, {}).get(name)
         repeat = (slice_spec.repeat
@@ -288,13 +306,18 @@ def time_slice(mode: str, name: str,
 
 
 def _resolve_names(mode: str, slices: t.Sequence[str] | None,
-                   extended: bool) -> list[str]:
+                   extended: bool, app: str = "teastore") -> list[str]:
     if mode not in _SLICES:
         raise ConfigurationError(
             f"unknown perfbench mode {mode!r}; choose from "
             f"{sorted(_SLICES)}")
     if slices is not None:
         return list(slices)
+    if app != "teastore":
+        # Only the plain load slice transfers across applications: E8's
+        # optimized allocation and E13's fault schedule are
+        # TeaStore-specific.
+        return ["e2"]
     names = sorted(_SLICES[mode])
     if extended:
         names += sorted(_EXTENDED_SLICES.get(mode, {}))
@@ -305,13 +328,14 @@ def run_perfbench(mode: str = "smoke",
                   slices: t.Sequence[str] | None = None,
                   repeat: int | None = None,
                   extended: bool = False,
-                  progress: t.Callable[[str], None] | None = None
-                  ) -> list[SliceResult]:
-    """Time every requested slice (default: all three)."""
+                  progress: t.Callable[[str], None] | None = None,
+                  app: str = "teastore") -> list[SliceResult]:
+    """Time every requested slice (default: all three; ``e2`` only
+    for non-TeaStore applications)."""
     backend = kernel_mod.active_backend()
     results = []
-    for name in _resolve_names(mode, slices, extended):
-        result = time_slice(mode, name, repeat=repeat)
+    for name in _resolve_names(mode, slices, extended, app):
+        result = time_slice(mode, name, repeat=repeat, app=app)
         results.append(result)
         if progress is not None:
             progress(f"slice {name} [{backend}]: "
@@ -320,7 +344,8 @@ def run_perfbench(mode: str = "smoke",
     return results
 
 
-def profile_slice(mode: str, name: str, top: int = 20) -> str:
+def profile_slice(mode: str, name: str, top: int = 20,
+                  app: str = "teastore") -> str:
     """Run one slice once under :mod:`cProfile`; return the top-``top``
     functions by cumulative time as a printable report.
 
@@ -335,7 +360,7 @@ def profile_slice(mode: str, name: str, top: int = 20) -> str:
 
     if top < 1:
         raise ConfigurationError(f"top must be >= 1: {top}")
-    points = slice_points(mode, name)
+    points = slice_points(mode, name, app)
     for point in points:
         execute_point(point)
     profiler = cProfile.Profile()
@@ -374,14 +399,15 @@ class MemSliceResult:
         return payload
 
 
-def profile_slice_memory(mode: str, name: str) -> MemSliceResult:
+def profile_slice_memory(mode: str, name: str,
+                         app: str = "teastore") -> MemSliceResult:
     """Run one slice under tracemalloc and report its allocation peak.
 
     ``ru_maxrss`` is the whole process's monotone high-water mark — it
     contextualizes the traced peak but only the traced number is gated,
     because it resets per slice.
     """
-    points = slice_points(mode, name)
+    points = slice_points(mode, name, app)
     tracemalloc.start()
     try:
         for point in points:
@@ -397,12 +423,13 @@ def profile_slice_memory(mode: str, name: str) -> MemSliceResult:
 def run_membench(mode: str = "smoke",
                  slices: t.Sequence[str] | None = None,
                  extended: bool = False,
-                 progress: t.Callable[[str], None] | None = None
-                 ) -> list[MemSliceResult]:
-    """Memory-profile every requested slice (default: all three)."""
+                 progress: t.Callable[[str], None] | None = None,
+                 app: str = "teastore") -> list[MemSliceResult]:
+    """Memory-profile every requested slice (default: all three;
+    ``e2`` only for non-TeaStore applications)."""
     results = []
-    for name in _resolve_names(mode, slices, extended):
-        result = profile_slice_memory(mode, name)
+    for name in _resolve_names(mode, slices, extended, app):
+        result = profile_slice_memory(mode, name, app)
         results.append(result)
         if progress is not None:
             progress(f"slice {name}: peak "
@@ -412,11 +439,17 @@ def run_membench(mode: str = "smoke",
 
 
 def _entry_header(mode: str, metric: str,
-                  label: str | None) -> dict[str, t.Any]:
+                  label: str | None,
+                  app: str = "teastore") -> dict[str, t.Any]:
     return {
         "label": label or "",
         "mode": mode,
         "metric": metric,
+        # The application the slices ran against: trajectories from
+        # different service graphs are never comparable, so the gate
+        # (baseline_entry) only matches same-app entries.  Entries
+        # recorded before application specs existed were all TeaStore.
+        "app": app,
         # Which event-loop backend produced the numbers: trajectories
         # from different kernels are never comparable, so the gate
         # (baseline_entry) only matches same-kernel entries.
@@ -427,17 +460,19 @@ def _entry_header(mode: str, metric: str,
 
 
 def trajectory_entry(results: t.Sequence[SliceResult], mode: str,
-                     label: str | None = None) -> dict[str, t.Any]:
+                     label: str | None = None,
+                     app: str = "teastore") -> dict[str, t.Any]:
     """One wall-clock trajectory entry as a JSON-native dict."""
-    entry = _entry_header(mode, "wall", label)
+    entry = _entry_header(mode, "wall", label, app)
     entry["slices"] = {result.name: result.to_dict() for result in results}
     return entry
 
 
 def memory_entry(results: t.Sequence[MemSliceResult], mode: str,
-                 label: str | None = None) -> dict[str, t.Any]:
+                 label: str | None = None,
+                 app: str = "teastore") -> dict[str, t.Any]:
     """One memory trajectory entry as a JSON-native dict."""
-    entry = _entry_header(mode, "mem", label)
+    entry = _entry_header(mode, "mem", label, app)
     entry["slices"] = {result.name: result.to_dict() for result in results}
     return entry
 
@@ -492,7 +527,8 @@ def append_trajectory(path: str | pathlib.Path,
 
 def baseline_entry(path: str | pathlib.Path, mode: str,
                    metric: str = "wall",
-                   kernel: str | None = None) -> dict[str, t.Any]:
+                   kernel: str | None = None,
+                   app: str = "teastore") -> dict[str, t.Any]:
     """The newest ``(mode, metric, kernel)`` entry in a committed artifact.
 
     ``kernel`` defaults to the *active* backend: a compiled-kernel run is
@@ -501,7 +537,9 @@ def baseline_entry(path: str | pathlib.Path, mode: str,
     regressions or fail every pure-Python fallback run.  Entries
     recorded before backends existed carry no ``kernel`` field and were
     all pure-Python; they match ``kernel="python"``.  v1 entries carry
-    no ``metric`` field and are treated as wall-clock.
+    no ``metric`` field and are treated as wall-clock.  ``app``
+    likewise only matches same-application entries; entries recorded
+    before application specs existed were all TeaStore.
     """
     if kernel is None:
         kernel = kernel_mod.active_backend()
@@ -509,11 +547,12 @@ def baseline_entry(path: str | pathlib.Path, mode: str,
     entries = [entry for entry in payload.get("trajectory", [])
                if entry.get("mode") == mode
                and entry.get("metric", "wall") == metric
-               and entry.get("kernel", "python") == kernel]
+               and entry.get("kernel", "python") == kernel
+               and entry.get("app", "teastore") == app]
     if not entries:
         raise ConfigurationError(
             f"{path} has no {metric} trajectory entry for mode {mode!r} "
-            f"on kernel backend {kernel!r}")
+            f"on kernel backend {kernel!r} and application {app!r}")
     return entries[-1]
 
 

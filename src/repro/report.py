@@ -52,6 +52,10 @@ def build_report(results: t.Sequence[ExperimentResult],
         if result.experiment.lower() == "chaos" and result.rows:
             lines.append(chaos_section(result))
             break
+    for result in results:
+        if result.experiment.lower() == "e14" and len(result.rows) > 1:
+            lines.append(cross_application_section(result))
+            break
     if sweep_stats:
         lines.append(sweep_section(sweep_stats))
     return "\n".join(lines)
@@ -119,6 +123,35 @@ def chaos_section(result: ExperimentResult) -> str:
                if ": " in note and not note.startswith("verdicts:")]
     for reason in reasons:
         lines.append(f"* {reason}")
+    return "\n".join(lines) + "\n"
+
+
+def cross_application_section(result: ExperimentResult) -> str:
+    """A side-by-side digest of the E14 family: how each service graph's
+    knee and USL coefficients sit relative to TeaStore's."""
+    reference = result.rows[0]
+    ref_app = t.cast(str, reference["app"])
+    ref_knee = t.cast(int, reference["knee_users"])
+    ref_peak = t.cast(float, reference["peak_rps"])
+    lines = ["## Cross-application scale-up digest", ""]
+    lines.append(f"| app | services | knee (users) | vs {ref_app} "
+                 "| peak (rps) | USL sigma | USL kappa |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for row in result.rows:
+        knee = t.cast(int, row["knee_users"])
+        relative = (f"{knee / ref_knee:.2f}x" if ref_knee else "n/a")
+        lines.append(
+            f"| {row['app']} | {row['services']} | {knee} | {relative} "
+            f"| {t.cast(float, row['peak_rps']):.0f} "
+            f"| {t.cast(float, row['usl_sigma']):.4f} "
+            f"| {t.cast(float, row['usl_kappa']):.6f} |")
+    lines.append("")
+    lines.append(f"* knees are the first population within 95% of each "
+                 f"app's own peak; {ref_app} peaks at ~{ref_peak:.0f} rps "
+                 f"on this machine")
+    for note in result.notes:
+        if note.startswith("topology sensitivity"):
+            lines.append(f"* {note}")
     return "\n".join(lines) + "\n"
 
 

@@ -2,13 +2,15 @@
 
 The driver (:func:`run_sharded`) models cluster scale-out: the user
 population is partitioned into contiguous shards (see
-:mod:`repro.scale.plan`), each shard runs a complete TeaStore
-deployment over the same warmup/measure timeline, and the shards are
+:mod:`repro.scale.plan`), each shard runs a complete deployment of the
+active application (``settings.app``; TeaStore by default) over the
+same warmup/measure timeline, and the shards are
 coupled at the shared-resource tier through the conservative window
 synchronization in :mod:`repro.scale.sync`:
 
 * **round 0** runs every shard uncoupled and records per-window demand
-  at the shared services (Persistence/DB) and the registry;
+  at the shared services (Persistence/DB for TeaStore; the spec's
+  ``shared_services`` otherwise) and the registry;
 * the driver merges the profiles into per-shard inflation schedules;
 * the **measured round** replays the same seeds with the schedules
   applied through ``ServiceInstance.demand_factor``, and its per-shard
@@ -21,7 +23,7 @@ process pool exactly like ``repro sweep`` (``jobs`` or the
 synthetic :class:`~repro.orchestrator.plan.SweepPoint` so the
 content-addressed :class:`~repro.orchestrator.cache.ResultCache` can
 replay unchanged shards for free.  Shard 0's final round always runs in
-the driver process so callers get live ``Deployment``/``TeaStore``
+the driver process so callers get live ``Deployment``/``Application``
 objects back, mirroring the single-process ``run_store`` contract.
 
 Every payload is JSON-native and every merge folds shard payloads in
@@ -38,7 +40,8 @@ import os
 import typing as t
 
 from repro._errors import ConfigurationError
-from repro.experiments.common import ExperimentSettings
+from repro.apps.runtime import Application
+from repro.experiments.common import ExperimentSettings, build_application
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.utilization import UtilizationProbe
 from repro.scale.plan import (
@@ -54,7 +57,6 @@ from repro.scale.sync import (
     merge_demand,
 )
 from repro.services.deployment import Deployment
-from repro.teastore.store import TeaStore, build_teastore
 from repro.tracing.collector import SpanTable, TraceCollector
 from repro.workload.cohorts import CohortWorkload
 from repro.workload.runner import RunResult
@@ -93,7 +95,7 @@ def run_shard(task: ShardTask) -> Payload:
 
 
 def _run_shard_objects(task: ShardTask
-                       ) -> tuple[Payload, Deployment, TeaStore,
+                       ) -> tuple[Payload, Deployment, Application,
                                   TraceCollector | None]:
     """One shard round, returning the live objects alongside the payload.
 
@@ -106,8 +108,8 @@ def _run_shard_objects(task: ShardTask
     settings = task.settings
     deployment = Deployment(settings.machine(), seed=task.seed,
                             memory_config=settings.memory_config)
-    store = build_teastore(deployment, settings.store_config())
-    workload = CohortWorkload(deployment, store.browse_session_factory(),
+    store = build_application(settings, deployment)
+    workload = CohortWorkload(deployment, store.session_factory(),
                               n_users=task.spec.n_users,
                               think_time=settings.think_time,
                               cohorts=task.spec.cohorts)
@@ -212,7 +214,7 @@ def _execute_round(tasks: list[ShardTask], round_index: int, users: int,
                    seed: int, config: ScaleConfig, jobs: int,
                    cache: "ResultCache | None", keep_objects: bool
                    ) -> tuple[list[Payload], Deployment | None,
-                              TeaStore | None, TraceCollector | None]:
+                              Application | None, TraceCollector | None]:
     """Run one round of every shard; returns payloads in shard order.
 
     With ``keep_objects`` (the final round) shard 0 always executes in
@@ -244,7 +246,7 @@ def _execute_round(tasks: list[ShardTask], round_index: int, users: int,
         for i in pending:
             payloads[i] = run_shard(tasks[i])
     deployment: Deployment | None = None
-    store: TeaStore | None = None
+    store: Application | None = None
     tracer: TraceCollector | None = None
     if keep_objects:
         payloads[0], deployment, store, tracer = _run_shard_objects(tasks[0])
@@ -326,7 +328,7 @@ class ScaleOutcome:
     #: Shard 0's live deployment (executed in the driver process).
     deployment: Deployment
     #: Shard 0's live store.
-    store: TeaStore
+    store: Application
     #: The partitioning and sync grid that ran.
     plan: ShardPlan
     #: Demand totals, factor schedules, and registry telemetry.
@@ -344,10 +346,11 @@ def run_sharded(settings: ExperimentSettings,
                 jobs: int | None = None,
                 cache: "ResultCache | None" = None,
                 trace: bool = False) -> ScaleOutcome:
-    """Run one browse-load measurement as a sharded cluster.
+    """Run one default-session measurement as a sharded cluster.
 
     ``config`` defaults to the settings' ``shards``/``cohort_factor``
-    with the standard coupling model; ``jobs`` defaults to the
+    with the standard coupling model (shared services come from the
+    active application's spec for non-TeaStore apps); ``jobs`` defaults to the
     ``REPRO_SCALE_JOBS`` environment variable (else sequential).  The
     result is deterministic for fixed ``(settings, users, seed,
     config)`` regardless of ``jobs`` and cache state.
@@ -355,8 +358,12 @@ def run_sharded(settings: ExperimentSettings,
     users = settings.users if users is None else users
     seed = settings.seed if seed is None else seed
     if config is None:
-        config = ScaleConfig(shards=settings.shards,
-                             cohort_factor=settings.cohort_factor)
+        values: dict[str, t.Any] = dict(shards=settings.shards,
+                                        cohort_factor=settings.cohort_factor)
+        if settings.app != "teastore":
+            values["shared_services"] = \
+                settings.application().shared_services
+        config = ScaleConfig(**values)
     if jobs is None:
         jobs = int(os.environ.get(JOBS_ENV, "1") or "1")
     plan = plan_shards(users, config, settings.warmup, settings.duration)
@@ -381,7 +388,7 @@ def run_sharded(settings: ExperimentSettings,
     demand_profiles: list[dict[str, list[int]]] = []
     lookup_profiles: list[list[int]] = []
     deployment: Deployment | None = None
-    store: TeaStore | None = None
+    store: Application | None = None
     for round_index in range(config.sync_rounds + 1):
         final = round_index == config.sync_rounds
         tasks = tasks_for(factors, trace and final)
@@ -404,5 +411,5 @@ def run_sharded(settings: ExperimentSettings,
              if trace else None)
     return ScaleOutcome(result=result,
                         deployment=t.cast(Deployment, deployment),
-                        store=t.cast(TeaStore, store), plan=plan,
+                        store=t.cast(Application, store), plan=plan,
                         sync=report, shard_payloads=payloads, spans=spans)

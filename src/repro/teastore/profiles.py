@@ -10,15 +10,16 @@ request mix, not the paper's conclusions.
 
 from __future__ import annotations
 
-import typing as t
+from repro.workload.sessions import MarkovSessionProfile, Transitions
 
-from repro._errors import WorkloadError
-
-if t.TYPE_CHECKING:  # pragma: no cover
-    from repro.services.deployment import Deployment
-
-#: state → list of (next_state, probability).
-Transitions = t.Mapping[str, t.Sequence[tuple[str, float]]]
+__all__ = [
+    "BROWSE_TRANSITIONS",
+    "BUY_TRANSITIONS",
+    "MarkovSessionProfile",
+    "Transitions",
+    "browse_profile",
+    "buy_profile",
+]
 
 #: The reconstructed TeaStore "browse" profile.
 BROWSE_TRANSITIONS: dict[str, list[tuple[str, float]]] = {
@@ -48,83 +49,6 @@ BUY_TRANSITIONS: dict[str, list[tuple[str, float]]] = {
     "checkout": [("logout", 0.55), ("home", 0.45)],
     "logout": [("home", 1.0)],
 }
-
-
-class MarkovSessionProfile:
-    """A user-session generator driven by a Markov chain over endpoints.
-
-    Each state is an endpoint of ``service`` (WebUI for TeaStore).  Users
-    walk independent chains on their own random streams, so traces are
-    reproducible per (seed, user).
-    """
-
-    def __init__(self, transitions: Transitions, start: str = "home",
-                 service: str = "webui"):
-        self.service = service
-        self.start = start
-        self.transitions = {state: list(nexts)
-                            for state, nexts in transitions.items()}
-        self._validate()
-        self._targets = {state: [target for target, __ in nexts]
-                         for state, nexts in self.transitions.items()}
-        self._weights = {state: [weight for __, weight in nexts]
-                         for state, nexts in self.transitions.items()}
-
-    def _validate(self) -> None:
-        if self.start not in self.transitions:
-            raise WorkloadError(
-                f"start state {self.start!r} has no transitions")
-        for state, nexts in self.transitions.items():
-            if not nexts:
-                raise WorkloadError(f"state {state!r} has no successors")
-            total = sum(weight for __, weight in nexts)
-            if abs(total - 1.0) > 1e-9:
-                raise WorkloadError(
-                    f"state {state!r}: probabilities sum to {total}, not 1")
-            for target, weight in nexts:
-                if weight < 0:
-                    raise WorkloadError(
-                        f"state {state!r}: negative probability for "
-                        f"{target!r}")
-                if target not in self.transitions:
-                    raise WorkloadError(
-                        f"state {state!r} references unknown state "
-                        f"{target!r}")
-
-    @property
-    def states(self) -> list[str]:
-        """All endpoint states, sorted."""
-        return sorted(self.transitions)
-
-    def session_factory(self, deployment: "Deployment"):
-        """Bind to a deployment; returns a workload session factory."""
-        def factory(user_id: int) -> t.Iterator[tuple[str, str, object]]:
-            return self._walk(deployment, user_id)
-        return factory
-
-    def _walk(self, deployment: "Deployment",
-              user_id: int) -> t.Iterator[tuple[str, str, object]]:
-        stream = f"session.{user_id}"
-        state = self.start
-        while True:
-            yield (self.service, state, None)
-            index = deployment.streams.choice_index(stream,
-                                                    self._weights[state])
-            state = self._targets[state][index]
-
-    def stationary_mix(self, n_steps: int = 100_000, seed: int = 0,
-                       deployment: "Deployment | None" = None) -> dict[str, float]:
-        """Empirical endpoint mix over a long walk (for tests/analysis)."""
-        import numpy as np
-        rng = np.random.default_rng(seed)
-        counts = {state: 0 for state in self.transitions}
-        state = self.start
-        for __ in range(n_steps):
-            counts[state] += 1
-            weights = np.asarray(self._weights[state])
-            state = self._targets[state][
-                int(rng.choice(len(weights), p=weights / weights.sum()))]
-        return {state: count / n_steps for state, count in counts.items()}
 
 
 def browse_profile() -> MarkovSessionProfile:

@@ -1,4 +1,4 @@
-"""Endpoint handlers for every TeaStore service.
+"""Service specs for TeaStore, compiled from the declarative app spec.
 
 The call graph mirrors TeaStore's:
 
@@ -10,208 +10,24 @@ The call graph mirrors TeaStore's:
   cache hits cheaply and misses expensively (scale + re-encode);
 * the product page additionally consults the **Recommender**;
 * fan-out calls a real WebUI would issue concurrently run concurrently
-  (``ctx.gather``).
+  (``gather`` steps).
+
+Since the declarative-spec refactor the endpoint behaviors live as data
+in :func:`repro.apps.teastore_app.teastore_app`; this module keeps the
+historical entry point that compiles them into
+:class:`~repro.services.spec.ServiceSpec` objects.
 """
 
 from __future__ import annotations
 
-import typing as t
-
+from repro.apps.runtime import build_service_specs
+from repro.apps.teastore_app import CATEGORY_PREVIEW_IMAGES, teastore_app
 from repro.services.spec import ServiceSpec
-from repro.sim.resources import Resource
-from repro.teastore import catalog
 from repro.teastore.config import TeaStoreConfig
 
-if t.TYPE_CHECKING:  # pragma: no cover
-    from repro.services.instance import ServiceContext, ServiceInstance
-
-#: Preview images fetched per category page.
-CATEGORY_PREVIEW_IMAGES = 8
+__all__ = ["CATEGORY_PREVIEW_IMAGES", "build_specs"]
 
 
 def build_specs(config: TeaStoreConfig | None = None) -> dict[str, ServiceSpec]:
     """All six service specs with handlers bound to ``config``."""
-    config = config or TeaStoreConfig()
-    profiles = catalog.service_profiles()
-    scale = config.demand_scale
-    cv = config.demand_cv
-
-    def spec_for(name: str, **kwargs) -> ServiceSpec:
-        return ServiceSpec(name, profiles[name],
-                           workers=config.worker_count(name), **kwargs)
-
-    # ------------------------------------------------------------------
-    # Database
-    # ------------------------------------------------------------------
-    db = spec_for("db", shared_factory=lambda instance: {
-        "lock": Resource(instance.deployment.sim, 1)})
-
-    def db_handler(endpoint_name: str, serial_fraction: float):
-        stream = f"demand.db.{endpoint_name}"
-
-        def handler(ctx: "ServiceContext"):
-            cost = ctx.payload * scale  # type: ignore[operator]
-            demand = ctx.instance.deployment.streams.lognormal_mean_cv(
-                stream, cost, cv)
-            parallel_part = demand * (1.0 - serial_fraction)
-            serial_part = demand * serial_fraction
-            yield ctx.submit_demand(parallel_part)
-            lock = ctx.shared["lock"]  # type: ignore[index]
-            yield lock.acquire()
-            try:
-                yield ctx.submit_demand(serial_part)
-            finally:
-                lock.release()
-            return "rows"
-        return handler
-
-    db.add_endpoint("read",
-                    db_handler("read", config.db_read_serial_fraction))
-    db.add_endpoint("write",
-                    db_handler("write", config.db_write_serial_fraction))
-
-    # ------------------------------------------------------------------
-    # Persistence (ORM layer in front of the database)
-    # ------------------------------------------------------------------
-    persistence = spec_for("persistence")
-
-    def persistence_handler(operation: str, db_endpoint: str):
-        own_cost = catalog.PERSISTENCE[operation] * scale
-        db_cost = catalog.DB_COST[operation]
-
-        def handler(ctx: "ServiceContext"):
-            yield ctx.compute(own_cost, cv)
-            yield ctx.call("db", db_endpoint, payload=db_cost)
-            return {"entity": operation}
-        return handler
-
-    for operation in ("get_categories", "get_products", "get_product",
-                      "get_user", "get_cart"):
-        persistence.add_endpoint(operation,
-                                 persistence_handler(operation, "read"))
-    for operation in ("cart_update", "place_order"):
-        persistence.add_endpoint(operation,
-                                 persistence_handler(operation, "write"))
-
-    # ------------------------------------------------------------------
-    # Auth
-    # ------------------------------------------------------------------
-    auth = spec_for("auth")
-
-    def auth_handler(cost: float):
-        def handler(ctx: "ServiceContext"):
-            yield ctx.compute(cost * scale, cv)
-            return "ok"
-        return handler
-
-    auth.add_endpoint("validate", auth_handler(catalog.AUTH_VALIDATE))
-    auth.add_endpoint("login", auth_handler(catalog.AUTH_LOGIN))
-    auth.add_endpoint("logout", auth_handler(catalog.AUTH_LOGOUT))
-
-    # ------------------------------------------------------------------
-    # ImageProvider
-    # ------------------------------------------------------------------
-    image = spec_for("image")
-    hit_rate = config.image_cache_hit_rate
-
-    @image.endpoint("get")
-    def image_get(ctx: "ServiceContext"):
-        if ctx.uniform("cache") < hit_rate:
-            yield ctx.compute(catalog.IMAGE_HIT * scale, cv)
-        else:
-            yield ctx.compute(catalog.IMAGE_MISS * scale, cv)
-        return "png"
-
-    preview_hit_rate = config.image_preview_hit_rate
-
-    @image.endpoint("get_batch")
-    def image_get_batch(ctx: "ServiceContext"):
-        count = ctx.payload or CATEGORY_PREVIEW_IMAGES  # type: ignore[assignment]
-        streams = ctx.instance.deployment.streams
-        misses = streams.binomial(
-            f"svc.image.batch.{ctx.instance.local_id}", count,
-            1.0 - preview_hit_rate)
-        hits = count - misses
-        demand = (hits * catalog.IMAGE_PREVIEW_HIT
-                  + misses * catalog.IMAGE_PREVIEW_MISS)
-        yield ctx.compute(demand * scale, cv)
-        return "pngs"
-
-    # ------------------------------------------------------------------
-    # Recommender
-    # ------------------------------------------------------------------
-    recommender = spec_for("recommender")
-
-    @recommender.endpoint("recommend")
-    def recommend(ctx: "ServiceContext"):
-        yield ctx.compute(catalog.RECOMMEND * scale, cv)
-        return ["item"] * 3
-
-    # Real TeaStore degrades recommendations to a static default when the
-    # Recommender is unreachable; product pages render without it.
-    recommender.add_fallback("recommend", ["default"] * 3)
-
-    # ------------------------------------------------------------------
-    # WebUI
-    # ------------------------------------------------------------------
-    webui = spec_for("webui")
-
-    def page(endpoint_name: str, body):
-        parse = catalog.WEBUI_PARSE[endpoint_name] * scale
-        render = catalog.WEBUI_RENDER[endpoint_name] * scale
-
-        def handler(ctx: "ServiceContext"):
-            yield ctx.compute(parse, cv)
-            yield from body(ctx)
-            yield ctx.compute(render, cv)
-            return f"<{endpoint_name}>"
-        webui.add_endpoint(endpoint_name, handler)
-
-    def home_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.gather(ctx.call("persistence", "get_categories"),
-                         ctx.call("image", "get"))
-
-    def login_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "login")
-        yield ctx.call("persistence", "get_user")
-
-    def category_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.gather(
-            ctx.call("persistence", "get_products"),
-            ctx.call("image", "get_batch", payload=CATEGORY_PREVIEW_IMAGES))
-
-    def product_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.gather(ctx.call("persistence", "get_product"),
-                         ctx.call("image", "get"),
-                         ctx.call("recommender", "recommend"))
-
-    def add_to_cart_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.call("persistence", "cart_update")
-
-    def logout_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "logout")
-
-    def cart_view_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.gather(ctx.call("persistence", "get_cart"),
-                         ctx.call("image", "get_batch", payload=3))
-
-    def checkout_body(ctx: "ServiceContext"):
-        yield ctx.call("auth", "validate")
-        yield ctx.call("persistence", "place_order")
-
-    page("home", home_body)
-    page("login", login_body)
-    page("category", category_body)
-    page("product", product_body)
-    page("add_to_cart", add_to_cart_body)
-    page("logout", logout_body)
-    page("cart_view", cart_view_body)
-    page("checkout", checkout_body)
-
-    return {"webui": webui, "auth": auth, "persistence": persistence,
-            "image": image, "recommender": recommender, "db": db}
+    return build_service_specs(teastore_app(config or TeaStoreConfig()))

@@ -4,56 +4,32 @@ from __future__ import annotations
 
 import typing as t
 
-from repro._errors import ConfigurationError
+from repro.apps.runtime import Application, Placement, deploy_application
+from repro.apps.teastore_app import teastore_app
 from repro.services.deployment import Deployment
 from repro.services.instance import ServiceInstance
-from repro.teastore.catalog import SERVICE_NAMES
 from repro.teastore.config import TeaStoreConfig
-from repro.teastore.profiles import browse_profile, buy_profile
-from repro.teastore.services import build_specs
-from repro.topology.cpuset import CpuSet
 
-#: service → one (affinity, home_node) pair per replica.  ``home_node``
-#: of ``None`` means first-touch (node of the mask's lowest CPU).
-Placement = t.Mapping[str, t.Sequence[tuple[CpuSet, int | None]]]
+__all__ = ["Placement", "TeaStore", "build_teastore"]
 
 
-class TeaStore:
+class TeaStore(Application):
     """A deployed store: handles to its replicas and session factories."""
 
     def __init__(self, deployment: Deployment, config: TeaStoreConfig,
-                 instances: dict[str, list[ServiceInstance]]):
-        self.deployment = deployment
+                 instances: dict[str, list[ServiceInstance]],
+                 spec: t.Any | None = None):
+        super().__init__(deployment, spec or teastore_app(config),
+                         instances)
         self.config = config
-        self.instances = instances
-
-    def replicas(self, service: str) -> list[ServiceInstance]:
-        """All replicas of one service."""
-        try:
-            return self.instances[service]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown service {service!r}; known: {SERVICE_NAMES}"
-            ) from None
-
-    def replica_counts(self) -> dict[str, int]:
-        """Replica count per service."""
-        return {name: len(instances)
-                for name, instances in self.instances.items()}
 
     def browse_session_factory(self):
         """Session factory for the standard browse profile."""
-        return browse_profile().session_factory(self.deployment)
+        return self.session_factory("browse")
 
     def buy_session_factory(self):
         """Session factory for the checkout-heavy buy profile."""
-        return buy_profile().session_factory(self.deployment)
-
-    def total_completed(self) -> int:
-        """Requests completed across all replicas (including internal)."""
-        return sum(instance.completed
-                   for instances in self.instances.values()
-                   for instance in instances)
+        return self.session_factory("buy")
 
     def __repr__(self) -> str:
         counts = ", ".join(f"{name}×{len(instances)}"
@@ -73,20 +49,6 @@ def build_teastore(deployment: Deployment,
     :mod:`repro.placement` policies apply their decisions).
     """
     config = config or TeaStoreConfig()
-    specs = build_specs(config)
-    instances: dict[str, list[ServiceInstance]] = {}
-    for name in SERVICE_NAMES:
-        spec = specs[name]
-        replicas: list[ServiceInstance] = []
-        if placement is not None:
-            if name not in placement:
-                raise ConfigurationError(
-                    f"placement is missing service {name!r}")
-            for affinity, home_node in placement[name]:
-                replicas.append(deployment.add_instance(
-                    spec, affinity=affinity, home_node=home_node))
-        else:
-            for __ in range(config.replica_count(name)):
-                replicas.append(deployment.add_instance(spec))
-        instances[name] = replicas
-    return TeaStore(deployment, config, instances)
+    app = teastore_app(config)
+    deployed = deploy_application(deployment, app, placement=placement)
+    return TeaStore(deployment, config, deployed.instances, spec=app)

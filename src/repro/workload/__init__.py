@@ -15,6 +15,7 @@ from repro.workload.faults import FaultEvent, FaultInjector
 from repro.workload.openloop import OpenLoopWorkload
 from repro.workload.runner import RunResult, run_experiment
 from repro.workload.sessions import (
+    MarkovSessionProfile,
     constant_session,
     scripted_session,
     weighted_mix_session,
@@ -25,6 +26,7 @@ __all__ = [
     "ClosedLoopWorkload",
     "FaultEvent",
     "FaultInjector",
+    "MarkovSessionProfile",
     "OpenLoopWorkload",
     "RunResult",
     "constant_session",

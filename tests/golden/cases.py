@@ -30,6 +30,7 @@ from repro.experiments import (
     e7_placement,
     e8_headline,
     e13_fault_tolerance,
+    e14_cross_app,
 )
 from repro.experiments.common import ExperimentResult
 from repro.orchestrator.cache import canonical_json
@@ -65,6 +66,10 @@ CASES: dict[str, t.Any] = {
             lambda seed: ExperimentSettings.fast(
                 preset="tiny", users=32, warmup=0.1, duration=0.25,
                 seed=seed)),
+    "e14": (e14_cross_app,
+            lambda seed: ExperimentSettings.fast(
+                preset="tiny", users=48, warmup=0.1, duration=0.3,
+                seed=seed)),
     "chaos": (chaos_campaign,
               lambda seed: ExperimentSettings.fast(
                   preset="tiny", users=32, warmup=0.1, duration=0.25,
@@ -78,6 +83,7 @@ CASES: dict[str, t.Any] = {
 SEEDS_FOR: dict[str, tuple[int, ...]] = {
     "e6": (1,),
     "e7": (1,),
+    "e14": (1,),
     "chaos": (1,),
 }
 

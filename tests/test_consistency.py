@@ -70,9 +70,9 @@ def test_cli_covers_every_experiment_module():
     for experiment_id in EXPERIMENTS:
         if experiment_id.startswith("e"):
             registered.add(experiment_id)
-    # e1..e13 all registered.
-    assert {f"e{i}" for i in range(1, 14)} <= registered
-    assert len(experiment_modules) == 13
+    # e1..e14 all registered.
+    assert {f"e{i}" for i in range(1, 15)} <= registered
+    assert len(experiment_modules) == 14
 
 
 def test_e3_default_ladder_on_small_machine():
@@ -86,7 +86,7 @@ def test_benchmark_files_exist_for_every_experiment():
     import pathlib
     bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
     names = {p.stem for p in bench_dir.glob("test_*.py")}
-    for i in range(1, 14):
+    for i in range(1, 15):
         assert any(f"e{i}_" in name for name in names), f"no bench for e{i}"
 
 
