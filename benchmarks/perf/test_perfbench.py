@@ -47,6 +47,60 @@ class TestTrajectoryArtifact:
             perfbench.baseline_entry(path, "nightly")
 
 
+class TestLabels:
+
+    def test_default_label_is_short_sha_or_manual(self):
+        label = perfbench.default_label()
+        assert label == "manual" or (
+            4 <= len(label) <= 16
+            and all(c in "0123456789abcdef" for c in label))
+
+    def test_entry_label_defaults_and_explicit_wins(self):
+        defaulted = perfbench.trajectory_entry([_result("e8", 1.0)], "smoke")
+        assert defaulted["label"] == perfbench.default_label()
+        explicit = perfbench.trajectory_entry(
+            [_result("e8", 1.0)], "smoke", label="mine")
+        assert explicit["label"] == "mine"
+        # An explicit empty label is preserved, not replaced.
+        blank = perfbench.trajectory_entry(
+            [_result("e8", 1.0)], "smoke", label="")
+        assert blank["label"] == ""
+
+    def test_default_label_survives_missing_git(self, monkeypatch):
+        monkeypatch.setenv("PATH", "")
+        assert perfbench.default_label() == "manual"
+
+
+class TestProfileArtifact:
+
+    def test_profile_slice_stats_shape(self):
+        stats = perfbench.profile_slice_stats("smoke", "e13", top=5)
+        assert stats["slice"] == "e13"
+        assert stats["points"] >= 1
+        assert stats["total_calls"] > 0
+        assert stats["total_seconds"] > 0
+        assert 1 <= len(stats["hotspots"]) <= 5
+        hottest = stats["hotspots"][0]
+        assert set(hottest) == {"function", "location", "ncalls",
+                                "primitive_calls", "tottime", "cumtime"}
+        # Sorted by cumulative time, descending.
+        cumtimes = [row["cumtime"] for row in stats["hotspots"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_profile_artifact_headed_like_an_entry(self):
+        payload = perfbench.profile_artifact(
+            "smoke", slices=["e13"], top=3, label="probe")
+        assert payload["artifact"] == "repro-perf-profile"
+        assert payload["metric"] == "profile"
+        assert payload["label"] == "probe"
+        assert payload["top"] == 3
+        assert [p["slice"] for p in payload["profiles"]] == ["e13"]
+
+    def test_top_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            perfbench.profile_slice_stats("smoke", "e13", top=0)
+
+
 class TestRegressionGate:
 
     BASELINE = {"slices": {"e8": {"wall_seconds": 4.0}}}

@@ -1,12 +1,13 @@
-"""Build script for the optional compiled event-loop kernel.
+"""Build script for the optional compiled kernel and model layer.
 
 All package metadata lives in ``pyproject.toml``; this file exists only
-to declare the C extension.  The extension is strictly optional
+to declare the C extensions.  Both are strictly optional
 (``optional=True``): when no compiler or headers are available the build
-warns and the package works unchanged on the pure-Python kernel.
+warns and the package works unchanged on the pure-Python kernel and
+reference model code.
 
-Local build (drops ``_ckernel*.so`` next to the sources, which is what
-the ``PYTHONPATH=src`` workflow picks up)::
+Local build (drops ``_ckernel*.so`` / ``_cmodel*.so`` next to the
+sources, which is what the ``PYTHONPATH=src`` workflow picks up)::
 
     python setup.py build_ext --inplace
 """
@@ -18,6 +19,12 @@ setup(
         Extension(
             "repro.sim._ckernel",
             sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        ),
+        Extension(
+            "repro.sim._cmodel",
+            sources=["src/repro/sim/_cmodel.c"],
             optional=True,
             extra_compile_args=["-O2"],
         ),

@@ -217,7 +217,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="trajectory artifact to append to "
                                 "('' disables writing)")
     perfbench.add_argument("--label", default=None,
-                           help="label for the trajectory entry")
+                           help="label for the trajectory entry "
+                                "(default: short git SHA, or 'manual' "
+                                "outside a work tree)")
     perfbench.add_argument("--check", metavar="FILE", default=None,
                            help="compare against the newest same-mode "
                                 "entry in FILE; exit 1 on regression")
@@ -231,6 +233,11 @@ def _build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--top", type=int, default=20, metavar="N",
                            help="functions shown per --profile report "
                                 "(default 20)")
+    perfbench.add_argument("--profile-json", metavar="FILE", default=None,
+                           dest="profile_json",
+                           help="profile each slice and write the top-N "
+                                "hotspot tables as a JSON artifact to "
+                                "FILE (no trajectory entry is recorded)")
     perfbench.add_argument("--list-slices", action="store_true",
                            help="print every known mode*slice (standard "
                                 "and extended) and exit")
@@ -550,11 +557,24 @@ def _run_perfbench(args: argparse.Namespace) -> int:
             print(f"{row['mode']}/{row['name']:10s} {kind:8s} "
                   f"{row['description']}{scale}")
         return 0
-    if args.profile:
-        for name in perfbench._resolve_names(args.mode, args.slices,
-                                             args.extended, args.app):
-            print(perfbench.profile_slice(args.mode, name, top=args.top,
-                                          app=args.app))
+    if args.profile or args.profile_json:
+        if args.profile:
+            for name in perfbench._resolve_names(args.mode, args.slices,
+                                                 args.extended, args.app):
+                print(perfbench.profile_slice(args.mode, name,
+                                              top=args.top, app=args.app))
+        if args.profile_json:
+            import json as json_mod
+            import pathlib
+            payload = perfbench.profile_artifact(
+                args.mode, slices=args.slices, extended=args.extended,
+                top=args.top, app=args.app, label=args.label)
+            target = pathlib.Path(args.profile_json)
+            if target.parent != pathlib.Path(""):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(json_mod.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+            print(f"profile artifact written to {args.profile_json}")
         return 0
     if args.mem:
         return _run_membench(args)

@@ -443,3 +443,116 @@ class CpuScheduler:
         busy = sum(1 for r in self._running if r is not None)
         return (f"<CpuScheduler {busy} running, {self.queue_depth()} queued, "
                 f"{len(self._idle)} idle>")
+
+
+class CompiledCpuScheduler(CpuScheduler):
+    """The scheduler with its burst lifecycle run by the C core.
+
+    ``repro.sim._cmodel.SchedCore`` keeps the run queues, idle set,
+    depth mirrors, running-burst records, and busy-time accumulators in
+    C arrays and executes submit/placement/steal/re-rate/complete
+    entirely in C, calling back into Python only where the reference
+    does (the perf model's ``on_burst_start`` / ``cpi_inflation`` /
+    ``on_burst_complete`` hooks, kernel scheduling, handle cancellation
+    and ``done`` completion) — in exactly the reference's order, so
+    behavior is byte-identical.  :class:`CpuScheduler` remains the
+    line-for-line reference semantics and keeps running under the
+    ``python`` backend.
+
+    The base class still precomputes every topology/rate cache; the C
+    core reads those caches once at construction, so the two layers can
+    never disagree about the machine.
+    """
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 online: CpuSet | None = None,
+                 smt_model: SmtModel | None = None,
+                 frequency_model: FrequencyModel | None = None,
+                 perf_model: PerfModel | None = None):
+        super().__init__(sim, machine, online=online, smt_model=smt_model,
+                         frequency_model=frequency_model,
+                         perf_model=perf_model)
+        from repro.sim.kernel import model_module
+        module = model_module()
+        if module is None:  # pragma: no cover - guarded by make_scheduler
+            raise SchedulingError(
+                "CompiledCpuScheduler requires repro.sim._cmodel; run "
+                "'python setup.py build_ext --inplace'")
+        #: Online ids in ascending order, read by the C core.
+        self._online_ids = sorted(self.online.ids)
+        self._core = module.SchedCore(self)
+
+    # The C core registers groups through this callback on first
+    # submission; reusing _allowed_for keeps the exact error message
+    # (and the base caches coherent, should anything inspect them).
+    def _core_register(self, group) -> tuple[int, ...]:
+        return self._allowed_for(group)[0]
+
+    # ------------------------------------------------------------------
+    # Public API, delegated to the core
+    # ------------------------------------------------------------------
+    def submit(self, burst: CpuBurst) -> None:
+        self._core.submit(burst)
+
+    def busy_time(self, cpu_index: int) -> float:
+        return self._core.busy_time(cpu_index)
+
+    def total_busy_time(self) -> float:
+        core = self._core
+        return sum(core.busy_time(i) for i in self._online_ids)
+
+    def queue_depth(self) -> int:
+        return self._core.queue_depth()
+
+    def is_idle(self, cpu_index: int) -> bool:
+        return self._core.is_idle(cpu_index)
+
+    # The base initializer writes these counters before the core exists;
+    # afterwards the core's counts are authoritative.
+    @property
+    def bursts_dispatched(self) -> int:
+        core = self.__dict__.get("_core")
+        if core is None:
+            return self.__dict__.get("_shadow_dispatched", 0)
+        return core.bursts_dispatched()
+
+    @bursts_dispatched.setter
+    def bursts_dispatched(self, value: int) -> None:
+        self.__dict__["_shadow_dispatched"] = value
+
+    @property
+    def bursts_stolen(self) -> int:
+        core = self.__dict__.get("_core")
+        if core is None:
+            return self.__dict__.get("_shadow_stolen", 0)
+        return core.bursts_stolen()
+
+    @bursts_stolen.setter
+    def bursts_stolen(self, value: int) -> None:
+        self.__dict__["_shadow_stolen"] = value
+
+    def __repr__(self) -> str:
+        running, queued, idle = self._core.stats()
+        return (f"<CompiledCpuScheduler {running} running, "
+                f"{queued} queued, {idle} idle>")
+
+
+def make_scheduler(sim: Simulator, machine: Machine,
+                   online: CpuSet | None = None,
+                   smt_model: SmtModel | None = None,
+                   frequency_model: FrequencyModel | None = None,
+                   perf_model: PerfModel | None = None, *,
+                   compiled: bool | None = None) -> CpuScheduler:
+    """A scheduler for ``sim``: the C core when the model layer is built
+    and the simulator runs the compiled kernel, else the reference.
+
+    ``compiled`` forces the choice (the deployment resolves it once so
+    all of its machinery agrees); ``None`` re-derives it from the
+    simulator's kernel backend.
+    """
+    if compiled is None:
+        from repro.sim.kernel import model_available
+        compiled = (sim.kernel_backend == "compiled" and model_available())
+    cls = CompiledCpuScheduler if compiled else CpuScheduler
+    return cls(sim, machine, online=online, smt_model=smt_model,
+               frequency_model=frequency_model, perf_model=perf_model)

@@ -344,23 +344,17 @@ def run_perfbench(mode: str = "smoke",
     return results
 
 
-def profile_slice(mode: str, name: str, top: int = 20,
-                  app: str = "teastore") -> str:
-    """Run one slice once under :mod:`cProfile`; return the top-``top``
-    functions by cumulative time as a printable report.
+def _profiled_stats(points: "list[plan_mod.SweepPoint]"):
+    """One warmup pass, then one pass under :mod:`cProfile`.
 
-    One untimed warmup pass runs first so imports, plan construction,
-    and prefetch-buffer growth do not pollute the profile.  Profiled
-    runs are never recorded in the trajectory — the tracer costs more
-    than the differences the trajectory exists to catch.
+    The untimed warmup runs first so imports, plan construction, and
+    prefetch-buffer growth do not pollute the profile.  Profiled runs
+    are never recorded in the trajectory — the tracer costs more than
+    the differences the trajectory exists to catch.
     """
     import cProfile
-    import io
     import pstats
 
-    if top < 1:
-        raise ConfigurationError(f"top must be >= 1: {top}")
-    points = slice_points(mode, name, app)
     for point in points:
         execute_point(point)
     profiler = cProfile.Profile()
@@ -368,13 +362,81 @@ def profile_slice(mode: str, name: str, top: int = 20,
     for point in points:
         execute_point(point)
     profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def profile_slice(mode: str, name: str, top: int = 20,
+                  app: str = "teastore") -> str:
+    """Run one slice once under :mod:`cProfile`; return the top-``top``
+    functions by cumulative time as a printable report.
+    """
+    import io
+
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1: {top}")
+    stats = _profiled_stats(slice_points(mode, name, app))
     buffer = io.StringIO()
-    stats = pstats.Stats(profiler, stream=buffer)
+    stats.stream = buffer
     stats.sort_stats("cumulative").print_stats(top)
     backend = kernel_mod.active_backend()
     header = (f"profile {mode}/{name} [kernel={backend}] — top {top} "
               f"by cumulative time")
     return f"{header}\n{buffer.getvalue()}"
+
+
+def profile_slice_stats(mode: str, name: str, top: int = 20,
+                        app: str = "teastore") -> dict[str, t.Any]:
+    """The machine-readable sibling of :func:`profile_slice`.
+
+    Runs one slice under :mod:`cProfile` (same warmup discipline) and
+    returns the top-``top`` functions by cumulative time as a
+    JSON-native hotspot table, so CI can archive profiles as artifacts
+    and tooling can diff them across commits.
+    """
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1: {top}")
+    points = slice_points(mode, name, app)
+    stats = _profiled_stats(points)
+    ranked = sorted(stats.stats.items(),
+                    key=lambda item: item[1][3], reverse=True)
+    hotspots = []
+    for (filename, lineno, function), row in ranked[:top]:
+        primitive_calls, ncalls, tottime, cumtime, __ = row
+        hotspots.append({
+            "function": function,
+            "location": f"{filename}:{lineno}",
+            "ncalls": ncalls,
+            "primitive_calls": primitive_calls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    return {
+        "slice": name,
+        "points": len(points),
+        "total_calls": stats.total_calls,
+        "total_seconds": round(stats.total_tt, 6),
+        "hotspots": hotspots,
+    }
+
+
+def profile_artifact(mode: str,
+                     slices: t.Sequence[str] | None = None,
+                     extended: bool = False,
+                     top: int = 20,
+                     app: str = "teastore",
+                     label: str | None = None) -> dict[str, t.Any]:
+    """A ``repro-perf-profile`` artifact: hotspot tables for every
+    requested slice, headed like a trajectory entry so a profile can be
+    traced back to the commit/kernel/app that produced it.
+    """
+    payload = _entry_header(mode, "profile", label, app)
+    payload["artifact"] = "repro-perf-profile"
+    payload["version"] = 1
+    payload["top"] = top
+    payload["profiles"] = [
+        profile_slice_stats(mode, name, top=top, app=app)
+        for name in _resolve_names(mode, slices, extended, app)]
+    return payload
 
 
 @dataclasses.dataclass(frozen=True)
@@ -438,11 +500,30 @@ def run_membench(mode: str = "smoke",
     return results
 
 
+def default_label() -> str:
+    """The short git SHA of ``HEAD``, or ``"manual"`` when unavailable.
+
+    Labels exist so a trajectory entry can be traced back to the code
+    that produced it; the commit hash is that trace whenever the harness
+    runs inside a work tree.  Outside one (tarball checkout, no git
+    binary) the label degrades to ``"manual"`` rather than failing.
+    """
+    import subprocess
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "manual"
+    return sha or "manual"
+
+
 def _entry_header(mode: str, metric: str,
                   label: str | None,
                   app: str = "teastore") -> dict[str, t.Any]:
     return {
-        "label": label or "",
+        "label": default_label() if label is None else label,
         "mode": mode,
         "metric": metric,
         # The application the slices ran against: trajectories from

@@ -10,7 +10,7 @@ from repro._errors import (
     ServiceUnavailableError,
 )
 from repro.cpu.frequency import FrequencyModel
-from repro.cpu.scheduler import CpuScheduler
+from repro.cpu.scheduler import make_scheduler
 from repro.cpu.smt import SmtModel
 from repro.memory.config import MemoryConfig
 from repro.memory.system import MemorySystemModel
@@ -57,13 +57,21 @@ class Deployment:
         self.sim = Simulator()
         self.machine = machine
         self.streams = RandomStreams(seed)
+        #: Whether the compiled model layer (C scheduler core + C worker
+        #: machines) is active.  Resolved once per deployment from the
+        #: same selection the kernel backend uses, so a deployment is
+        #: all-compiled or all-reference — never a mix.
+        from repro.sim.kernel import model_available
+        self.compiled_model = (self.sim.kernel_backend == "compiled"
+                               and model_available())
         self.memory_model = MemorySystemModel(
             machine, memory_config, counter_sink=counter_sink)
-        self.scheduler = CpuScheduler(
+        self.scheduler = make_scheduler(
             self.sim, machine, online=online,
             smt_model=smt_model,
             frequency_model=frequency_model,
-            perf_model=self.memory_model)
+            perf_model=self.memory_model,
+            compiled=self.compiled_model)
         self.rpc = rpc or RpcFabric(self.sim)
         if self.rpc.sim is not self.sim:
             raise ConfigurationError(

@@ -8,7 +8,6 @@ each pay one hop.
 
 from __future__ import annotations
 
-import functools
 import typing as t
 
 from repro._errors import ConfigurationError, DeadlineExceededError
@@ -21,6 +20,21 @@ if t.TYPE_CHECKING:  # pragma: no cover
     from repro.services.request import Request
 
 
+def _trigger_succeed(done: Event, response: object) -> None:
+    """Return-hop trigger: complete ``done`` with ``response``.
+
+    Module-level (not a closure) so the kernel's ``schedule2`` entry
+    point can carry ``(done, response)`` in the handle itself — one hop
+    schedules nothing but the handle.
+    """
+    done.succeed(response)
+
+
+def _trigger_fail(done: Event, exc: Exception) -> None:
+    """Return-hop trigger: fail ``done`` with ``exc``."""
+    done.fail(exc)
+
+
 class RpcFabric:
     """Delivers requests to instances and responses back to callers."""
 
@@ -30,9 +44,11 @@ class RpcFabric:
                 f"hop latency must be non-negative: {hop_latency}")
         self.sim = sim
         self.hop_latency = hop_latency
-        #: The kernel's schedule entry point, bound once — every RPC
-        #: pays two hops through it (deliver and respond).
-        self._schedule = sim.schedule
+        #: The kernel's two-operand schedule entry point, bound once —
+        #: every RPC pays two hops through it (deliver and respond),
+        #: each carrying its operands in the handle instead of a
+        #: per-call closure.
+        self._schedule2 = sim.schedule2
         self.messages_sent = 0
         #: Requests whose deadline elapsed while on the wire.
         self.expired_in_flight = 0
@@ -52,9 +68,8 @@ class RpcFabric:
         else:
             # call_in minus the delay validation (hop_latency checked
             # non-negative at construction): straight to the kernel.
-            self._schedule(self.sim.now + self.hop_latency,
-                           functools.partial(self._arrive, request,
-                                             instance))
+            self._schedule2(self.sim.now + self.hop_latency,
+                            self._arrive, request, instance)
 
     def _arrive(self, request: "Request",
                 instance: "ServiceInstance") -> None:
@@ -73,8 +88,8 @@ class RpcFabric:
             done.succeed(response)
         else:
             # As in deliver(): one kernel push per return hop.
-            self._schedule(self.sim.now + self.hop_latency,
-                           functools.partial(done.succeed, response))
+            self._schedule2(self.sim.now + self.hop_latency,
+                            _trigger_succeed, done, response)
 
     def respond_failure(self, done: Event, exc: Exception) -> None:
         """Propagate a handler failure to the caller after the return hop."""
@@ -82,5 +97,5 @@ class RpcFabric:
         if self.hop_latency == 0:
             done.fail(exc)
         else:
-            self.sim.call_in(self.hop_latency,
-                             functools.partial(done.fail, exc))
+            self._schedule2(self.sim.now + self.hop_latency,
+                            _trigger_fail, done, exc)

@@ -102,6 +102,10 @@ typedef struct {
     PyObject_HEAD
     double time;
     PyObject *callback;   /* NULL once cancelled */
+    /* Optional call arguments (schedule2): the fabric's hop callbacks
+     * carry their two operands here instead of in a per-call closure,
+     * so a scheduled RPC hop allocates nothing beyond the handle. */
+    PyObject *arg1, *arg2;
     PyObject *kernel;     /* owning CKernel while queued, else NULL */
     char cancelled;
     char queued;
@@ -143,6 +147,8 @@ CHandle_cancel(CHandleObject *self, PyObject *Py_UNUSED(ignored))
     if (!self->cancelled) {
         self->cancelled = 1;
         Py_CLEAR(self->callback);
+        Py_CLEAR(self->arg1);
+        Py_CLEAR(self->arg2);
         if (self->queued && self->kernel != NULL) {
             CKernelObject *k = (CKernelObject *)self->kernel;
             k->tombstones++;
@@ -189,6 +195,8 @@ static int
 CHandle_traverse(CHandleObject *self, visitproc visit, void *arg)
 {
     Py_VISIT(self->callback);
+    Py_VISIT(self->arg1);
+    Py_VISIT(self->arg2);
     Py_VISIT(self->kernel);
     return 0;
 }
@@ -197,6 +205,8 @@ static int
 CHandle_clear(CHandleObject *self)
 {
     Py_CLEAR(self->callback);
+    Py_CLEAR(self->arg1);
+    Py_CLEAR(self->arg2);
     Py_CLEAR(self->kernel);
     return 0;
 }
@@ -206,6 +216,8 @@ CHandle_dealloc(CHandleObject *self)
 {
     PyObject_GC_UnTrack(self);
     Py_CLEAR(self->callback);
+    Py_CLEAR(self->arg1);
+    Py_CLEAR(self->arg2);
     Py_CLEAR(self->kernel);
     PyObject_GC_Del(self);
 }
@@ -690,6 +702,21 @@ invoke_handle_cb(CKernelObject *k, PyObject *sim, CHandleObject *handle)
         && PyMethod_GET_FUNCTION(cb) == S.fire_func
         && Py_TYPE(PyMethod_GET_SELF(cb)) == (PyTypeObject *)S.timeout_type)
         rv = trampoline_fire(k, sim, PyMethod_GET_SELF(cb));
+    else if (handle->arg1 != NULL) {
+        /* schedule2 entries: call with the two stored operands. */
+        PyObject *argv[2] = {handle->arg1, handle->arg2};
+        Py_INCREF(argv[0]);
+        Py_INCREF(argv[1]);
+        PyObject *res = PyObject_Vectorcall(cb, argv, 2, NULL);
+        Py_DECREF(argv[0]);
+        Py_DECREF(argv[1]);
+        if (res == NULL)
+            rv = -1;
+        else {
+            Py_DECREF(res);
+            rv = 0;
+        }
+    }
     else {
         PyObject *res = PyObject_CallNoArgs(cb);
         if (res == NULL)
@@ -759,6 +786,50 @@ CKernel_schedule(CKernelObject *k, PyObject *const *args, Py_ssize_t nargs)
     handle->time = time;
     Py_INCREF(args[1]);
     handle->callback = args[1];
+    handle->arg1 = NULL;
+    handle->arg2 = NULL;
+    handle->cancelled = 0;
+    handle->queued = 1;
+    Py_INCREF(k);
+    handle->kernel = (PyObject *)k;
+    PyObject_GC_Track(handle);
+    if (heap_reserve(k) < 0) {
+        handle->queued = 0;
+        Py_DECREF(handle);
+        return NULL;
+    }
+    k->counter++;
+    Py_INCREF(handle);   /* the heap's reference */
+    heap_push_raw(k, time, k->counter, (PyObject *)handle);
+    return (PyObject *)handle;
+}
+
+/* schedule2(time, func, a, b): like schedule(time, partial(func, a, b))
+ * without the partial object — the operands ride in the handle and are
+ * passed positionally at dispatch.  Counter and ordering semantics are
+ * identical to schedule(). */
+static PyObject *
+CKernel_schedule2(CKernelObject *k, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule2() takes exactly 4 arguments "
+                        "(time, func, a, b)");
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    CHandleObject *handle = PyObject_GC_New(CHandleObject, &CHandle_Type);
+    if (handle == NULL)
+        return NULL;
+    handle->time = time;
+    Py_INCREF(args[1]);
+    handle->callback = args[1];
+    Py_INCREF(args[2]);
+    handle->arg1 = args[2];
+    Py_INCREF(args[3]);
+    handle->arg2 = args[3];
     handle->cancelled = 0;
     handle->queued = 1;
     Py_INCREF(k);
@@ -1026,6 +1097,10 @@ static PyMethodDef CKernel_methods[] = {
      METH_FASTCALL,
      "schedule(time, callback) -> Handle\n"
      "Push `callback` onto the heap at absolute `time`."},
+    {"schedule2", (PyCFunction)(void (*)(void))CKernel_schedule2,
+     METH_FASTCALL,
+     "schedule2(time, func, a, b) -> Handle\n"
+     "schedule(time, partial(func, a, b)) without the closure object."},
     {"push_ready", (PyCFunction)CKernel_push_ready, METH_O,
      "Queue a triggered event for zero-delay processing."},
     {"note_cancel", (PyCFunction)CKernel_note_cancel, METH_NOARGS,

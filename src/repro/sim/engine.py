@@ -45,7 +45,8 @@ class Simulator:
     behavior-identical; only speed differs.
     """
 
-    __slots__ = ("now", "_running", "_kernel", "schedule", "_push_ready")
+    __slots__ = ("now", "_running", "_kernel", "schedule", "schedule2",
+                 "_push_ready")
 
     def __init__(self, start_time: float = 0.0, kernel: str | None = None):
         self.now = float(start_time)
@@ -54,8 +55,11 @@ class Simulator:
         #: Bound kernel entry points, cached as slots: ``schedule`` and
         #: ``_push_ready`` are the two hottest calls in the simulator
         #: (every burst completion / RPC hop, every ``succeed``), so hot
-        #: call sites pay one attribute load, not two.
+        #: call sites pay one attribute load, not two.  ``schedule2``
+        #: is ``schedule`` with the callback's two operands carried in
+        #: the handle instead of a per-call closure (RPC hops).
         self.schedule = self._kernel.schedule
+        self.schedule2 = self._kernel.schedule2
         self._push_ready = self._kernel.push_ready
 
     @property

@@ -59,6 +59,7 @@ compared blindly.
 from __future__ import annotations
 
 import collections
+import functools
 import heapq
 import importlib
 import os
@@ -154,6 +155,17 @@ class PythonKernel:
         self.counter += 1
         heapq.heappush(self.heap, (time, self.counter, handle))
         return handle
+
+    def schedule2(self, time: float, func: t.Callable[..., None],
+                  a: t.Any, b: t.Any) -> Handle:
+        """``schedule(time, partial(func, a, b))``, as one entry point.
+
+        The reference backend builds the partial; the compiled backend
+        stores the operands in the handle and skips the closure
+        allocation.  Counter and ordering semantics are identical to
+        :meth:`schedule`.
+        """
+        return self.schedule(time, functools.partial(func, a, b))
 
     def push_ready(self, event: "Event") -> None:
         """Queue a triggered event for zero-delay processing."""
@@ -312,6 +324,54 @@ def compiled_module() -> t.Any | None:
 def compiled_available() -> bool:
     """True when the compiled backend can actually be instantiated."""
     return compiled_module() is not None
+
+
+_model_checked = False
+_model_module: t.Any | None = None
+
+
+def model_module() -> t.Any | None:
+    """Cached lookup of the optional compiled *model* module.
+
+    ``repro.sim._cmodel`` compiles the model layer above the event loop
+    — the CPU scheduler's burst lifecycle and the service instance
+    worker machine — and is selected alongside the compiled kernel
+    (``--kernel compiled`` / ``REPRO_KERNEL=compiled`` / ``auto``).
+    Like the kernel extension it is optional; when absent the
+    pure-Python reference classes run.
+    """
+    global _model_checked, _model_module
+    if not _model_checked:
+        try:
+            module = importlib.import_module("repro.sim._cmodel")
+        except ImportError:
+            module = None
+        if module is not None:
+            # Late imports: the model layer sits above this module, so
+            # binding its types here at import time would be a cycle.
+            from repro._errors import SchedulingError
+            from repro.cpu.burst import CpuBurst, TaskGroup
+            from repro.memory.system import MemorySystemModel
+            from repro.services.instance import (
+                ServiceContext,
+                ServiceInstance,
+                _worker_protocol_error,
+            )
+            from repro.services.request import Request
+            from repro.sim import engine, events
+            module.configure(
+                events.Event, events._PENDING, SimulationError,
+                engine.Simulator, CpuBurst, TaskGroup, Request,
+                ServiceInstance, ServiceContext, _worker_protocol_error,
+                SchedulingError, MemorySystemModel)
+        _model_module = module
+        _model_checked = True
+    return _model_module
+
+
+def model_available() -> bool:
+    """True when the compiled model layer can actually be used."""
+    return model_module() is not None
 
 
 def available_backends() -> tuple[str, ...]:

@@ -1,0 +1,184 @@
+"""Scheduler-core edge cases, pinned identical across kernel backends.
+
+The compiled model layer (``repro.sim._cmodel.SchedCore``) re-implements
+the scheduler's dominant loops in C; :class:`~repro.cpu.scheduler
+.CpuScheduler` remains the line-for-line reference.  These tests drive
+the corners the golden digests reach only statistically — fruitless
+steal scans, mid-flight sibling re-rates, fully-masked submissions, and
+the SMT-yield boundary values — through both backends and hand-check
+the wall-clock arithmetic.
+"""
+
+import pytest
+
+from repro._errors import SchedulingError
+from repro._units import ms
+from repro.cpu import CpuBurst, FlatFrequencyModel, SmtModel, TaskGroup
+from repro.cpu.scheduler import make_scheduler
+from repro.sim import Simulator
+from repro.topology import CpuSet, tiny_machine
+
+from tests._kernels import backend_params
+
+BACKENDS = backend_params()
+
+
+def build(backend, smt_yield=1.3, online=None):
+    """A backend-selected scheduler with flat frequency so wall times
+    are hand-checkable (rate = smt_factor / 1.0)."""
+    sim = Simulator(kernel=backend)
+    machine = tiny_machine()
+    scheduler = make_scheduler(
+        sim, machine, online=online,
+        smt_model=SmtModel(smt_yield),
+        frequency_model=FlatFrequencyModel())
+    return sim, machine, scheduler
+
+
+def submit(sim, scheduler, group, demand):
+    burst = CpuBurst(demand, group, sim.event())
+    scheduler.submit(burst)
+    return burst
+
+
+# ----------------------------------------------------------------------
+# Work stealing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_steal_scan_over_fruitless_victims_comes_up_empty(backend):
+    """A CPU whose every eligible victim queue is empty goes idle
+    without stealing — even while ineligible queues hold work."""
+    sim, machine, scheduler = build(backend)
+    pinned_a = TaskGroup("a", CpuSet([0]))
+    pinned_b = TaskGroup("b", CpuSet([1]))
+    # CPU 1 gets a backlog; CPU 0 gets exactly one short burst.
+    short = submit(sim, scheduler, pinned_a, ms(1.0))
+    backlog = [submit(sim, scheduler, pinned_b, ms(4.0))
+               for __ in range(3)]
+    sim.run(until=ms(2.0))
+    # CPU 0 drained at 1ms; CPU 1's queue still holds two bursts, but
+    # they are outside CPU 0's mask, so the steal scan must yield
+    # nothing and leave CPU 0 idle.
+    assert short.finished_at == pytest.approx(ms(1.0))
+    assert scheduler.is_idle(0)
+    assert not scheduler.is_idle(1)
+    assert scheduler.queue_depth() == 2
+    assert scheduler.bursts_stolen == 0
+    sim.run()
+    assert scheduler.bursts_stolen == 0
+    assert all(burst.cpu_index == 1 for burst in backlog)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_steal_pulls_backlog_from_sibling_queue(backend):
+    """The positive control: an idle CPU with an eligible nonempty
+    victim steals its oldest allowed burst."""
+    sim, machine, scheduler = build(backend)
+    group = TaskGroup("g", CpuSet([0, 1]))
+    submit(sim, scheduler, group, ms(1.0))   # runs on CPU 0
+    long = submit(sim, scheduler, group, ms(5.0))   # runs on CPU 1
+    quick = submit(sim, scheduler, group, ms(0.5))  # queues on CPU 0
+    tail = submit(sim, scheduler, group, ms(2.0))   # queues on CPU 1
+    sim.run()
+    # CPU 0 pops its own queue at 1.0ms, drains it at 1.5ms, then
+    # steals ``tail`` out of CPU 1's queue while ``long`` still runs.
+    assert scheduler.bursts_stolen == 1
+    assert quick.cpu_index == 0
+    assert tail.cpu_index == 0
+    assert tail.finished_at == pytest.approx(ms(3.5))
+    assert long.cpu_index == 1
+    assert long.finished_at == pytest.approx(ms(5.0))
+
+
+# ----------------------------------------------------------------------
+# SMT sibling re-rate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mid_flight_rerate_of_single_sibling(backend):
+    """A burst landing on the idle SMT sibling re-rates the one burst
+    already in flight on the pair, both ways.
+
+    smt_yield 1.2 → co-run factor 0.6.  The first burst runs alone for
+    0.5ms, then co-runs its remaining 0.5ms demand at 0.6:
+    0.5 + 0.5/0.6 = 1.3333ms.  The second burst co-runs from 0.5ms and
+    has 1.0 - 0.8333*0.6 = 0.5ms demand left when the pair splits, so
+    it finishes at 1.8333ms back at full rate.
+    """
+    sim, machine, scheduler = build(backend, smt_yield=1.2)
+    pair = machine.cpus_in_core(0)
+    group = TaskGroup("g", pair)
+    first = submit(sim, scheduler, group, ms(1.0))
+    second = CpuBurst(ms(1.0), group, sim.event())
+    sim.call_in(ms(0.5), lambda: scheduler.submit(second))
+    sim.run()
+    assert first.finished_at == pytest.approx(ms(0.5 + 0.5 / 0.6))
+    assert second.finished_at == pytest.approx(ms(0.5 + 0.5 / 0.6 + 0.5))
+    # The pair really co-ran: distinct threads of the same core.
+    assert {first.cpu_index, second.cpu_index} == set(pair.ids)
+
+
+# ----------------------------------------------------------------------
+# Fully-masked submission
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_submit_with_every_allowed_cpu_offline_raises(backend):
+    """A group whose whole mask is offline fails loudly on first
+    submission — identically on both backends."""
+    sim, machine, scheduler = build(backend, online=CpuSet([0, 1]))
+    group = TaskGroup("masked", CpuSet([2, 3]))
+    with pytest.raises(SchedulingError, match="no online CPU"):
+        submit(sim, scheduler, group, ms(1.0))
+
+
+# ----------------------------------------------------------------------
+# SMT-factor boundary values
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("smt_yield,expected_wall", [
+    (1.0, ms(2.0)),   # floor: co-running pair shares one thread's speed
+    (2.0, ms(1.0)),   # ceiling: siblings do not interfere at all
+])
+def test_smt_yield_boundary_values(backend, smt_yield, expected_wall):
+    sim, machine, scheduler = build(backend, smt_yield=smt_yield)
+    group = TaskGroup("g", machine.cpus_in_core(0))
+    a = submit(sim, scheduler, group, ms(1.0))
+    b = submit(sim, scheduler, group, ms(1.0))
+    sim.run()
+    assert a.wall_time == pytest.approx(expected_wall)
+    assert b.wall_time == pytest.approx(expected_wall)
+
+
+def test_smt_yield_outside_bounds_rejected():
+    with pytest.raises(SchedulingError):
+        SmtModel(0.99)
+    with pytest.raises(SchedulingError):
+        SmtModel(2.01)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend parity on a mixed workload
+# ----------------------------------------------------------------------
+def _mixed_workload(backend):
+    sim, machine, scheduler = build(backend, smt_yield=1.3)
+    pinned = TaskGroup("pinned", machine.cpus_in_core(0))
+    free = TaskGroup("free", machine.all_cpus())
+    bursts = []
+    for index in range(6):
+        bursts.append(submit(sim, scheduler, pinned if index % 2 else free,
+                             ms(0.5 + 0.25 * index)))
+    late = CpuBurst(ms(1.0), free, sim.event())
+    sim.call_in(ms(0.75), lambda: scheduler.submit(late))
+    bursts.append(late)
+    sim.run()
+    trace = tuple((burst.cpu_index, burst.started_at, burst.finished_at,
+                   burst.wall_time) for burst in bursts)
+    counters = (scheduler.bursts_dispatched, scheduler.bursts_stolen,
+                scheduler.queue_depth(), scheduler.total_busy_time())
+    return trace, counters
+
+
+def test_backends_agree_exactly_on_mixed_workload():
+    from repro.sim import kernel
+    if not (kernel.compiled_available() and kernel.model_available()):
+        pytest.skip("compiled model layer not built")
+    assert _mixed_workload("python") == _mixed_workload("compiled")
